@@ -1,0 +1,50 @@
+//! Per-outcome estimator cost: closed forms vs generic numeric paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use monotone_core::estimate::{
+    DyadicJ, HorvitzThompson, LStar, MonotoneEstimator, RgPlusLStar, RgPlusUStar, UStar,
+};
+use monotone_core::func::RangePowPlus;
+use monotone_core::problem::Mep;
+use monotone_core::quad::QuadConfig;
+use monotone_core::scheme::TupleScheme;
+use std::hint::black_box;
+
+fn bench_estimators(c: &mut Criterion) {
+    let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+    let outcome = mep.scheme().sample(&[0.6, 0.2], 0.35).unwrap();
+
+    let mut g = c.benchmark_group("estimate_rg1plus");
+    let closed = RgPlusLStar::new(1, 1.0);
+    g.bench_function("lstar_closed", |b| {
+        b.iter(|| black_box(closed.estimate(&mep, black_box(&outcome))))
+    });
+    let generic = LStar::new();
+    g.bench_function("lstar_generic", |b| {
+        b.iter(|| black_box(generic.estimate(&mep, black_box(&outcome))))
+    });
+    let fast = LStar::with_quad(QuadConfig::fast());
+    g.bench_function("lstar_generic_fast_quad", |b| {
+        b.iter(|| black_box(fast.estimate(&mep, black_box(&outcome))))
+    });
+    let uclosed = RgPlusUStar::new(1.0, 1.0);
+    g.bench_function("ustar_closed", |b| {
+        b.iter(|| black_box(uclosed.estimate(&mep, black_box(&outcome))))
+    });
+    let ugeneric = UStar::with_steps(64);
+    g.bench_function("ustar_generic_64", |b| {
+        b.iter(|| black_box(ugeneric.estimate(&mep, black_box(&outcome))))
+    });
+    let ht = HorvitzThompson::new();
+    g.bench_function("horvitz_thompson", |b| {
+        b.iter(|| black_box(ht.estimate(&mep, black_box(&outcome))))
+    });
+    let j = DyadicJ::new();
+    g.bench_function("dyadic_j", |b| {
+        b.iter(|| black_box(j.estimate(&mep, black_box(&outcome))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_estimators);
+criterion_main!(benches);

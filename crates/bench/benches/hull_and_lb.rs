@@ -1,0 +1,33 @@
+//! Lower-bound evaluation, hull construction, and variance-calculator cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use monotone_core::estimate::VOptimal;
+use monotone_core::func::{RangePow, RangePowPlus};
+use monotone_core::problem::Mep;
+use monotone_core::scheme::TupleScheme;
+use monotone_core::variance::VarianceCalc;
+use std::hint::black_box;
+
+fn bench_lb_and_hull(c: &mut Criterion) {
+    let mep = Mep::new(RangePowPlus::new(2.0), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+    let v = [0.6, 0.2];
+    let lb = mep.data_lower_bound(&v).unwrap();
+
+    c.bench_function("lb_eval", |b| b.iter(|| black_box(lb.eval(black_box(0.37)))));
+    c.bench_function("hull_build_800", |b| b.iter(|| black_box(lb.hull(1e-6, 800))));
+
+    let vopt = VOptimal::with_resolution(1e-6, 800);
+    c.bench_function("vopt_esq", |b| b.iter(|| black_box(vopt.esq(&mep, &v).unwrap())));
+
+    let calc = VarianceCalc::new(1e-6, 400);
+    c.bench_function("lstar_stats_fastpath", |b| {
+        b.iter(|| black_box(calc.lstar_stats(&mep, &v).unwrap()))
+    });
+
+    let mep3 = Mep::new(RangePow::new(1.0, 3), TupleScheme::pps(&[1.0, 1.0, 1.0])).unwrap();
+    let lb3 = mep3.data_lower_bound(&[0.7, 0.2, 0.4]).unwrap();
+    c.bench_function("lb_eval_r3_range", |b| b.iter(|| black_box(lb3.eval(black_box(0.3)))));
+}
+
+criterion_group!(benches, bench_lb_and_hull);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! End-to-end sum-aggregate estimation cost over coordinated samples.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use monotone_coord::pps::CoordPps;
+use monotone_coord::query::estimate_sum;
+use monotone_coord::seed::SeedHasher;
+use monotone_core::estimate::{RgPlusLStar, RgPlusUStar};
+use monotone_core::func::RangePowPlus;
+use monotone_datagen::pairs::{flow_like, PairConfig};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_queries(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let mut cfg = PairConfig::flow();
+    cfg.keys = 5000;
+    let data = flow_like(&cfg, &mut rng);
+    let sampler = CoordPps::uniform_scale(2, 0.05, SeedHasher::new(11));
+    let samples = sampler.sample_all(&data);
+    let n_sampled: usize = samples.iter().map(|s| s.len()).sum();
+    eprintln!("sampled items across instances: {n_sampled}");
+
+    let f = RangePowPlus::new(1.0);
+    let lstar = RgPlusLStar::new(1, 0.05);
+    c.bench_function("sum_estimate_lstar_closed", |b| {
+        b.iter(|| black_box(estimate_sum(f, &lstar, &sampler, &samples, None).unwrap()))
+    });
+
+    let f2 = RangePowPlus::new(2.0);
+    let ustar = RgPlusUStar::new(2.0, 0.05);
+    c.bench_function("sum_estimate_ustar_closed", |b| {
+        b.iter(|| black_box(estimate_sum(f2, &ustar, &sampler, &samples, None).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

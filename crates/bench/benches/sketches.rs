@@ -1,0 +1,28 @@
+//! All-distances-sketch construction and closeness estimation cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use monotone_coord::seed::SeedHasher;
+use monotone_datagen::graphs::preferential_attachment;
+use monotone_sketches::ads::build_all_ads;
+use monotone_sketches::closeness::ClosenessEstimator;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_sketches(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let g = preferential_attachment(1000, 3, 0.5, 1.5, &mut rng);
+    let seeder = SeedHasher::new(5);
+
+    c.bench_function("build_all_ads_n1000_k8", |b| {
+        b.iter(|| black_box(build_all_ads(black_box(&g), 8, &seeder)))
+    });
+
+    let sketches = build_all_ads(&g, 8, &seeder);
+    let est = ClosenessEstimator::new(&sketches, 8, |d: f64| (-d).exp());
+    c.bench_function("closeness_estimate_pair", |b| {
+        b.iter(|| black_box(est.estimate(black_box(0), black_box(1)).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_sketches);
+criterion_main!(benches);

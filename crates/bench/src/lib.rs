@@ -1,0 +1,51 @@
+//! # monotone-bench
+//!
+//! Experiment harness for the reproduction of Cohen, *"Estimation for
+//! Monotone Sampling"* (PODC 2014). One binary per table/figure (see
+//! `DESIGN.md` §4 for the experiment index and `EXPERIMENTS.md` for the
+//! recorded results); Criterion micro-benchmarks live under `benches/`.
+
+pub mod stats;
+pub mod table;
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Directory into which experiment binaries drop their CSV series.
+pub fn results_dir() -> PathBuf {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .join("results");
+    fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Writes a CSV file (headers + rows) under [`results_dir`], returning the
+/// path written.
+///
+/// # Panics
+///
+/// Panics on I/O errors (experiment binaries want loud failures).
+pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) -> PathBuf {
+    let path = results_dir().join(name);
+    let mut out = fs::File::create(&path).expect("create csv");
+    writeln!(out, "{}", headers.join(",")).expect("write header");
+    for row in rows {
+        writeln!(out, "{}", row.join(",")).expect("write row");
+    }
+    path
+}
+
+/// Formats a float compactly for tables.
+pub fn fnum(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_owned()
+    } else if x.abs() >= 1000.0 || x.abs() < 0.001 {
+        format!("{x:.3e}")
+    } else {
+        format!("{x:.4}")
+    }
+}

@@ -1,0 +1,422 @@
+//! Coordinated bottom-k sampling (priority / successive-weighted /
+//! reservoir) with per-item conditioned thresholds.
+//!
+//! Bottom-k schemes rank items by a weight-scaled transform of the shared
+//! seed and keep the `k` smallest ranks. The paper (footnote 1) reduces
+//! bottom-k to monotone sampling per item by conditioning on the seeds of
+//! the other items: the item is included iff its rank is below the k-th
+//! smallest rank among the *others*, which is a fixed threshold once the
+//! others are fixed — yielding a per-item threshold scheme the estimators
+//! can consume.
+//!
+//! Rank transforms:
+//!
+//! * [`RankMethod::Priority`] — `rank = u/w` (priority / sequential Poisson
+//!   sampling); the conditioned scheme is PPS-like with a linear threshold;
+//! * [`RankMethod::Exponential`] — `rank = −ln(1−u)/w` (successive weighted
+//!   sampling without replacement); the conditioned scheme has the concave
+//!   threshold `τ(u) = −ln(1−u)/τ_rank`;
+//! * [`RankMethod::Uniform`] — `rank = u` (reservoir sampling; weights
+//!   ignored), conditioning to an all-or-nothing threshold.
+
+use monotone_core::scheme::{
+    EntryState, LinearThreshold, Outcome, ThresholdFn, TupleScheme,
+};
+
+use crate::instance::Instance;
+use crate::seed::SeedHasher;
+
+/// The rank transform of a bottom-k scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RankMethod {
+    /// `rank = u/w` — priority (sequential Poisson) sampling.
+    Priority,
+    /// `rank = −ln(1−u)/w` — successive weighted sampling without
+    /// replacement (exponential ranks).
+    Exponential,
+    /// `rank = u` — uniform reservoir sampling.
+    Uniform,
+}
+
+impl RankMethod {
+    fn rank(&self, u: f64, w: f64) -> f64 {
+        match self {
+            RankMethod::Priority => u / w,
+            RankMethod::Exponential => -(-u).ln_1p() / w, // −ln(1−u)/w
+            RankMethod::Uniform => u,
+        }
+    }
+}
+
+/// A bottom-k sample of one instance: the `k` lowest-rank items plus the
+/// rank threshold needed for conditioned estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BottomKSample {
+    k: usize,
+    method: RankMethod,
+    /// `(rank, key, weight)` of retained items, ascending by rank.
+    entries: Vec<(f64, u64, f64)>,
+    /// The (k+1)-th smallest rank overall, when more than `k` items exist.
+    next_rank: Option<f64>,
+}
+
+impl BottomKSample {
+    /// The sample-size parameter `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The rank transform used.
+    pub fn method(&self) -> RankMethod {
+        self.method
+    }
+
+    /// The sampled weight of `key`, if included.
+    pub fn get(&self, key: u64) -> Option<f64> {
+        self.entries
+            .iter()
+            .find(|&&(_, k, _)| k == key)
+            .map(|&(_, _, w)| w)
+    }
+
+    /// Whether `key` is in the sample.
+    pub fn contains(&self, key: u64) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of retained items (`min(k, instance size)`).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(key, weight)` of retained items by ascending rank.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.entries.iter().map(|&(_, k, w)| (k, w))
+    }
+
+    /// The conditioned rank threshold for `key`: the k-th smallest rank
+    /// among the *other* items (`+∞` when fewer than `k` others exist).
+    /// An item is included iff its own rank is strictly below this.
+    pub fn conditioned_rank_threshold(&self, key: u64) -> f64 {
+        if self.contains(key) {
+            // Others' k-th smallest = the (k+1)-th overall.
+            self.next_rank.unwrap_or(f64::INFINITY)
+        } else if self.entries.len() < self.k {
+            // Fewer than k items in total: everything is always included.
+            f64::INFINITY
+        } else {
+            // k-th smallest overall = largest retained rank.
+            self.entries.last().map(|&(r, _, _)| r).unwrap_or(f64::INFINITY)
+        }
+    }
+}
+
+/// Coordinated bottom-k sampler.
+///
+/// # Examples
+///
+/// ```
+/// use monotone_coord::bottomk::{BottomK, RankMethod};
+/// use monotone_coord::instance::Instance;
+/// use monotone_coord::seed::SeedHasher;
+///
+/// let inst = Instance::from_pairs((0..100u64).map(|k| (k, 1.0 + (k % 5) as f64)));
+/// let sampler = BottomK::new(10, RankMethod::Priority, SeedHasher::new(3));
+/// let sample = sampler.sample_instance(&inst);
+/// assert_eq!(sample.len(), 10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BottomK {
+    k: usize,
+    method: RankMethod,
+    seeder: SeedHasher,
+}
+
+impl BottomK {
+    /// Creates a bottom-k sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize, method: RankMethod, seeder: SeedHasher) -> BottomK {
+        assert!(k > 0, "bottom-k needs k >= 1");
+        BottomK { k, method, seeder }
+    }
+
+    /// The sample size `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The rank transform.
+    pub fn method(&self) -> RankMethod {
+        self.method
+    }
+
+    /// The shared seed hasher.
+    pub fn seeder(&self) -> &SeedHasher {
+        &self.seeder
+    }
+
+    /// Samples one instance: the `k` smallest-rank items.
+    pub fn sample_instance(&self, inst: &Instance) -> BottomKSample {
+        let mut ranked: Vec<(f64, u64, f64)> = inst
+            .iter()
+            .map(|(key, w)| (self.method.rank(self.seeder.seed(key), w), key, w))
+            .collect();
+        ranked.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite ranks"));
+        let next_rank = if ranked.len() > self.k {
+            Some(ranked[self.k].0)
+        } else {
+            None
+        };
+        ranked.truncate(self.k);
+        BottomKSample {
+            k: self.k,
+            method: self.method,
+            entries: ranked,
+            next_rank,
+        }
+    }
+
+    /// The conditioned per-item monotone problem for priority ranks: a PPS
+    /// scheme (`τ_i(u) = u / τ_rank,i`) plus the item's outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the sampler's method is not [`RankMethod::Priority`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates outcome validation errors.
+    pub fn priority_item_problem(
+        &self,
+        samples: &[BottomKSample],
+        key: u64,
+    ) -> monotone_core::Result<(TupleScheme<LinearThreshold>, Outcome)> {
+        assert_eq!(self.method, RankMethod::Priority, "priority ranks required");
+        let u = self.seeder.seed(key);
+        let mut thresholds = Vec::with_capacity(samples.len());
+        let mut entries = Vec::with_capacity(samples.len());
+        for s in samples {
+            let tau = s.conditioned_rank_threshold(key);
+            // Included iff u/w < tau ⟺ w > u/tau: linear threshold with
+            // scale 1/tau (≈0 when tau = ∞: always included).
+            let scale = if tau.is_finite() { 1.0 / tau } else { f64::MIN_POSITIVE };
+            thresholds.push(LinearThreshold::new(scale));
+            entries.push(match s.get(key) {
+                Some(w) => EntryState::Known(w),
+                None => EntryState::Capped,
+            });
+        }
+        Ok((TupleScheme::new(thresholds), Outcome::from_parts(u, entries)?))
+    }
+
+    /// The conditioned per-item monotone problem for exponential ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the sampler's method is not [`RankMethod::Exponential`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates outcome validation errors.
+    pub fn exponential_item_problem(
+        &self,
+        samples: &[BottomKSample],
+        key: u64,
+    ) -> monotone_core::Result<(TupleScheme<ExpThreshold>, Outcome)> {
+        assert_eq!(
+            self.method,
+            RankMethod::Exponential,
+            "exponential ranks required"
+        );
+        let u = self.seeder.seed(key);
+        let mut thresholds = Vec::with_capacity(samples.len());
+        let mut entries = Vec::with_capacity(samples.len());
+        for s in samples {
+            let tau = s.conditioned_rank_threshold(key);
+            thresholds.push(ExpThreshold::new(tau));
+            entries.push(match s.get(key) {
+                Some(w) => EntryState::Known(w),
+                None => EntryState::Capped,
+            });
+        }
+        Ok((TupleScheme::new(thresholds), Outcome::from_parts(u, entries)?))
+    }
+}
+
+/// The conditioned threshold of exponential-rank bottom-k sampling:
+/// an item of weight `w` is included at seed `u` iff
+/// `−ln(1−u)/w < τ_rank`, i.e. `w > τ(u) = −ln(1−u)/τ_rank`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpThreshold {
+    tau_rank: f64,
+}
+
+impl ExpThreshold {
+    /// Creates the threshold for a conditioned rank bound `τ_rank > 0`
+    /// (`+∞` = always included).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `τ_rank <= 0` or is NaN.
+    pub fn new(tau_rank: f64) -> ExpThreshold {
+        assert!(tau_rank > 0.0 && !tau_rank.is_nan(), "rank threshold must be positive");
+        ExpThreshold { tau_rank }
+    }
+
+    /// The conditioned rank bound.
+    pub fn tau_rank(&self) -> f64 {
+        self.tau_rank
+    }
+}
+
+impl ThresholdFn for ExpThreshold {
+    fn cap(&self, u: f64) -> f64 {
+        if self.tau_rank.is_infinite() {
+            return 0.0;
+        }
+        -(-u).ln_1p() / self.tau_rank
+    }
+
+    fn inclusion_prob(&self, w: f64) -> f64 {
+        if self.tau_rank.is_infinite() {
+            return 1.0;
+        }
+        // u such that −ln(1−u)/w = τ: u = 1 − exp(−w τ).
+        -(-w * self.tau_rank).exp_m1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_instance(n: u64) -> Instance {
+        Instance::from_pairs((0..n).map(|k| (k, 0.5 + (k % 9) as f64 / 3.0)))
+    }
+
+    #[test]
+    fn sample_has_k_smallest_ranks() {
+        let inst = test_instance(200);
+        let sampler = BottomK::new(20, RankMethod::Priority, SeedHasher::new(5));
+        let s = sampler.sample_instance(&inst);
+        assert_eq!(s.len(), 20);
+        // Every non-sampled item must have rank >= every sampled rank.
+        let max_in = s.entries.last().unwrap().0;
+        for (key, w) in inst.iter() {
+            if !s.contains(key) {
+                let r = RankMethod::Priority.rank(sampler.seeder().seed(key), w);
+                assert!(r >= max_in, "missed a smaller rank: {r} < {max_in}");
+            }
+        }
+    }
+
+    #[test]
+    fn membership_iff_rank_below_conditioned_threshold() {
+        // The defining property of the conditioned reduction (footnote 1).
+        for method in [RankMethod::Priority, RankMethod::Exponential, RankMethod::Uniform] {
+            let inst = test_instance(100);
+            let sampler = BottomK::new(10, method, SeedHasher::new(7));
+            let s = sampler.sample_instance(&inst);
+            for (key, w) in inst.iter() {
+                let r = method.rank(sampler.seeder().seed(key), w);
+                let tau = s.conditioned_rank_threshold(key);
+                assert_eq!(
+                    s.contains(key),
+                    r < tau,
+                    "method {method:?} key {key}: rank {r} vs tau {tau}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn small_instance_keeps_everything() {
+        let inst = test_instance(5);
+        let sampler = BottomK::new(10, RankMethod::Exponential, SeedHasher::new(2));
+        let s = sampler.sample_instance(&inst);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.conditioned_rank_threshold(3), f64::INFINITY);
+    }
+
+    #[test]
+    fn coordinated_bottomk_is_lsh() {
+        let inst = test_instance(300);
+        let sampler = BottomK::new(30, RankMethod::Exponential, SeedHasher::new(13));
+        let a = sampler.sample_instance(&inst);
+        let b = sampler.sample_instance(&inst.clone());
+        let ka: Vec<u64> = a.iter().map(|(k, _)| k).collect();
+        let kb: Vec<u64> = b.iter().map(|(k, _)| k).collect();
+        assert_eq!(ka, kb);
+    }
+
+    #[test]
+    fn priority_item_problem_consistent() {
+        // The conditioned scheme must agree with actual membership: entry i
+        // known iff the item's weight clears the threshold at its seed.
+        let inst_a = test_instance(80);
+        let inst_b = Instance::from_pairs(inst_a.iter().map(|(k, w)| (k, w * 1.3)));
+        let sampler = BottomK::new(12, RankMethod::Priority, SeedHasher::new(21));
+        let samples = vec![sampler.sample_instance(&inst_a), sampler.sample_instance(&inst_b)];
+        for (key, _) in inst_a.iter() {
+            let (scheme, outcome) = sampler.priority_item_problem(&samples, key).unwrap();
+            let u = sampler.seeder().seed(key);
+            for i in 0..2 {
+                let w = [inst_a.weight(key), inst_b.weight(key)][i];
+                let sampled_by_scheme = w >= scheme.thresholds()[i].cap(u);
+                assert_eq!(
+                    outcome.known(i).is_some(),
+                    sampled_by_scheme,
+                    "key {key} instance {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exp_threshold_consistency() {
+        let t = ExpThreshold::new(2.5);
+        for wi in 1..=20 {
+            let w = wi as f64 / 10.0;
+            for ui in 1..=99 {
+                let u = ui as f64 / 100.0;
+                let sampled = w >= t.cap(u);
+                let by_prob = u <= t.inclusion_prob(w);
+                assert_eq!(sampled, by_prob, "w={w} u={u}");
+            }
+        }
+    }
+
+    #[test]
+    fn exp_threshold_infinite_rank_always_samples() {
+        let t = ExpThreshold::new(f64::INFINITY);
+        assert_eq!(t.cap(0.99), 0.0);
+        assert_eq!(t.inclusion_prob(0.0), 1.0);
+    }
+
+    #[test]
+    fn uniform_reservoir_ignores_weights() {
+        let heavy = Instance::from_pairs((0..100u64).map(|k| (k, if k < 5 { 100.0 } else { 0.1 })));
+        let sampler = BottomK::new(10, RankMethod::Uniform, SeedHasher::new(1));
+        let s = sampler.sample_instance(&heavy);
+        // Uniform ranks: membership determined by seed order, not weight.
+        let mut keys: Vec<u64> = heavy.keys().collect();
+        keys.sort_by(|&a, &b| {
+            sampler
+                .seeder()
+                .seed(a)
+                .partial_cmp(&sampler.seeder().seed(b))
+                .unwrap()
+        });
+        for k in &keys[..10] {
+            assert!(s.contains(*k));
+        }
+    }
+}

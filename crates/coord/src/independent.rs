@@ -1,0 +1,185 @@
+//! Independent (non-coordinated) sampling baseline.
+//!
+//! The paper's motivation for coordination (Section 1) is that shared-seed
+//! samples support far more accurate multi-instance estimates than
+//! independently-seeded samples of the same size. This module provides the
+//! independent baseline: per-instance PPS with independent seeds, and the
+//! natural product-form Horvitz-Thompson estimator for item functions that
+//! need every entry (an item contributes only when *all* instances sampled
+//! it, with inverse probability `Π min(1, w_i/τ*_i)`).
+//!
+//! The paper's conclusion notes that estimation over independent samples is
+//! an *extended* monotone estimation problem (r independent seeds) outside
+//! the scope of its constructions; the product-HT baseline here is the
+//! standard practical choice and inherits HT's applicability caveat: items
+//! with an always-hidden entry (e.g. a zero entry under PPS) are never
+//! revealed and bias the estimate low.
+
+use monotone_core::func::ItemFn;
+
+use crate::instance::Dataset;
+use crate::pps::PpsSample;
+use crate::seed::SeedHasher;
+
+/// Independent PPS sampler: same marginal inclusion probabilities as
+/// [`CoordPps`](crate::pps::CoordPps), but each instance draws its own seed
+/// per item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndependentPps {
+    scales: Vec<f64>,
+    seeder: SeedHasher,
+}
+
+impl IndependentPps {
+    /// A sampler with per-instance scales.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scales` is empty or contains a non-positive scale.
+    pub fn new(scales: Vec<f64>, seeder: SeedHasher) -> IndependentPps {
+        assert!(!scales.is_empty(), "need at least one instance");
+        assert!(
+            scales.iter().all(|&s| s.is_finite() && s > 0.0),
+            "scales must be positive"
+        );
+        IndependentPps { scales, seeder }
+    }
+
+    /// A sampler using the same scale for `r` instances.
+    pub fn uniform_scale(r: usize, scale: f64, seeder: SeedHasher) -> IndependentPps {
+        IndependentPps::new(vec![scale; r], seeder)
+    }
+
+    /// Number of instances.
+    pub fn arity(&self) -> usize {
+        self.scales.len()
+    }
+
+    /// Per-instance scales.
+    pub fn scales(&self) -> &[f64] {
+        &self.scales
+    }
+
+    /// Samples every instance with independent per-instance seeds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset arity differs from the sampler's.
+    pub fn sample_all(&self, data: &Dataset) -> Vec<PpsSample> {
+        assert_eq!(data.arity(), self.arity(), "dataset arity mismatch");
+        (0..data.arity())
+            .map(|i| {
+                crate::pps::CoordPps::new(self.scales.clone(), self.seeder)
+                    .sample_instance_independent(i, data.instance(i))
+            })
+            .collect()
+    }
+
+    /// The product-form HT estimate of `Σ_k f(v^{(k)})` from independent
+    /// samples: items fully sampled contribute `f(v)/Π p_i`, others 0.
+    ///
+    /// Unbiased iff every item with `f > 0` has all entries positive (so
+    /// that the full-reveal probability is positive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample list length differs from the sampler arity.
+    pub fn ht_sum_estimate<F: ItemFn>(
+        &self,
+        f: &F,
+        samples: &[PpsSample],
+        domain: Option<&[u64]>,
+    ) -> f64 {
+        assert_eq!(samples.len(), self.arity(), "sample list arity mismatch");
+        // Items sampled in every instance.
+        let mut keys: Vec<u64> = samples[0].keys().collect();
+        keys.retain(|&k| samples.iter().all(|s| s.contains(k)));
+        if let Some(d) = domain {
+            let allowed: std::collections::BTreeSet<u64> = d.iter().copied().collect();
+            keys.retain(|k| allowed.contains(k));
+        }
+        let mut total = 0.0;
+        for key in keys {
+            let v: Vec<f64> = samples.iter().map(|s| s.get(key).unwrap_or(0.0)).collect();
+            let p: f64 = v
+                .iter()
+                .zip(&self.scales)
+                .map(|(&w, &s)| (w / s).min(1.0))
+                .product();
+            if p > 0.0 {
+                total += f.eval(&v) / p;
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Instance;
+    use crate::query::exact_sum;
+    use monotone_core::func::RangePowPlus;
+
+    fn all_positive_pair(n: u64) -> Dataset {
+        let a = Instance::from_pairs((0..n).map(|k| (k, 0.3 + 0.6 * ((k * 3 % 10) as f64 / 10.0))));
+        let b = Instance::from_pairs((0..n).map(|k| (k, 0.3 + 0.6 * ((k * 7 % 10) as f64 / 10.0))));
+        Dataset::new(vec![a, b])
+    }
+
+    #[test]
+    fn product_ht_unbiased_on_all_positive_data() {
+        let data = all_positive_pair(60);
+        let f = RangePowPlus::new(1.0);
+        let truth = exact_sum(&f, &data, None);
+        let trials = 800;
+        let mut total = 0.0;
+        for salt in 0..trials {
+            let sampler = IndependentPps::uniform_scale(2, 1.0, SeedHasher::new(salt));
+            let samples = sampler.sample_all(&data);
+            total += sampler.ht_sum_estimate(&f, &samples, None);
+        }
+        let mean = total / trials as f64;
+        assert!(
+            (mean - truth).abs() < 0.06 * truth,
+            "mean {mean} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn product_ht_biased_with_zero_entries() {
+        // An item with a zero entry is never fully revealed: the estimate
+        // systematically misses its contribution.
+        let a = Instance::from_pairs([(0, 0.8)]);
+        let b = Instance::new();
+        let data = Dataset::new(vec![a, b]);
+        let f = RangePowPlus::new(1.0);
+        let truth = exact_sum(&f, &data, None);
+        assert!(truth > 0.0);
+        let mut total = 0.0;
+        for salt in 0..100 {
+            let sampler = IndependentPps::uniform_scale(2, 1.0, SeedHasher::new(salt));
+            let samples = sampler.sample_all(&data);
+            total += sampler.ht_sum_estimate(&f, &samples, None);
+        }
+        assert_eq!(total, 0.0, "never revealed → all-zero estimate");
+    }
+
+    #[test]
+    fn independent_samples_have_same_marginals_as_coordinated() {
+        let data = all_positive_pair(200);
+        let mut count_coord = 0usize;
+        let mut count_indep = 0usize;
+        for salt in 0..200 {
+            let coord = crate::pps::CoordPps::uniform_scale(2, 2.0, SeedHasher::new(salt));
+            let indep = IndependentPps::uniform_scale(2, 2.0, SeedHasher::new(salt));
+            count_coord += coord.sample_all(&data).iter().map(|s| s.len()).sum::<usize>();
+            count_indep += indep.sample_all(&data).iter().map(|s| s.len()).sum::<usize>();
+        }
+        let (a, b) = (count_coord as f64, count_indep as f64);
+        assert!(
+            (a - b).abs() < 0.05 * a.max(b),
+            "marginal sample sizes differ: {a} vs {b}"
+        );
+    }
+}

@@ -1,0 +1,216 @@
+//! Multi-instance datasets: weight assignments over a shared item universe.
+//!
+//! The paper's data model (Section 1, Example 1): `r` instances (rows) —
+//! snapshots, activity logs, measurements — each assigning nonnegative
+//! weights to the same set of items (columns). Queries span instances and a
+//! selected item domain.
+
+use std::collections::BTreeMap;
+
+/// One instance: a sparse nonnegative weight assignment to items.
+///
+/// # Examples
+///
+/// ```
+/// use monotone_coord::instance::Instance;
+///
+/// let inst = Instance::from_pairs([(1, 0.95), (3, 0.23)]);
+/// assert_eq!(inst.weight(1), 0.95);
+/// assert_eq!(inst.weight(2), 0.0); // absent items weigh 0
+/// assert_eq!(inst.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Instance {
+    weights: BTreeMap<u64, f64>,
+}
+
+impl Instance {
+    /// An empty instance.
+    pub fn new() -> Instance {
+        Instance::default()
+    }
+
+    /// Builds an instance from `(key, weight)` pairs; zero and negative
+    /// weights are dropped (inactive items).
+    pub fn from_pairs<I: IntoIterator<Item = (u64, f64)>>(pairs: I) -> Instance {
+        let mut weights = BTreeMap::new();
+        for (k, w) in pairs {
+            if w > 0.0 && w.is_finite() {
+                weights.insert(k, w);
+            }
+        }
+        Instance { weights }
+    }
+
+    /// Sets an item's weight (removing it when `w <= 0`).
+    pub fn set(&mut self, key: u64, w: f64) {
+        if w > 0.0 && w.is_finite() {
+            self.weights.insert(key, w);
+        } else {
+            self.weights.remove(&key);
+        }
+    }
+
+    /// The weight of an item (0 when inactive).
+    pub fn weight(&self, key: u64) -> f64 {
+        self.weights.get(&key).copied().unwrap_or(0.0)
+    }
+
+    /// Number of active items.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True when no item is active.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Iterates `(key, weight)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.weights.iter().map(|(&k, &w)| (k, w))
+    }
+
+    /// Active item keys in order.
+    pub fn keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.weights.keys().copied()
+    }
+
+    /// Total weight.
+    pub fn total_weight(&self) -> f64 {
+        self.weights.values().sum()
+    }
+
+    /// Maximum weight (0 for an empty instance).
+    pub fn max_weight(&self) -> f64 {
+        self.weights.values().copied().fold(0.0, f64::max)
+    }
+}
+
+impl FromIterator<(u64, f64)> for Instance {
+    fn from_iter<I: IntoIterator<Item = (u64, f64)>>(iter: I) -> Instance {
+        Instance::from_pairs(iter)
+    }
+}
+
+impl Extend<(u64, f64)> for Instance {
+    fn extend<I: IntoIterator<Item = (u64, f64)>>(&mut self, iter: I) {
+        for (k, w) in iter {
+            self.set(k, w);
+        }
+    }
+}
+
+/// A dataset of `r` instances over a shared item universe.
+///
+/// # Examples
+///
+/// ```
+/// use monotone_coord::instance::{Dataset, Instance};
+///
+/// let d = Dataset::new(vec![
+///     Instance::from_pairs([(0, 0.95), (3, 0.70)]),
+///     Instance::from_pairs([(0, 0.15), (3, 0.80)]),
+/// ]);
+/// assert_eq!(d.arity(), 2);
+/// assert_eq!(d.tuple(3), vec![0.70, 0.80]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Dataset {
+    instances: Vec<Instance>,
+}
+
+impl Dataset {
+    /// Bundles instances into a dataset.
+    pub fn new(instances: Vec<Instance>) -> Dataset {
+        Dataset { instances }
+    }
+
+    /// Number of instances `r`.
+    pub fn arity(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// The instances.
+    pub fn instances(&self) -> &[Instance] {
+        &self.instances
+    }
+
+    /// Instance `i`.
+    pub fn instance(&self, i: usize) -> &Instance {
+        &self.instances[i]
+    }
+
+    /// The tuple of weights of one item across instances (a matrix column).
+    pub fn tuple(&self, key: u64) -> Vec<f64> {
+        self.instances.iter().map(|inst| inst.weight(key)).collect()
+    }
+
+    /// All keys active in at least one instance, deduplicated and sorted.
+    pub fn union_keys(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = self.instances.iter().flat_map(|i| i.keys()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys
+    }
+
+    /// The paper's Example 1 dataset: 3 instances over items a–h
+    /// (keys 0–7).
+    pub fn example1() -> Dataset {
+        let v1 = [0.95, 0.0, 0.23, 0.70, 0.10, 0.42, 0.0, 0.32];
+        let v2 = [0.15, 0.44, 0.0, 0.80, 0.05, 0.50, 0.20, 0.0];
+        let v3 = [0.25, 0.0, 0.0, 0.10, 0.0, 0.22, 0.0, 0.0];
+        Dataset::new(
+            [v1, v2, v3]
+                .iter()
+                .map(|row| Instance::from_pairs(row.iter().enumerate().map(|(k, &w)| (k as u64, w))))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_weights_are_inactive() {
+        let inst = Instance::from_pairs([(0, 0.5), (1, 0.0), (2, -3.0)]);
+        assert_eq!(inst.len(), 1);
+        assert_eq!(inst.weight(1), 0.0);
+    }
+
+    #[test]
+    fn set_and_remove() {
+        let mut inst = Instance::new();
+        inst.set(5, 1.5);
+        assert_eq!(inst.weight(5), 1.5);
+        inst.set(5, 0.0);
+        assert!(inst.is_empty());
+    }
+
+    #[test]
+    fn example1_tuples_match_paper() {
+        let d = Dataset::example1();
+        assert_eq!(d.tuple(0), vec![0.95, 0.15, 0.25]); // item a
+        assert_eq!(d.tuple(3), vec![0.70, 0.80, 0.10]); // item d
+        assert_eq!(d.tuple(7), vec![0.32, 0.0, 0.0]); // item h
+        assert_eq!(d.union_keys().len(), 8);
+    }
+
+    #[test]
+    fn union_keys_dedup() {
+        let d = Dataset::new(vec![
+            Instance::from_pairs([(1, 1.0), (2, 1.0)]),
+            Instance::from_pairs([(2, 1.0), (3, 1.0)]),
+        ]);
+        assert_eq!(d.union_keys(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn totals() {
+        let inst = Instance::from_pairs([(0, 0.5), (1, 1.5)]);
+        assert_eq!(inst.total_weight(), 2.0);
+        assert_eq!(inst.max_weight(), 1.5);
+    }
+}

@@ -1,0 +1,308 @@
+//! Coordinated PPS (probability proportional to size) sampling.
+//!
+//! Each instance is PPS-sampled with a threshold scale `τ*`: item `k` with
+//! weight `w` is included iff `w >= u^{(k)} · τ*`, i.e. with probability
+//! `min(1, w/τ*)`. Using the shared hash seed `u^{(k)}` for every instance
+//! coordinates the samples (paper, Example 2). The restriction of the
+//! coordinated samples to a single item is a monotone sampling scheme on the
+//! item's weight tuple, which is what the estimators consume.
+
+use monotone_core::scheme::{EntryState, LinearThreshold, Outcome, TupleScheme};
+
+use crate::instance::{Dataset, Instance};
+use crate::seed::SeedHasher;
+
+/// A PPS sample of one instance: the included `(key, weight)` pairs and the
+/// sampling parameters needed for estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PpsSample {
+    scale: f64,
+    entries: std::collections::BTreeMap<u64, f64>,
+}
+
+impl PpsSample {
+    /// The PPS threshold scale `τ*`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The sampled weight of `key`, if included.
+    pub fn get(&self, key: u64) -> Option<f64> {
+        self.entries.get(&key).copied()
+    }
+
+    /// Whether `key` was sampled.
+    pub fn contains(&self, key: u64) -> bool {
+        self.entries.contains_key(&key)
+    }
+
+    /// Number of sampled items.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing was sampled.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates sampled `(key, weight)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.entries.iter().map(|(&k, &w)| (k, w))
+    }
+
+    /// Sampled keys in order.
+    pub fn keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.entries.keys().copied()
+    }
+}
+
+/// The PPS scale `τ*` at which the expected sample size of `inst` is
+/// approximately `target` (`E[|S|] = Σ min(1, w/τ*)`), found by bisection.
+///
+/// # Panics
+///
+/// Panics if `target` is not positive or the instance is empty.
+pub fn scale_for_expected_size(inst: &Instance, target: f64) -> f64 {
+    assert!(target > 0.0, "target sample size must be positive");
+    assert!(!inst.is_empty(), "instance must be nonempty");
+    if target >= inst.len() as f64 {
+        // Sampling everything: any scale at or below the minimum weight.
+        return inst.iter().map(|(_, w)| w).fold(f64::INFINITY, f64::min);
+    }
+    let expected = |scale: f64| -> f64 { inst.iter().map(|(_, w)| (w / scale).min(1.0)).sum() };
+    let mut lo = inst.iter().map(|(_, w)| w).fold(f64::INFINITY, f64::min);
+    let mut hi = inst.total_weight() / target;
+    // expected(lo) = n >= target, expected(hi) <= target.
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if expected(mid) >= target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Coordinated PPS sampler over a dataset: per-instance scales plus the
+/// shared seed hash.
+///
+/// # Examples
+///
+/// ```
+/// use monotone_coord::instance::Dataset;
+/// use monotone_coord::pps::CoordPps;
+/// use monotone_coord::seed::SeedHasher;
+///
+/// let data = Dataset::example1();
+/// let sampler = CoordPps::uniform_scale(3, 1.0, SeedHasher::new(1));
+/// let samples = sampler.sample_all(&data);
+/// assert_eq!(samples.len(), 3);
+/// // Coordination: identical weights in two instances are sampled together.
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoordPps {
+    scales: Vec<f64>,
+    seeder: SeedHasher,
+}
+
+impl CoordPps {
+    /// A sampler with per-instance scales.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scales` is empty or contains a non-positive scale.
+    pub fn new(scales: Vec<f64>, seeder: SeedHasher) -> CoordPps {
+        assert!(!scales.is_empty(), "need at least one instance");
+        assert!(
+            scales.iter().all(|&s| s.is_finite() && s > 0.0),
+            "scales must be positive"
+        );
+        CoordPps { scales, seeder }
+    }
+
+    /// A sampler using the same scale for `r` instances.
+    pub fn uniform_scale(r: usize, scale: f64, seeder: SeedHasher) -> CoordPps {
+        CoordPps::new(vec![scale; r], seeder)
+    }
+
+    /// Number of instances.
+    pub fn arity(&self) -> usize {
+        self.scales.len()
+    }
+
+    /// Per-instance scales.
+    pub fn scales(&self) -> &[f64] {
+        &self.scales
+    }
+
+    /// The shared seed hasher.
+    pub fn seeder(&self) -> &SeedHasher {
+        &self.seeder
+    }
+
+    /// The coordinated-sampling scheme restricted to a single item: one
+    /// [`LinearThreshold`] per instance.
+    pub fn item_scheme(&self) -> TupleScheme<LinearThreshold> {
+        TupleScheme::pps(&self.scales)
+    }
+
+    /// Samples instance `i` (coordinated: the item's shared seed decides).
+    pub fn sample_instance(&self, i: usize, inst: &Instance) -> PpsSample {
+        let scale = self.scales[i];
+        let entries = inst
+            .iter()
+            .filter(|&(k, w)| w >= self.seeder.seed(k) * scale)
+            .collect();
+        PpsSample { scale, entries }
+    }
+
+    /// Samples instance `i` with *independent* per-instance seeds — the
+    /// contrast case for the coordination-as-LSH experiment.
+    pub fn sample_instance_independent(&self, i: usize, inst: &Instance) -> PpsSample {
+        let scale = self.scales[i];
+        let entries = inst
+            .iter()
+            .filter(|&(k, w)| w >= self.seeder.seed_independent(k, i) * scale)
+            .collect();
+        PpsSample { scale, entries }
+    }
+
+    /// Samples all instances of a dataset (coordinated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset arity differs from the sampler's.
+    pub fn sample_all(&self, data: &Dataset) -> Vec<PpsSample> {
+        assert_eq!(data.arity(), self.arity(), "dataset arity mismatch");
+        (0..data.arity())
+            .map(|i| self.sample_instance(i, data.instance(i)))
+            .collect()
+    }
+
+    /// Assembles the monotone-sampling outcome of one item from the
+    /// coordinated samples: known entries where sampled, capped elsewhere,
+    /// with the item's shared seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates outcome validation errors (they indicate corrupted
+    /// samples).
+    pub fn item_outcome(&self, samples: &[PpsSample], key: u64) -> monotone_core::Result<Outcome> {
+        let u = self.seeder.seed(key);
+        let entries = samples
+            .iter()
+            .map(|s| match s.get(key) {
+                Some(w) => EntryState::Known(w),
+                None => EntryState::Capped,
+            })
+            .collect();
+        Outcome::from_parts(u, entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_hits_expected_size() {
+        let inst = Instance::from_pairs((0..1000u64).map(|k| (k, 0.1 + (k % 13) as f64 / 13.0)));
+        for &target in &[10.0, 100.0, 500.0] {
+            let scale = scale_for_expected_size(&inst, target);
+            let expected: f64 = inst.iter().map(|(_, w)| (w / scale).min(1.0)).sum();
+            assert!(
+                (expected - target).abs() < 0.01 * target,
+                "target {target}: expected {expected} at scale {scale}"
+            );
+        }
+    }
+
+    #[test]
+    fn scale_for_full_sampling() {
+        let inst = Instance::from_pairs([(0, 0.5), (1, 1.0)]);
+        let scale = scale_for_expected_size(&inst, 10.0);
+        assert!(scale <= 0.5);
+    }
+
+    #[test]
+    fn inclusion_probability_is_pps() {
+        // Empirically over many salts, Pr[include] ≈ min(1, w/τ*).
+        let inst = Instance::from_pairs([(0, 0.3), (1, 0.9), (2, 2.5)]);
+        let trials = 4000;
+        let mut counts = [0usize; 3];
+        for salt in 0..trials {
+            let sampler = CoordPps::uniform_scale(1, 2.0, SeedHasher::new(salt));
+            let s = sampler.sample_instance(0, &inst);
+            for (i, key) in [0u64, 1, 2].iter().enumerate() {
+                if s.contains(*key) {
+                    counts[i] += 1;
+                }
+            }
+        }
+        let probs: Vec<f64> = counts.iter().map(|&c| c as f64 / trials as f64).collect();
+        assert!((probs[0] - 0.15).abs() < 0.02, "got {}", probs[0]);
+        assert!((probs[1] - 0.45).abs() < 0.03, "got {}", probs[1]);
+        assert!((probs[2] - 1.0).abs() < 1e-12, "got {}", probs[2]);
+    }
+
+    #[test]
+    fn coordination_is_lsh() {
+        // Identical instances get identical samples under coordination.
+        let inst = Instance::from_pairs((0..500u64).map(|k| (k, 0.2 + (k % 7) as f64 / 10.0)));
+        let sampler = CoordPps::uniform_scale(2, 2.0, SeedHasher::new(9));
+        let a = sampler.sample_instance(0, &inst);
+        let b = sampler.sample_instance(1, &inst);
+        assert_eq!(
+            a.keys().collect::<Vec<_>>(),
+            b.keys().collect::<Vec<_>>(),
+            "coordinated samples of identical instances must coincide"
+        );
+        // Independent sampling of identical instances overlaps only partially.
+        let c = sampler.sample_instance_independent(0, &inst);
+        let d = sampler.sample_instance_independent(1, &inst);
+        let ck: std::collections::BTreeSet<u64> = c.keys().collect();
+        let dk: std::collections::BTreeSet<u64> = d.keys().collect();
+        let inter = ck.intersection(&dk).count();
+        assert!(inter < ck.len().min(dk.len()), "independent samples should differ");
+    }
+
+    #[test]
+    fn example2_outcomes() {
+        // The exact Example 2 scenario is deterministic given its seeds; we
+        // verify the item-outcome assembly path instead with hashed seeds.
+        let data = Dataset::example1();
+        let sampler = CoordPps::uniform_scale(3, 1.0, SeedHasher::new(4));
+        let samples = sampler.sample_all(&data);
+        for key in data.union_keys() {
+            let out = sampler.item_outcome(&samples, key).unwrap();
+            let u = sampler.seeder().seed(key);
+            assert_eq!(out.seed(), u);
+            for i in 0..3 {
+                let w = data.instance(i).weight(key);
+                let expect_sampled = w >= u;
+                assert_eq!(out.known(i).is_some(), expect_sampled, "key {key} inst {i}");
+                if expect_sampled {
+                    assert_eq!(out.known(i), Some(w));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn item_scheme_matches_sampling() {
+        // Sampling an item tuple through the scheme gives the same outcome
+        // as assembling from instance samples.
+        let data = Dataset::example1();
+        let sampler = CoordPps::uniform_scale(3, 1.0, SeedHasher::new(11));
+        let samples = sampler.sample_all(&data);
+        let scheme = sampler.item_scheme();
+        for key in data.union_keys() {
+            let u = sampler.seeder().seed(key);
+            let direct = scheme.sample(&data.tuple(key), u).unwrap();
+            let assembled = sampler.item_outcome(&samples, key).unwrap();
+            assert_eq!(direct, assembled, "key {key}");
+        }
+    }
+}

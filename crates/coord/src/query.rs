@@ -1,0 +1,314 @@
+//! Sum-aggregate queries over coordinated samples.
+//!
+//! Queries like `Lp^p`, `Lp^p+` and arbitrary item functions are sums of a
+//! per-item function over a selected domain (paper, Example 1). They are
+//! estimated by summing unbiased per-item estimates over the items present
+//! in at least one sample — absent items contribute zero for the
+//! nonnegative functions used here, so the sum estimate remains unbiased
+//! and its variance is the sum of per-item variances (pairwise independent
+//! seeds).
+
+use monotone_core::estimate::MonotoneEstimator;
+use monotone_core::func::ItemFn;
+use monotone_core::problem::Mep;
+
+use crate::instance::{Dataset, Instance};
+use crate::pps::{CoordPps, PpsSample};
+
+/// The exact value of a sum-aggregate query `Σ_{k ∈ D} f(v^{(k)})` on the
+/// full dataset (ground truth for experiments).
+///
+/// `domain = None` sums over all items active in at least one instance.
+///
+/// # Panics
+///
+/// Panics if `f.arity()` differs from the dataset arity.
+pub fn exact_sum<F: ItemFn>(f: &F, data: &Dataset, domain: Option<&[u64]>) -> f64 {
+    assert_eq!(f.arity(), data.arity(), "arity mismatch");
+    let keys: Vec<u64> = match domain {
+        Some(d) => d.to_vec(),
+        None => data.union_keys(),
+    };
+    keys.iter().map(|&k| f.eval(&data.tuple(k))).sum()
+}
+
+/// Estimates a sum-aggregate query from coordinated PPS samples by applying
+/// a monotone estimator to every item present in at least one sample.
+///
+/// The estimate is unbiased whenever the per-item estimator is unbiased and
+/// `f` has zero lower bound on all-capped outcomes (true for `RGp`, `RGp+`,
+/// min/max and any `f` with `f(0) = 0`).
+///
+/// # Errors
+///
+/// Propagates estimator-construction errors.
+///
+/// # Panics
+///
+/// Panics if the sample list length differs from the sampler arity.
+pub fn estimate_sum<F, E>(
+    f: F,
+    est: &E,
+    sampler: &CoordPps,
+    samples: &[PpsSample],
+    domain: Option<&[u64]>,
+) -> monotone_core::Result<f64>
+where
+    F: ItemFn,
+    E: MonotoneEstimator<F, monotone_core::scheme::LinearThreshold>,
+{
+    assert_eq!(samples.len(), sampler.arity(), "sample list arity mismatch");
+    let mep = Mep::new(f, sampler.item_scheme())?;
+    let mut keys: Vec<u64> = match domain {
+        Some(d) => d.to_vec(),
+        None => {
+            let mut ks: Vec<u64> = samples.iter().flat_map(|s| s.keys()).collect();
+            ks.sort_unstable();
+            ks.dedup();
+            ks
+        }
+    };
+    if domain.is_some() {
+        // Restrict to items with any sampled evidence; others estimate 0.
+        keys.retain(|&k| samples.iter().any(|s| s.contains(k)));
+    }
+    let mut total = 0.0;
+    for key in keys {
+        let outcome = sampler.item_outcome(samples, key)?;
+        total += est.estimate(&mep, &outcome);
+    }
+    Ok(total)
+}
+
+/// Estimates the number of distinct items (active in at least one instance)
+/// from coordinated PPS samples: the sum aggregate of logical OR
+/// (paper, Section 1), estimated per item with L\*.
+///
+/// # Errors
+///
+/// Propagates estimator-construction errors.
+pub fn estimate_distinct_count(
+    sampler: &CoordPps,
+    samples: &[PpsSample],
+) -> monotone_core::Result<f64> {
+    use monotone_core::estimate::LStar;
+    use monotone_core::func::DistinctOr;
+    estimate_sum(
+        DistinctOr::new(sampler.arity()),
+        &LStar::with_quad(monotone_core::quad::QuadConfig::fast()),
+        sampler,
+        samples,
+        None,
+    )
+}
+
+/// Estimates the weighted Jaccard similarity `Σ min / Σ max` of two
+/// instances from their coordinated PPS samples, as the ratio of L\*
+/// sum estimates of [`TupleMin`](monotone_core::func::TupleMin) and
+/// [`TupleMax`](monotone_core::func::TupleMax) (clamped to `[0, 1]`).
+///
+/// # Errors
+///
+/// Propagates estimator-construction errors.
+pub fn estimate_weighted_jaccard(
+    sampler: &CoordPps,
+    samples: &[PpsSample],
+) -> monotone_core::Result<f64> {
+    use monotone_core::estimate::LStar;
+    use monotone_core::func::{TupleMax, TupleMin};
+    let lstar = LStar::with_quad(monotone_core::quad::QuadConfig::fast());
+    let num = estimate_sum(TupleMin::new(2), &lstar, sampler, samples, None)?;
+    let den = estimate_sum(TupleMax::new(2), &lstar, sampler, samples, None)?;
+    Ok(if den > 0.0 { (num / den).clamp(0.0, 1.0) } else { 1.0 })
+}
+
+/// Weighted Jaccard similarity `Σ min(a, b) / Σ max(a, b)` of two instances
+/// (1 for identical instances).
+pub fn weighted_jaccard(a: &Instance, b: &Instance) -> f64 {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    let mut keys: Vec<u64> = a.keys().chain(b.keys()).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    for k in keys {
+        let (x, y) = (a.weight(k), b.weight(k));
+        num += x.min(y);
+        den += x.max(y);
+    }
+    if den > 0.0 {
+        num / den
+    } else {
+        1.0
+    }
+}
+
+/// Jaccard overlap of two samples' key sets: the locality-sensitive-hashing
+/// signal of coordination (paper, Section 1).
+pub fn sample_key_jaccard(a: &PpsSample, b: &PpsSample) -> f64 {
+    let ka: std::collections::BTreeSet<u64> = a.keys().collect();
+    let kb: std::collections::BTreeSet<u64> = b.keys().collect();
+    let inter = ka.intersection(&kb).count();
+    let union = ka.union(&kb).count();
+    if union > 0 {
+        inter as f64 / union as f64
+    } else {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seed::SeedHasher;
+    use monotone_core::estimate::{RgPlusLStar, RgPlusUStar};
+    use monotone_core::func::{RangePow, RangePowPlus};
+
+    #[test]
+    fn exact_sum_matches_example1() {
+        // L1({b,c,e}) = |0−0.44| + |0.23−0| + |0.10−0.05| = 0.72.
+        // (The paper prints 0.71, but its own summands total 0.72 — an
+        // arithmetic slip in Example 1; see EXPERIMENTS.md.)
+        let data = Dataset::example1();
+        let two = Dataset::new(vec![data.instance(0).clone(), data.instance(1).clone()]);
+        let l1 = exact_sum(&RangePow::new(1.0, 2), &two, Some(&[1, 2, 4]));
+        assert!((l1 - 0.72).abs() < 1e-12, "got {l1}");
+        // L2²({c,f,h}) ≈ 0.16.
+        let l22 = exact_sum(&RangePow::new(2.0, 2), &two, Some(&[2, 5, 7]));
+        assert!((l22 - 0.1617).abs() < 1e-10, "got {l22}");
+        // L1+({b,c,e}) = 0 + 0.23 + 0.05 = 0.28. (The paper prints 0.235,
+        // consistent with 0.23 + 0.005 — the last summand 0.10 − 0.05 = 0.05
+        // appears to have been taken as 0.005; see EXPERIMENTS.md.)
+        let l1p = exact_sum(&RangePowPlus::new(1.0), &two, Some(&[1, 2, 4]));
+        assert!((l1p - 0.28).abs() < 1e-12, "got {l1p}");
+    }
+
+    #[test]
+    fn estimate_sum_unbiased_over_salts() {
+        // Average the L* sum estimate over many coordinated sampling runs;
+        // it must converge to the exact value.
+        let n = 60u64;
+        let a = Instance::from_pairs((0..n).map(|k| (k, 0.2 + 0.6 * ((k * 3 % 10) as f64 / 10.0))));
+        let b = Instance::from_pairs((0..n).map(|k| (k, 0.2 + 0.6 * ((k * 7 % 10) as f64 / 10.0))));
+        let data = Dataset::new(vec![a, b]);
+        let f = RangePowPlus::new(1.0);
+        let exact = exact_sum(&f, &data, None);
+        let est = RgPlusLStar::new(1, 1.0);
+        let trials = 600;
+        let mut total = 0.0;
+        for salt in 0..trials {
+            let sampler = CoordPps::uniform_scale(2, 1.0, SeedHasher::new(salt));
+            let samples = sampler.sample_all(&data);
+            total += estimate_sum(f, &est, &sampler, &samples, None).unwrap();
+        }
+        let mean = total / trials as f64;
+        assert!(
+            (mean - exact).abs() < 0.05 * exact,
+            "mean {mean} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn estimate_sum_unbiased_ustar() {
+        let n = 40u64;
+        let a = Instance::from_pairs((0..n).map(|k| (k, 0.1 + 0.8 * ((k * 7 % 11) as f64 / 11.0))));
+        let b = Instance::from_pairs((0..n).map(|k| (k, 0.1 + 0.4 * ((k * 3 % 11) as f64 / 11.0))));
+        let data = Dataset::new(vec![a, b]);
+        let f = RangePowPlus::new(2.0);
+        let exact = exact_sum(&f, &data, None);
+        let est = RgPlusUStar::new(2.0, 1.0);
+        let trials = 800;
+        let mut total = 0.0;
+        for salt in 0..trials {
+            let sampler = CoordPps::uniform_scale(2, 1.0, SeedHasher::new(1000 + salt));
+            let samples = sampler.sample_all(&data);
+            total += estimate_sum(f, &est, &sampler, &samples, None).unwrap();
+        }
+        let mean = total / trials as f64;
+        assert!(
+            (mean - exact).abs() < 0.08 * exact,
+            "mean {mean} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn domain_restriction() {
+        let data = Dataset::example1();
+        let two = Dataset::new(vec![data.instance(0).clone(), data.instance(1).clone()]);
+        let sampler = CoordPps::uniform_scale(2, 1.0, SeedHasher::new(3));
+        let samples = sampler.sample_all(&two);
+        let f = RangePowPlus::new(1.0);
+        let all = estimate_sum(f, &RgPlusLStar::new(1, 1.0), &sampler, &samples, None).unwrap();
+        let some =
+            estimate_sum(f, &RgPlusLStar::new(1, 1.0), &sampler, &samples, Some(&[2])).unwrap();
+        assert!(some <= all + 1e-12);
+    }
+
+    #[test]
+    fn distinct_count_unbiased() {
+        // Mean over randomizations of the L* distinct-count estimate must
+        // approach the true number of active items.
+        let n = 50u64;
+        let a = Instance::from_pairs((0..n).map(|k| (k, 0.2 + (k % 7) as f64 / 10.0)));
+        let b = Instance::from_pairs((20..n + 30).map(|k| (k, 0.3 + (k % 5) as f64 / 10.0)));
+        let truth = 80.0; // keys 0..80 active somewhere
+        let mut total = 0.0;
+        let trials = 300;
+        for salt in 0..trials {
+            let sampler = CoordPps::uniform_scale(2, 2.0, SeedHasher::new(salt));
+            let samples = vec![
+                sampler.sample_instance(0, &a),
+                sampler.sample_instance(1, &b),
+            ];
+            total += estimate_distinct_count(&sampler, &samples).unwrap();
+        }
+        let mean = total / trials as f64;
+        assert!((mean - truth).abs() < 0.05 * truth, "mean {mean} vs {truth}");
+    }
+
+    #[test]
+    fn jaccard_estimate_tracks_truth() {
+        let n = 400u64;
+        let a = Instance::from_pairs((0..n).map(|k| (k, 0.2 + (k % 9) as f64 / 12.0)));
+        let b = Instance::from_pairs(a.iter().map(|(k, w)| (k, (w * (1.0 + (k % 3) as f64 * 0.1)).min(1.0))));
+        let truth = weighted_jaccard(&a, &b);
+        let data = Dataset::new(vec![a, b]);
+        let mut total = 0.0;
+        let trials = 40;
+        for salt in 0..trials {
+            let sampler = CoordPps::uniform_scale(2, 3.0, SeedHasher::new(salt));
+            let samples = sampler.sample_all(&data);
+            total += estimate_weighted_jaccard(&sampler, &samples).unwrap();
+        }
+        let mean = total / trials as f64;
+        assert!((mean - truth).abs() < 0.1, "mean {mean} vs truth {truth}");
+    }
+
+    #[test]
+    fn weighted_jaccard_basics() {
+        let a = Instance::from_pairs([(0, 1.0), (1, 2.0)]);
+        let b = Instance::from_pairs([(0, 1.0), (1, 1.0)]);
+        assert!((weighted_jaccard(&a, &a) - 1.0).abs() < 1e-15);
+        assert!((weighted_jaccard(&a, &b) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(weighted_jaccard(&Instance::new(), &Instance::new()), 1.0);
+    }
+
+    #[test]
+    fn coordinated_overlap_tracks_similarity() {
+        // The LSH property: coordinated samples of similar instances overlap
+        // much more than independent samples.
+        let n = 400u64;
+        let a = Instance::from_pairs((0..n).map(|k| (k, 0.3 + (k % 5) as f64 / 10.0)));
+        let b = Instance::from_pairs(a.iter().map(|(k, w)| (k, w * 1.02)));
+        let sampler = CoordPps::uniform_scale(2, 2.0, SeedHasher::new(17));
+        let ca = sampler.sample_instance(0, &a);
+        let cb = sampler.sample_instance(1, &b);
+        let ia = sampler.sample_instance_independent(0, &a);
+        let ib = sampler.sample_instance_independent(1, &b);
+        let coord = sample_key_jaccard(&ca, &cb);
+        let indep = sample_key_jaccard(&ia, &ib);
+        assert!(
+            coord > indep + 0.2,
+            "coordinated {coord} should exceed independent {indep}"
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Hash-based shared seeds.
+//!
+//! Coordination is achieved by deriving the seed `u^{(k)} ∈ (0, 1]` of item
+//! `k` from a hash of its key (paper, Section 1: "Coordination can be
+//! efficiently achieved by using a random hash function, applied to the item
+//! key"). All instances use the same hash, so the sampling of the same item
+//! in different instances is driven by the same seed, while different items
+//! are independent.
+
+/// Derives per-item seeds from item keys via SplitMix64.
+///
+/// The same `(salt, key)` pair always produces the same seed, which is what
+/// makes sampling *coordinated*; different salts give independent sampling
+/// runs (used to average experiments over randomizations).
+///
+/// # Examples
+///
+/// ```
+/// use monotone_coord::seed::SeedHasher;
+///
+/// let h = SeedHasher::new(42);
+/// let u = h.seed(7);
+/// assert!(u > 0.0 && u <= 1.0);
+/// assert_eq!(u, SeedHasher::new(42).seed(7)); // deterministic
+/// assert_ne!(u, SeedHasher::new(43).seed(7)); // salted
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SeedHasher {
+    salt: u64,
+}
+
+impl SeedHasher {
+    /// Creates a hasher with the given salt.
+    pub fn new(salt: u64) -> SeedHasher {
+        SeedHasher { salt }
+    }
+
+    /// The salt.
+    pub fn salt(&self) -> u64 {
+        self.salt
+    }
+
+    /// The shared seed of an item key, uniform on `(0, 1]` over keys.
+    pub fn seed(&self, key: u64) -> f64 {
+        let x = splitmix64(key ^ self.salt.rotate_left(17) ^ 0x9e37_79b9_7f4a_7c15);
+        // Map the top 53 bits into (0, 1]: (bits + 1) / 2^53.
+        (((x >> 11) + 1) as f64) * (1.0 / 9007199254740992.0)
+    }
+
+    /// An independent per-instance seed for the same item (used to contrast
+    /// *independent* sampling with coordinated sampling in the LSH
+    /// experiment).
+    pub fn seed_independent(&self, key: u64, instance: usize) -> f64 {
+        let x = splitmix64(
+            splitmix64(key ^ self.salt) ^ (instance as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9),
+        );
+        (((x >> 11) + 1) as f64) * (1.0 / 9007199254740992.0)
+    }
+}
+
+/// SplitMix64 finalizer: a high-quality 64-bit mixer.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_in_unit_interval() {
+        let h = SeedHasher::new(1);
+        for k in 0..10_000u64 {
+            let u = h.seed(k);
+            assert!(u > 0.0 && u <= 1.0, "seed {u} for key {k}");
+        }
+    }
+
+    #[test]
+    fn seeds_roughly_uniform() {
+        let h = SeedHasher::new(7);
+        let n = 100_000u64;
+        let mut buckets = [0usize; 10];
+        for k in 0..n {
+            let u = h.seed(k);
+            buckets[((u * 10.0) as usize).min(9)] += 1;
+        }
+        for (i, &b) in buckets.iter().enumerate() {
+            let expect = n as f64 / 10.0;
+            assert!(
+                (b as f64 - expect).abs() < 0.05 * expect,
+                "bucket {i}: {b} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn independent_seeds_differ_across_instances() {
+        let h = SeedHasher::new(3);
+        let a = h.seed_independent(5, 0);
+        let b = h.seed_independent(5, 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn splitmix_avalanche() {
+        // Single-bit input changes flip roughly half the output bits.
+        let mut total = 0u32;
+        for k in 0..1000u64 {
+            total += (splitmix64(k) ^ splitmix64(k ^ 1)).count_ones();
+        }
+        let avg = total as f64 / 1000.0;
+        assert!((avg - 32.0).abs() < 2.0, "avalanche average {avg}");
+    }
+}

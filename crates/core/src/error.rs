@@ -1,0 +1,121 @@
+//! Error types for monotone estimation.
+
+use std::fmt;
+
+/// Errors produced by constructors and estimators in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A seed was outside the half-open interval `(0, 1]`.
+    InvalidSeed(f64),
+    /// A data vector or outcome had the wrong number of entries.
+    ArityMismatch {
+        /// Arity required by the function or scheme.
+        expected: usize,
+        /// Arity that was supplied.
+        got: usize,
+    },
+    /// A data value was negative or non-finite.
+    InvalidValue(f64),
+    /// A probability was outside `[0, 1]` or non-finite.
+    InvalidProbability(f64),
+    /// A threshold function was not monotone non-decreasing.
+    NonMonotoneThreshold,
+    /// A discrete domain was empty or referenced a value without an
+    /// inclusion probability.
+    InvalidDomain(String),
+    /// The requested estimator is undefined for this input (for example the
+    /// Horvitz-Thompson estimator on data whose reveal probability is zero).
+    NotApplicable(&'static str),
+    /// No unbiased nonnegative estimator exists for this problem
+    /// (condition (9) of the paper fails).
+    NoEstimatorExists,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidSeed(u) => write!(f, "seed {u} is not in (0, 1]"),
+            Error::ArityMismatch { expected, got } => {
+                write!(f, "arity mismatch: expected {expected} entries, got {got}")
+            }
+            Error::InvalidValue(v) => write!(f, "data value {v} is not a finite nonnegative number"),
+            Error::InvalidProbability(p) => write!(f, "probability {p} is not in [0, 1]"),
+            Error::NonMonotoneThreshold => write!(f, "threshold function is not non-decreasing"),
+            Error::InvalidDomain(msg) => write!(f, "invalid discrete domain: {msg}"),
+            Error::NotApplicable(what) => write!(f, "estimator not applicable: {what}"),
+            Error::NoEstimatorExists => {
+                write!(f, "no unbiased nonnegative estimator exists for this problem")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Validates that `u` is a usable seed in `(0, 1]`.
+pub(crate) fn check_seed(u: f64) -> Result<f64> {
+    if u.is_finite() && u > 0.0 && u <= 1.0 {
+        Ok(u)
+    } else {
+        Err(Error::InvalidSeed(u))
+    }
+}
+
+/// Validates that `v` is a finite nonnegative data value.
+pub(crate) fn check_value(v: f64) -> Result<f64> {
+    if v.is_finite() && v >= 0.0 {
+        Ok(v)
+    } else {
+        Err(Error::InvalidValue(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_validation_accepts_unit_interval() {
+        assert!(check_seed(1.0).is_ok());
+        assert!(check_seed(0.5).is_ok());
+        assert!(check_seed(f64::MIN_POSITIVE).is_ok());
+    }
+
+    #[test]
+    fn seed_validation_rejects_out_of_range() {
+        assert_eq!(check_seed(0.0), Err(Error::InvalidSeed(0.0)));
+        assert_eq!(check_seed(-0.1), Err(Error::InvalidSeed(-0.1)));
+        assert_eq!(check_seed(1.5), Err(Error::InvalidSeed(1.5)));
+        assert!(check_seed(f64::NAN).is_err());
+        assert!(check_seed(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn value_validation() {
+        assert!(check_value(0.0).is_ok());
+        assert!(check_value(3.25).is_ok());
+        assert!(check_value(-1.0).is_err());
+        assert!(check_value(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn errors_display_nonempty() {
+        let errors = [
+            Error::InvalidSeed(0.0),
+            Error::ArityMismatch { expected: 2, got: 3 },
+            Error::InvalidValue(-1.0),
+            Error::InvalidProbability(2.0),
+            Error::NonMonotoneThreshold,
+            Error::InvalidDomain("empty".to_owned()),
+            Error::NotApplicable("reveal probability is zero"),
+            Error::NoEstimatorExists,
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

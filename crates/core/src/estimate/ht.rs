@@ -1,0 +1,286 @@
+//! The Horvitz-Thompson (inverse-probability) estimator.
+//!
+//! HT assigns `f(v)/p` on outcomes that *reveal* `f(v)` (i.e. `f` is constant
+//! on the consistent set `S*`), where `p` is the probability of a revealing
+//! outcome, and `0` otherwise. It is unbiased, nonnegative and monotone —
+//! and therefore dominated by L\* (paper, Theorem 4.2). When the reveal
+//! probability is zero (e.g. `RGp+` at `v = (v1, 0)` under PPS), HT is not
+//! applicable: this implementation then degrades to the all-zero (biased)
+//! estimator, which the experiments quantify.
+
+use super::MonotoneEstimator;
+use crate::error::{Error, Result};
+use crate::func::ItemFn;
+use crate::problem::Mep;
+use crate::scheme::{Outcome, ThresholdFn};
+
+/// Horvitz-Thompson estimator driven by reveal detection on outcome boxes.
+///
+/// # Examples
+///
+/// ```
+/// use monotone_core::estimate::{HorvitzThompson, MonotoneEstimator};
+/// use monotone_core::func::RangePowPlus;
+/// use monotone_core::problem::Mep;
+/// use monotone_core::scheme::TupleScheme;
+///
+/// let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+/// // Both entries sampled at u = 0.1: f = 0.4 revealed; reveal prob = v2 = 0.2.
+/// let outcome = mep.scheme().sample(&[0.6, 0.2], 0.1).unwrap();
+/// let ht = HorvitzThompson::new();
+/// assert!((ht.estimate(&mep, &outcome) - 0.4 / 0.2).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HorvitzThompson {
+    tol: f64,
+    bisect_iters: u32,
+}
+
+impl HorvitzThompson {
+    /// HT with the default reveal tolerance.
+    pub fn new() -> HorvitzThompson {
+        HorvitzThompson {
+            tol: 1e-9,
+            bisect_iters: 64,
+        }
+    }
+
+    /// HT with a custom relative tolerance for the reveal test
+    /// `sup - inf <= tol · max(1, sup)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tol` is not positive.
+    pub fn with_tolerance(tol: f64) -> HorvitzThompson {
+        assert!(tol.is_finite() && tol > 0.0, "tolerance must be positive");
+        HorvitzThompson {
+            tol,
+            bisect_iters: 64,
+        }
+    }
+
+    fn revealed<F: ItemFn, T: ThresholdFn>(
+        &self,
+        mep: &Mep<F, T>,
+        outcome: &Outcome,
+        u: f64,
+        known: &mut Vec<Option<f64>>,
+        caps: &mut Vec<f64>,
+    ) -> bool {
+        mep.scheme().states_at(outcome, u, known, caps);
+        let lo = mep.f().box_inf(known, caps);
+        let hi = mep.f().box_sup(known, caps);
+        hi - lo <= self.tol * hi.abs().max(1.0)
+    }
+
+    /// The probability that sampling data `v` produces an outcome revealing
+    /// `f(v)`: the measure of the (prefix) set of revealing seeds.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `v` is invalid for the scheme.
+    pub fn reveal_probability<F: ItemFn, T: ThresholdFn>(
+        &self,
+        mep: &Mep<F, T>,
+        v: &[f64],
+    ) -> Result<f64> {
+        mep.data_lower_bound(v)?; // validates v
+        let gap_ok = |u: f64| -> bool {
+            let scheme = mep.scheme();
+            let mut known = Vec::with_capacity(v.len());
+            let mut caps = Vec::with_capacity(v.len());
+            for i in 0..v.len() {
+                let cap = scheme.thresholds()[i].cap(u);
+                if v[i] >= cap {
+                    known.push(Some(v[i]));
+                    caps.push(0.0);
+                } else {
+                    known.push(None);
+                    caps.push(cap);
+                }
+            }
+            let lo = mep.f().box_inf(&known, &caps);
+            let hi = mep.f().box_sup(&known, &caps);
+            hi - lo <= self.tol * hi.abs().max(1.0)
+        };
+        if gap_ok(1.0) {
+            return Ok(1.0);
+        }
+        // The revealing seeds form a prefix (0, p]; bisect for p.
+        let mut lo = 0.0;
+        let mut hi = 1.0;
+        for _ in 0..self.bisect_iters {
+            let mid = 0.5 * (lo + hi);
+            if mid <= 0.0 {
+                break;
+            }
+            if gap_ok(mid) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(lo)
+    }
+
+    /// Whether HT is applicable to data `v`: either `f(v) = 0` or the reveal
+    /// probability is positive.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `v` is invalid for the scheme.
+    pub fn is_applicable<F: ItemFn, T: ThresholdFn>(
+        &self,
+        mep: &Mep<F, T>,
+        v: &[f64],
+    ) -> Result<bool> {
+        if mep.f().eval(v) == 0.0 {
+            return Ok(true);
+        }
+        // Reveal detection uses the relative tolerance `tol`, so probes can
+        // report spurious "reveals" at seeds up to ~tol; require the reveal
+        // probability to clear that noise floor.
+        Ok(self.reveal_probability(mep, v)? > self.tol * 100.0)
+    }
+
+    /// Like [`MonotoneEstimator::estimate`] but returns
+    /// [`Error::NotApplicable`] instead of `0` on non-revealing outcomes,
+    /// letting callers distinguish "HT says 0" from "HT has no information".
+    pub fn try_estimate<F: ItemFn, T: ThresholdFn>(
+        &self,
+        mep: &Mep<F, T>,
+        outcome: &Outcome,
+    ) -> Result<f64> {
+        let rho = outcome.seed();
+        let mut known = Vec::with_capacity(outcome.arity());
+        let mut caps = Vec::with_capacity(outcome.arity());
+        if !self.revealed(mep, outcome, rho, &mut known, &mut caps) {
+            return Err(Error::NotApplicable("outcome does not reveal f(v)"));
+        }
+        let f = mep.f().box_inf(&known, &caps);
+        if f <= 0.0 {
+            return Ok(0.0);
+        }
+        // Largest u on the path that still reveals (the revealing seeds form
+        // a prefix of (0, 1]).
+        if self.revealed(mep, outcome, 1.0, &mut known, &mut caps) {
+            return Ok(f);
+        }
+        let mut lo = rho;
+        let mut hi = 1.0;
+        for _ in 0..self.bisect_iters {
+            let mid = 0.5 * (lo + hi);
+            if self.revealed(mep, outcome, mid, &mut known, &mut caps) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(f / lo)
+    }
+}
+
+impl Default for HorvitzThompson {
+    fn default() -> Self {
+        HorvitzThompson::new()
+    }
+}
+
+impl<F: ItemFn, T: ThresholdFn> MonotoneEstimator<F, T> for HorvitzThompson {
+    fn estimate(&self, mep: &Mep<F, T>, outcome: &Outcome) -> f64 {
+        self.try_estimate(mep, outcome).unwrap_or(0.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "HT"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::RangePowPlus;
+    use crate::quad::{integrate_with_breakpoints, QuadConfig};
+    use crate::scheme::TupleScheme;
+
+    fn mep_p(p: f64) -> Mep<RangePowPlus, crate::scheme::LinearThreshold> {
+        Mep::new(RangePowPlus::new(p), TupleScheme::pps(&[1.0, 1.0])).unwrap()
+    }
+
+    #[test]
+    fn reveal_probability_is_v2_for_rg_plus() {
+        let mep = mep_p(1.0);
+        let ht = HorvitzThompson::new();
+        let p = ht.reveal_probability(&mep, &[0.6, 0.2]).unwrap();
+        assert!((p - 0.2).abs() < 1e-9, "got {p}");
+    }
+
+    #[test]
+    fn inapplicable_when_v2_zero() {
+        // Paper, Section 1: estimating the range of (0.5, 0) under PPS has
+        // zero probability of revealing v2 = 0.
+        let mep = mep_p(1.0);
+        let ht = HorvitzThompson::new();
+        assert!(!ht.is_applicable(&mep, &[0.5, 0.0]).unwrap());
+        assert!(ht.is_applicable(&mep, &[0.5, 0.25]).unwrap());
+        // f(v) = 0 data is trivially applicable.
+        assert!(ht.is_applicable(&mep, &[0.2, 0.5]).unwrap());
+    }
+
+    #[test]
+    fn estimate_inverse_probability() {
+        let mep = mep_p(2.0);
+        let ht = HorvitzThompson::new();
+        let out = mep.scheme().sample(&[0.6, 0.2], 0.15).unwrap();
+        let e = ht.estimate(&mep, &out);
+        let expect = (0.4f64 * 0.4) / 0.2;
+        assert!((e - expect).abs() < 1e-6, "got {e} vs {expect}");
+    }
+
+    #[test]
+    fn zero_on_non_revealing_outcomes() {
+        let mep = mep_p(1.0);
+        let ht = HorvitzThompson::new();
+        let out = mep.scheme().sample(&[0.6, 0.2], 0.35).unwrap();
+        assert_eq!(ht.estimate(&mep, &out), 0.0);
+        assert!(ht.try_estimate(&mep, &out).is_err());
+    }
+
+    #[test]
+    fn unbiased_where_applicable() {
+        let mep = mep_p(1.0);
+        let ht = HorvitzThompson::new();
+        let v = [0.7, 0.3];
+        let cfg = QuadConfig::default();
+        let mean = integrate_with_breakpoints(
+            |u| {
+                let out = mep.scheme().sample(&v, u).unwrap();
+                ht.estimate(&mep, &out)
+            },
+            1e-9,
+            1.0,
+            &[0.3, 0.7],
+            &cfg,
+        );
+        assert!((mean - 0.4).abs() < 1e-6, "mean {mean}");
+    }
+
+    #[test]
+    fn biased_low_when_inapplicable() {
+        let mep = mep_p(1.0);
+        let ht = HorvitzThompson::new();
+        let v = [0.5, 0.0];
+        let cfg = QuadConfig::default();
+        let mean = integrate_with_breakpoints(
+            |u| {
+                let out = mep.scheme().sample(&v, u).unwrap();
+                ht.estimate(&mep, &out)
+            },
+            1e-9,
+            1.0,
+            &[0.5],
+            &cfg,
+        );
+        assert!(mean.abs() < 1e-9, "HT should be all-zero here, mean {mean}");
+    }
+}

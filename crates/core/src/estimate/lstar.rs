@@ -1,0 +1,384 @@
+//! The L\* estimator (paper, Section 4).
+//!
+//! `f̂ᴸ(ρ, v) = f̄⁽ᵛ⁾(ρ)/ρ − ∫_ρ¹ f̄⁽ᵛ⁾(u)/u² du` (Eq. (31)): the unique
+//! admissible monotone estimator. It is unbiased, nonnegative, 4-competitive
+//! whenever a finite-variance unbiased nonnegative estimator exists, and it
+//! dominates the Horvitz-Thompson estimator.
+
+use super::MonotoneEstimator;
+use crate::func::{ItemFn, RangePowPlus};
+use crate::problem::Mep;
+use crate::quad::{integrate_with_breakpoints, QuadConfig};
+use crate::scheme::{LinearThreshold, Outcome, ThresholdFn};
+
+/// Generic L\* estimator computed by breakpoint-aware adaptive quadrature of
+/// Eq. (31). Works for any [`ItemFn`]/[`ThresholdFn`] pair.
+///
+/// # Examples
+///
+/// ```
+/// use monotone_core::estimate::{LStar, MonotoneEstimator};
+/// use monotone_core::func::RangePowPlus;
+/// use monotone_core::problem::Mep;
+/// use monotone_core::scheme::TupleScheme;
+///
+/// let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+/// // Data (0.6, 0): at seed u = 0.3 only the first entry is sampled and the
+/// // L* estimate is ln(v1/u) = ln 2.
+/// let outcome = mep.scheme().sample(&[0.6, 0.0], 0.3).unwrap();
+/// let est = LStar::new().estimate(&mep, &outcome);
+/// assert!((est - 2.0_f64.ln()).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LStar {
+    quad: QuadConfig,
+}
+
+impl LStar {
+    /// L\* with default quadrature tolerances.
+    pub fn new() -> LStar {
+        LStar {
+            quad: QuadConfig::default(),
+        }
+    }
+
+    /// L\* with custom quadrature configuration (e.g. [`QuadConfig::fast`]
+    /// for throughput-sensitive paths).
+    pub fn with_quad(quad: QuadConfig) -> LStar {
+        LStar { quad }
+    }
+
+    /// The quadrature configuration in use.
+    pub fn quad(&self) -> &QuadConfig {
+        &self.quad
+    }
+}
+
+impl Default for LStar {
+    fn default() -> Self {
+        LStar::new()
+    }
+}
+
+impl<F: ItemFn, T: ThresholdFn> MonotoneEstimator<F, T> for LStar {
+    fn estimate(&self, mep: &Mep<F, T>, outcome: &Outcome) -> f64 {
+        let lb = mep.lower_bound(outcome);
+        let rho = outcome.seed();
+        let f_rho = lb.at_seed();
+        if f_rho <= 0.0 {
+            // f̄ is nonnegative and non-increasing in u, so the whole
+            // integrand vanishes.
+            return 0.0;
+        }
+        let bps = lb.breakpoints();
+        let tail = integrate_with_breakpoints(|u| lb.eval(u) / (u * u), rho, 1.0, &bps, &self.quad);
+        (f_rho / rho - tail).max(0.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "L*"
+    }
+}
+
+/// Closed-form L\* for [`RangePowPlus`] under coordinated PPS with a common
+/// scale, for `p ∈ {1, 2}`, on the normalized scale `w = v/τ*`
+/// (Eq. (31) evaluated in closed form; multiplied back by `(τ*)^p`).
+///
+/// The derivation integrates `f̄(u) = (w1 − max(β, u))₊^p / u²` over
+/// `[ρ, 1]`, where `β = w2` when entry 2 is sampled and `β = 0` otherwise.
+/// Weights above the scale (`w > 1`) have truncated inclusion probability 1
+/// and are handled exactly (the lower bound then stays positive at `u = 1`).
+/// In the untruncated regime this reduces to `ln(w1/b)` for `p = 1` and
+/// `2(b − w1 + w1·ln(w1/b))` for `p = 2`, with `b = max(w2, u)` — the forms
+/// implied by Example 4 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RgPlusLStar {
+    p: u8,
+    scale: f64,
+}
+
+impl RgPlusLStar {
+    /// Creates the closed form for exponent `p ∈ {1, 2}` and PPS scale `τ*`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not 1 or 2, or the scale is not positive.
+    pub fn new(p: u8, scale: f64) -> RgPlusLStar {
+        assert!(p == 1 || p == 2, "closed form available for p in {{1, 2}}, got {p}");
+        assert!(scale.is_finite() && scale > 0.0, "scale must be positive");
+        RgPlusLStar { p, scale }
+    }
+
+    fn pow(&self, d: f64) -> f64 {
+        let d = d.max(0.0);
+        if self.p == 1 {
+            d
+        } else {
+            d * d
+        }
+    }
+
+    /// Antiderivative of `(w1 − x)^p / x²`.
+    fn anti(&self, w1: f64, x: f64) -> f64 {
+        if self.p == 1 {
+            -w1 / x - x.ln()
+        } else {
+            -w1 * w1 / x - 2.0 * w1 * x.ln() + x
+        }
+    }
+
+    /// The estimate on the normalized scale: entry 1 known as `w1`, entry 2
+    /// known as `β` or hidden (`β = 0`), seed `ρ`.
+    fn kernel(&self, w1: f64, beta: f64, rho: f64) -> f64 {
+        let m = beta.max(rho);
+        if w1 <= m {
+            return 0.0; // f̄(ρ) = 0 forces a zero estimate
+        }
+        let head = self.pow(w1 - m) / rho;
+        // Flat part of f̄ on [ρ, min(β, 1)] where the known w2 binds.
+        let beta_top = beta.min(1.0);
+        let flat = if beta > rho {
+            self.pow(w1 - beta) * (1.0 / rho - 1.0 / beta_top)
+        } else {
+            0.0
+        };
+        // Declining part on [m, min(w1, 1)] where the cap u binds.
+        let c = w1.min(1.0);
+        let decline = if c > m {
+            self.anti(w1, c) - self.anti(w1, m)
+        } else {
+            0.0
+        };
+        (head - flat - decline).max(0.0)
+    }
+}
+
+impl MonotoneEstimator<RangePowPlus, LinearThreshold> for RgPlusLStar {
+    fn estimate(&self, mep: &Mep<RangePowPlus, LinearThreshold>, outcome: &Outcome) -> f64 {
+        debug_assert_eq!(mep.f().p(), self.p as f64, "exponent mismatch");
+        debug_assert!(
+            mep.scheme()
+                .thresholds()
+                .iter()
+                .all(|t| (t.scale() - self.scale).abs() < 1e-12),
+            "scale mismatch"
+        );
+        let u = outcome.seed();
+        let Some(v1) = outcome.known(0) else {
+            return 0.0;
+        };
+        let w1 = v1 / self.scale;
+        let beta = outcome.known(1).map_or(0.0, |v2| v2 / self.scale);
+        let factor = if self.p == 1 { self.scale } else { self.scale * self.scale };
+        factor * self.kernel(w1, beta, u)
+    }
+
+    fn name(&self) -> &'static str {
+        "L* (closed form)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::{RangePow, RangePowPlus, TupleMax};
+    use crate::scheme::TupleScheme;
+
+    fn mep_p(p: f64) -> Mep<RangePowPlus, LinearThreshold> {
+        Mep::new(RangePowPlus::new(p), TupleScheme::pps(&[1.0, 1.0])).unwrap()
+    }
+
+    #[test]
+    fn closed_form_matches_generic_p1() {
+        let mep = mep_p(1.0);
+        let closed = RgPlusLStar::new(1, 1.0);
+        let generic = LStar::new();
+        for &v in &[[0.6, 0.2], [0.6, 0.0], [0.9, 0.5], [0.3, 0.3]] {
+            for k in 1..=20 {
+                let u = k as f64 / 20.0;
+                let out = mep.scheme().sample(&v, u).unwrap();
+                let a = closed.estimate(&mep, &out);
+                let b = generic.estimate(&mep, &out);
+                assert!((a - b).abs() < 1e-8, "v={v:?} u={u}: closed {a} vs generic {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_generic_p2() {
+        let mep = mep_p(2.0);
+        let closed = RgPlusLStar::new(2, 1.0);
+        let generic = LStar::new();
+        for &v in &[[0.6, 0.2], [0.6, 0.0], [1.0, 0.1]] {
+            for k in 1..=20 {
+                let u = k as f64 / 20.0;
+                let out = mep.scheme().sample(&v, u).unwrap();
+                let a = closed.estimate(&mep, &out);
+                let b = generic.estimate(&mep, &out);
+                assert!((a - b).abs() < 1e-8, "v={v:?} u={u}: closed {a} vs generic {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn closed_form_respects_scale() {
+        // Scale τ* = 2: values are halved relative to the unit problem and
+        // the estimate doubles (p = 1 homogeneity).
+        let mep2 = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[2.0, 2.0])).unwrap();
+        let closed = RgPlusLStar::new(1, 2.0);
+        let generic = LStar::new();
+        for k in 1..=20 {
+            let u = k as f64 / 20.0;
+            let out = mep2.scheme().sample(&[1.2, 0.4], u).unwrap();
+            let a = closed.estimate(&mep2, &out);
+            let b = generic.estimate(&mep2, &out);
+            assert!((a - b).abs() < 1e-8, "u={u}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn closed_form_handles_truncated_weights() {
+        // Weights above the PPS scale have inclusion probability 1; the
+        // closed form must match the generic quadrature path there.
+        let scale = 0.5;
+        let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[scale, scale])).unwrap();
+        let closed = RgPlusLStar::new(1, scale);
+        let generic = LStar::new();
+        for &v in &[[0.9, 0.2], [0.9, 0.6], [0.45, 0.2], [0.9, 0.0], [0.7, 0.65]] {
+            for k in 1..=20 {
+                let u = k as f64 / 20.0;
+                let out = mep.scheme().sample(&v, u).unwrap();
+                let a = closed.estimate(&mep, &out);
+                let b = generic.estimate(&mep, &out);
+                assert!(
+                    (a - b).abs() < 1e-7 * a.max(1.0),
+                    "v={v:?} u={u}: closed {a} vs generic {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn closed_form_unbiased_with_truncation_p2() {
+        use crate::quad::{integrate_with_breakpoints, QuadConfig};
+        let scale = 0.4;
+        let mep = Mep::new(RangePowPlus::new(2.0), TupleScheme::pps(&[scale, scale])).unwrap();
+        let closed = RgPlusLStar::new(2, scale);
+        for &v in &[[0.9, 0.3], [0.9, 0.0], [0.9, 0.5], [0.3, 0.1]] {
+            let cfg = QuadConfig::default();
+            let mean = integrate_with_breakpoints(
+                |u| {
+                    let out = mep.scheme().sample(&v, u).unwrap();
+                    closed.estimate(&mep, &out)
+                },
+                1e-9,
+                1.0,
+                &[v[0] / scale, v[1] / scale, 1.0],
+                &cfg,
+            );
+            let expect = (v[0] - v[1]).max(0.0).powi(2);
+            assert!(
+                (mean - expect).abs() < 1e-5 * expect.max(0.1),
+                "v={v:?}: mean {mean} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_when_first_entry_hidden() {
+        let mep = mep_p(1.0);
+        let out = mep.scheme().sample(&[0.6, 0.2], 0.7).unwrap();
+        assert_eq!(out.known(0), None);
+        assert_eq!(LStar::new().estimate(&mep, &out), 0.0);
+        assert_eq!(RgPlusLStar::new(1, 1.0).estimate(&mep, &out), 0.0);
+    }
+
+    #[test]
+    fn zero_when_range_is_zero() {
+        let mep = mep_p(1.0);
+        // v2 >= v1 revealed: f(v) = 0 must force a zero estimate.
+        let out = mep.scheme().sample(&[0.3, 0.8], 0.2).unwrap();
+        assert_eq!(LStar::new().estimate(&mep, &out), 0.0);
+    }
+
+    #[test]
+    fn unbiased_on_rg1plus() {
+        // ∫_0^1 f̂ᴸ(u, v) du = f(v), integrating the closed form over the path.
+        use crate::quad::{integrate_with_breakpoints, QuadConfig};
+        let mep = mep_p(1.0);
+        let closed = RgPlusLStar::new(1, 1.0);
+        for &v in &[[0.6, 0.2], [0.8, 0.5], [0.6, 0.0]] {
+            let cfg = QuadConfig::default();
+            let mean = integrate_with_breakpoints(
+                |u| {
+                    let out = mep.scheme().sample(&v, u).unwrap();
+                    closed.estimate(&mep, &out)
+                },
+                1e-9,
+                1.0,
+                &[v[1], v[0]],
+                &cfg,
+            );
+            let expect = v[0] - v[1];
+            assert!((mean - expect).abs() < 1e-5, "v={v:?}: mean {mean} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn monotone_in_seed() {
+        // Theorem 4.2: fixing data, the L* estimate is non-increasing in u.
+        let mep = mep_p(2.0);
+        let est = LStar::new();
+        let v = [0.7, 0.25];
+        let mut prev = f64::INFINITY;
+        for k in 1..=60 {
+            let u = k as f64 / 60.0;
+            let out = mep.scheme().sample(&v, u).unwrap();
+            let e = est.estimate(&mep, &out);
+            assert!(e <= prev + 1e-9, "not monotone at u={u}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn generic_works_for_symmetric_range_r3() {
+        // Sanity: unbiasedness of generic L* for RG1 over 3 instances.
+        use crate::quad::{integrate_with_breakpoints, QuadConfig};
+        let mep = Mep::new(RangePow::new(1.0, 3), TupleScheme::pps(&[1.0, 1.0, 1.0])).unwrap();
+        let est = LStar::with_quad(QuadConfig::fast());
+        let v = [0.7, 0.2, 0.4];
+        let cfg = QuadConfig::fast();
+        let mean = integrate_with_breakpoints(
+            |u| {
+                let out = mep.scheme().sample(&v, u).unwrap();
+                est.estimate(&mep, &out)
+            },
+            1e-7,
+            1.0,
+            &[0.2, 0.4, 0.7],
+            &cfg,
+        );
+        let expect = 0.5;
+        assert!((mean - expect).abs() < 2e-3, "mean {mean} vs {expect}");
+    }
+
+    #[test]
+    fn generic_works_for_tuple_max() {
+        use crate::quad::{integrate_with_breakpoints, QuadConfig};
+        let mep = Mep::new(TupleMax::new(2), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+        let est = LStar::new();
+        let v = [0.5, 0.3];
+        let cfg = QuadConfig::default();
+        let mean = integrate_with_breakpoints(
+            |u| {
+                let out = mep.scheme().sample(&v, u).unwrap();
+                est.estimate(&mep, &out)
+            },
+            1e-9,
+            1.0,
+            &[0.3, 0.5],
+            &cfg,
+        );
+        assert!((mean - 0.5).abs() < 1e-4, "mean {mean}");
+    }
+}

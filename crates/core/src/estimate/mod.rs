@@ -1,0 +1,58 @@
+//! Estimators for monotone estimation problems.
+//!
+//! All estimators here are deterministic functions of the outcome (sample +
+//! seed), as the paper requires. The crate ships:
+//!
+//! * [`LStar`] — the paper's main contribution (Section 4): admissible,
+//!   monotone, 4-competitive, dominates Horvitz-Thompson;
+//! * [`UStar`] — the upper-extreme solution (Section 6), order-optimal for
+//!   data with large `f`;
+//! * [`HorvitzThompson`] — the classical inverse-probability baseline;
+//! * [`DyadicJ`] — the O(1)-competitive dyadic baseline in the spirit of the
+//!   J estimator of Cohen & Kaplan (RANDOM 2013), which the L\* bound of 4
+//!   improves on;
+//! * [`VOptimal`] — the per-data *oracle* (not a legal estimator: it peeks at
+//!   `v`), used as the denominator of competitive ratios;
+//! * closed forms [`RgPlusLStar`] / [`RgPlusUStar`] for exponentiated-range
+//!   functions under PPS, validating and accelerating the generic paths.
+
+mod ht;
+mod jest;
+mod lstar;
+mod ustar;
+mod voptimal;
+
+pub use ht::HorvitzThompson;
+pub use jest::DyadicJ;
+pub use lstar::{LStar, RgPlusLStar};
+pub use ustar::{RgPlusUStar, UStar};
+pub(crate) use ustar::sup_inf_slope as ustar_sup_inf_slope;
+pub use voptimal::VOptimal;
+
+use crate::func::ItemFn;
+use crate::problem::Mep;
+use crate::scheme::{Outcome, ThresholdFn};
+
+/// An estimator applicable to the outcomes of a monotone estimation problem.
+///
+/// Implementations must be deterministic in the outcome. Unbiasedness and
+/// nonnegativity are contracts of the specific estimator types, verified by
+/// this crate's test suite rather than the type system.
+pub trait MonotoneEstimator<F: ItemFn, T: ThresholdFn> {
+    /// The estimate `f̂(S)` for an outcome of `mep`.
+    fn estimate(&self, mep: &Mep<F, T>, outcome: &Outcome) -> f64;
+
+    /// A short display name for tables and experiment output.
+    fn name(&self) -> &'static str;
+}
+
+impl<F: ItemFn, T: ThresholdFn, E: MonotoneEstimator<F, T> + ?Sized> MonotoneEstimator<F, T>
+    for &E
+{
+    fn estimate(&self, mep: &Mep<F, T>, outcome: &Outcome) -> f64 {
+        (**self).estimate(mep, outcome)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}

@@ -1,0 +1,134 @@
+//! The logical-OR (distinct-count) item function.
+//!
+//! The paper's introduction lists *distinct counts* — the number of items
+//! with a positive entry in at least one instance — as a sum aggregate of
+//! logical OR. The per-item function is the indicator `f(v) = 1` iff some
+//! entry is positive, whose L\* estimator over coordinated samples yields
+//! the classic coordinated distinct-count estimators.
+
+use super::ItemFn;
+
+/// `f(v) = 1` if any entry is positive, else `0` (logical OR).
+///
+/// # Examples
+///
+/// ```
+/// use monotone_core::func::{DistinctOr, ItemFn};
+///
+/// let f = DistinctOr::new(2);
+/// assert_eq!(f.eval(&[0.0, 0.4]), 1.0);
+/// assert_eq!(f.eval(&[0.0, 0.0]), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistinctOr {
+    arity: usize,
+}
+
+impl DistinctOr {
+    /// Creates the OR indicator over `arity >= 1` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity == 0`.
+    pub fn new(arity: usize) -> DistinctOr {
+        assert!(arity >= 1, "DistinctOr needs at least one entry");
+        DistinctOr { arity }
+    }
+}
+
+impl ItemFn for DistinctOr {
+    fn arity(&self) -> usize {
+        self.arity
+    }
+
+    fn eval(&self, v: &[f64]) -> f64 {
+        assert_eq!(v.len(), self.arity, "DistinctOr arity mismatch");
+        if v.iter().any(|&x| x > 0.0) {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    fn box_inf(&self, known: &[Option<f64>], _caps: &[f64]) -> f64 {
+        // Hidden entries can be 0; the indicator is forced to 1 only by a
+        // positive known entry.
+        if known.iter().flatten().any(|&x| x > 0.0) {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    fn box_sup(&self, known: &[Option<f64>], caps: &[f64]) -> f64 {
+        for (i, k) in known.iter().enumerate() {
+            match k {
+                Some(x) if *x > 0.0 => return 1.0,
+                None if caps[i] > 0.0 => return 1.0,
+                _ => {}
+            }
+        }
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::{HorvitzThompson, LStar, MonotoneEstimator};
+    use crate::problem::Mep;
+    use crate::quad::{integrate_with_breakpoints, QuadConfig};
+    use crate::scheme::TupleScheme;
+
+    #[test]
+    fn indicator_semantics() {
+        let f = DistinctOr::new(3);
+        assert_eq!(f.eval(&[0.0, 0.0, 0.0]), 0.0);
+        assert_eq!(f.eval(&[0.0, 0.1, 0.0]), 1.0);
+        assert_eq!(f.box_inf(&[None, Some(0.5), None], &[0.1, 0.0, 0.1]), 1.0);
+        assert_eq!(f.box_inf(&[None, None, None], &[0.1, 0.1, 0.1]), 0.0);
+        assert_eq!(f.box_sup(&[None, None, None], &[0.1, 0.0, 0.0]), 1.0);
+        assert_eq!(f.box_sup(&[Some(0.0), None, None], &[0.0, 0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn lstar_unbiased_for_distinct_count() {
+        // L* on the OR indicator under coordinated PPS: the estimate
+        // integrates to 1 for any item present in some instance.
+        let mep = Mep::new(DistinctOr::new(2), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+        let est = LStar::new();
+        for &v in &[[0.4, 0.0], [0.4, 0.7], [0.0, 0.2]] {
+            let cfg = QuadConfig::default();
+            let mean = integrate_with_breakpoints(
+                |u| {
+                    let out = mep.scheme().sample(&v, u).unwrap();
+                    est.estimate(&mep, &out)
+                },
+                1e-10,
+                1.0,
+                &[v[0], v[1]],
+                &cfg,
+            );
+            assert!((mean - 1.0).abs() < 1e-6, "v={v:?}: mean {mean}");
+        }
+    }
+
+    #[test]
+    fn lstar_is_inverse_probability_here() {
+        // For the indicator, f̄ is a step (0/1), so L* coincides with HT:
+        // 1/p on revealing outcomes where p = max inclusion probability.
+        let mep = Mep::new(DistinctOr::new(2), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+        let lstar = LStar::new();
+        let ht = HorvitzThompson::new();
+        let v = [0.4, 0.7];
+        for &u in &[0.1, 0.3, 0.5, 0.65] {
+            let out = mep.scheme().sample(&v, u).unwrap();
+            let a = lstar.estimate(&mep, &out);
+            let b = ht.estimate(&mep, &out);
+            assert!((a - b).abs() < 1e-6, "u={u}: L* {a} vs HT {b}");
+            if u <= 0.7 {
+                assert!((a - 1.0 / 0.7).abs() < 1e-6, "u={u}: {a}");
+            }
+        }
+    }
+}

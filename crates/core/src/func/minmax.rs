@@ -1,0 +1,166 @@
+//! Coordinate-wise minimum and maximum functions.
+//!
+//! Closeness similarity over all-distances sketches (paper, Section 7 and
+//! [9]) estimates `Σ_i α(max(d_vi, d_ui))` and `Σ_i α(min(d_vi, d_ui))`.
+//! On the α-transformed scale those are `min` and `max` of the tuple,
+//! respectively (α is non-increasing), so the per-item monotone estimation
+//! problems use [`TupleMin`] and [`TupleMax`].
+
+use super::ItemFn;
+
+/// `f(v) = min_i v_i` over `r` entries.
+///
+/// # Examples
+///
+/// ```
+/// use monotone_core::func::{ItemFn, TupleMin};
+///
+/// let f = TupleMin::new(2);
+/// assert_eq!(f.eval(&[0.3, 0.8]), 0.3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TupleMin {
+    arity: usize,
+}
+
+impl TupleMin {
+    /// Creates the minimum function over `arity >= 1` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity == 0`.
+    pub fn new(arity: usize) -> TupleMin {
+        assert!(arity >= 1, "TupleMin needs at least one entry");
+        TupleMin { arity }
+    }
+}
+
+impl ItemFn for TupleMin {
+    fn arity(&self) -> usize {
+        self.arity
+    }
+
+    fn eval(&self, v: &[f64]) -> f64 {
+        assert_eq!(v.len(), self.arity, "TupleMin arity mismatch");
+        v.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    fn box_inf(&self, known: &[Option<f64>], _caps: &[f64]) -> f64 {
+        // Any unknown entry can be 0, dragging the minimum to 0.
+        if known.iter().any(|k| k.is_none()) {
+            0.0
+        } else {
+            known.iter().map(|k| k.unwrap()).fold(f64::INFINITY, f64::min)
+        }
+    }
+
+    fn box_sup(&self, known: &[Option<f64>], caps: &[f64]) -> f64 {
+        let mut m = f64::INFINITY;
+        for (i, k) in known.iter().enumerate() {
+            m = m.min(k.unwrap_or(caps[i]));
+        }
+        m
+    }
+}
+
+/// `f(v) = max_i v_i` over `r` entries.
+///
+/// # Examples
+///
+/// ```
+/// use monotone_core::func::{ItemFn, TupleMax};
+///
+/// let f = TupleMax::new(2);
+/// assert_eq!(f.eval(&[0.3, 0.8]), 0.8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TupleMax {
+    arity: usize,
+}
+
+impl TupleMax {
+    /// Creates the maximum function over `arity >= 1` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity == 0`.
+    pub fn new(arity: usize) -> TupleMax {
+        assert!(arity >= 1, "TupleMax needs at least one entry");
+        TupleMax { arity }
+    }
+}
+
+impl ItemFn for TupleMax {
+    fn arity(&self) -> usize {
+        self.arity
+    }
+
+    fn eval(&self, v: &[f64]) -> f64 {
+        assert_eq!(v.len(), self.arity, "TupleMax arity mismatch");
+        v.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    fn box_inf(&self, known: &[Option<f64>], _caps: &[f64]) -> f64 {
+        // Unknown entries can all be 0; the max of knowns remains.
+        known
+            .iter()
+            .flatten()
+            .copied()
+            .fold(0.0f64, f64::max)
+    }
+
+    fn box_sup(&self, known: &[Option<f64>], caps: &[f64]) -> f64 {
+        let mut m = f64::NEG_INFINITY;
+        for (i, k) in known.iter().enumerate() {
+            m = m.max(k.unwrap_or(caps[i]));
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::test_util::{grid_box_inf, grid_box_sup};
+
+    #[test]
+    fn min_extrema_match_grid() {
+        let f = TupleMin::new(2);
+        let cases: &[(&[Option<f64>], &[f64])] = &[
+            (&[Some(0.6), None], &[0.0, 0.3]),
+            (&[None, None], &[0.4, 0.7]),
+            (&[Some(0.2), Some(0.9)], &[0.0, 0.0]),
+        ];
+        for (known, caps) in cases {
+            assert!((f.box_inf(known, caps) - grid_box_inf(&f, known, caps, 50)).abs() < 1e-12);
+            assert!((f.box_sup(known, caps) - grid_box_sup(&f, known, caps, 50)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn max_extrema_match_grid() {
+        let f = TupleMax::new(3);
+        let cases: &[(&[Option<f64>], &[f64])] = &[
+            (&[Some(0.6), None, None], &[0.0, 0.3, 0.9]),
+            (&[None, None, None], &[0.4, 0.7, 0.1]),
+        ];
+        for (known, caps) in cases {
+            assert!((f.box_inf(known, caps) - grid_box_inf(&f, known, caps, 30)).abs() < 1e-12);
+            assert!((f.box_sup(known, caps) - grid_box_sup(&f, known, caps, 30)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn max_lower_bound_only_sees_knowns() {
+        let f = TupleMax::new(2);
+        assert_eq!(f.box_inf(&[Some(0.5), None], &[0.0, 0.9]), 0.5);
+        assert_eq!(f.box_inf(&[None, None], &[0.9, 0.9]), 0.0);
+    }
+
+    #[test]
+    fn min_lower_bound_needs_all_entries() {
+        let f = TupleMin::new(2);
+        assert_eq!(f.box_inf(&[Some(0.5), None], &[0.0, 0.9]), 0.0);
+        assert_eq!(f.box_inf(&[Some(0.5), Some(0.7)], &[0.0, 0.0]), 0.5);
+    }
+}

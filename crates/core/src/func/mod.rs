@@ -1,0 +1,173 @@
+//! Item functions `f : V -> R≥0` together with the optimization primitives
+//! that monotone estimators need.
+//!
+//! An outcome of a monotone sampling scheme constrains the data vector to a
+//! *box*: some entries are known exactly, the rest are only upper-bounded by
+//! the thresholds at the seed (`z_i ∈ [0, cap_i)`). Every estimator in this
+//! crate is driven by the infimum of `f` over such boxes (the lower-bound
+//! function of the paper, Section 2), and the U\* estimator and
+//! Horvitz-Thompson additionally need the supremum.
+//!
+//! Implementations provide these extrema analytically; a generic
+//! corner-enumeration default covers `sup_lower_bound`, the primitive behind
+//! the upper end of the optimal range (Section 3) and the U\* integral
+//! equation (Section 6).
+
+mod distinct;
+mod linear;
+mod minmax;
+mod range_pow;
+mod scalar;
+
+pub use distinct::DistinctOr;
+pub use linear::LinearAbsPow;
+pub use minmax::{TupleMax, TupleMin};
+pub use range_pow::{RangePow, RangePowPlus};
+pub use scalar::{PowerGapFamily, ScalarDecreasing};
+
+/// A nonnegative function of a nonnegative data tuple, with analytic extrema
+/// over outcome boxes.
+///
+/// The *box* associated with an outcome is
+/// `B(known, caps) = { z : z_i = known_i if known_i = Some(..), else 0 <= z_i <= cap_i }`.
+/// (The paper's boxes are half open at the caps; for the continuous functions
+/// implemented here the closed-box extrema coincide and are cheaper to state.)
+///
+/// # Contract
+///
+/// * `eval(v) >= 0` for all `v` with `v.len() == arity()`.
+/// * `box_inf(known, caps) = inf { eval(z) : z ∈ B }` and
+///   `box_sup(known, caps) = sup { eval(z) : z ∈ B }`.
+/// * `sup_lower_bound(known, caps_rho, caps_eta)` equals
+///   `sup_{z ∈ B(known, caps_rho)} inf { eval(w) : w ∈ B(known_eta(z), caps_eta) }`
+///   where `known_eta(z)` reveals coordinate `i` of `z` iff `z_i >= caps_eta_i`
+///   (entries above the finer threshold become visible at the finer seed).
+pub trait ItemFn {
+    /// Number of entries `r` of the data tuples this function accepts.
+    fn arity(&self) -> usize;
+
+    /// Evaluates `f(v)`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `v.len() != self.arity()`.
+    fn eval(&self, v: &[f64]) -> f64;
+
+    /// Infimum of `f` over the outcome box.
+    fn box_inf(&self, known: &[Option<f64>], caps: &[f64]) -> f64;
+
+    /// Supremum of `f` over the outcome box.
+    fn box_sup(&self, known: &[Option<f64>], caps: &[f64]) -> f64;
+
+    /// `sup` over data vectors `z` consistent with the outcome box at seed
+    /// `ρ` of the lower bound of `z` at a finer seed `η` (`caps_eta <= caps_rho`
+    /// elementwise).
+    ///
+    /// The default enumerates box corners (`z_i ∈ {0, caps_rho_i}` for each
+    /// unknown coordinate) and is exact for coordinate-monotone families such
+    /// as [`RangePow`], [`RangePowPlus`], [`TupleMin`], [`TupleMax`] and
+    /// [`LinearAbsPow`]; override for speed or for functions with interior
+    /// maximizers.
+    fn sup_lower_bound(&self, known: &[Option<f64>], caps_rho: &[f64], caps_eta: &[f64]) -> f64 {
+        corner_sup_lower_bound(self, known, caps_rho, caps_eta)
+    }
+}
+
+/// Corner-enumeration implementation of [`ItemFn::sup_lower_bound`].
+///
+/// For each unknown coordinate, the candidate data values are `0` and the
+/// cap at `ρ` (approached from below). A corner value `c = caps_rho[i]` is
+/// visible at `η` iff `caps_eta[i] < c` (the entry clears the finer
+/// threshold); the corner value `0` is visible iff `caps_eta[i] == 0`.
+pub fn corner_sup_lower_bound<F: ItemFn + ?Sized>(
+    f: &F,
+    known: &[Option<f64>],
+    caps_rho: &[f64],
+    caps_eta: &[f64],
+) -> f64 {
+    let r = known.len();
+    let unknown: Vec<usize> = (0..r).filter(|&i| known[i].is_none()).collect();
+    let m = unknown.len();
+    if m == 0 {
+        return f.box_inf(known, caps_eta);
+    }
+    let mut best = f64::NEG_INFINITY;
+    let mut known_eta: Vec<Option<f64>> = known.to_vec();
+    for mask in 0u32..(1u32 << m) {
+        for (bit, &i) in unknown.iter().enumerate() {
+            let corner = if mask & (1 << bit) != 0 { caps_rho[i] } else { 0.0 };
+            // Visible at η iff the corner value clears the η threshold.
+            let visible = if corner > 0.0 {
+                caps_eta[i] < corner
+            } else {
+                caps_eta[i] <= 0.0
+            };
+            known_eta[i] = if visible { Some(corner) } else { None };
+        }
+        let lb = f.box_inf(&known_eta, caps_eta);
+        if lb > best {
+            best = lb;
+        }
+    }
+    best
+}
+
+impl<F: ItemFn + ?Sized> ItemFn for &F {
+    fn arity(&self) -> usize {
+        (**self).arity()
+    }
+    fn eval(&self, v: &[f64]) -> f64 {
+        (**self).eval(v)
+    }
+    fn box_inf(&self, known: &[Option<f64>], caps: &[f64]) -> f64 {
+        (**self).box_inf(known, caps)
+    }
+    fn box_sup(&self, known: &[Option<f64>], caps: &[f64]) -> f64 {
+        (**self).box_sup(known, caps)
+    }
+    fn sup_lower_bound(&self, known: &[Option<f64>], caps_rho: &[f64], caps_eta: &[f64]) -> f64 {
+        (**self).sup_lower_bound(known, caps_rho, caps_eta)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use super::ItemFn;
+
+    /// Brute-force box extrema by grid search, for validating the analytic
+    /// implementations.
+    pub fn grid_box_inf<F: ItemFn>(f: &F, known: &[Option<f64>], caps: &[f64], n: usize) -> f64 {
+        extremum(f, known, caps, n, true)
+    }
+
+    pub fn grid_box_sup<F: ItemFn>(f: &F, known: &[Option<f64>], caps: &[f64], n: usize) -> f64 {
+        extremum(f, known, caps, n, false)
+    }
+
+    fn extremum<F: ItemFn>(
+        f: &F,
+        known: &[Option<f64>],
+        caps: &[f64],
+        n: usize,
+        minimize: bool,
+    ) -> f64 {
+        let r = known.len();
+        let unknown: Vec<usize> = (0..r).filter(|&i| known[i].is_none()).collect();
+        let mut v: Vec<f64> = known.iter().map(|k| k.unwrap_or(0.0)).collect();
+        let mut best = if minimize { f64::INFINITY } else { f64::NEG_INFINITY };
+        let combos = (n + 1).pow(unknown.len() as u32);
+        for c in 0..combos {
+            let mut rem = c;
+            for &i in &unknown {
+                let step = rem % (n + 1);
+                rem /= n + 1;
+                v[i] = caps[i] * step as f64 / n as f64;
+            }
+            let val = f.eval(&v);
+            if (minimize && val < best) || (!minimize && val > best) {
+                best = val;
+            }
+        }
+        best
+    }
+}

@@ -1,0 +1,337 @@
+//! Exponentiated range functions `RGp` and `RGp+` (paper, Example 1).
+//!
+//! `RGp(v) = (max(v) - min(v))^p` sum-aggregates to the `Lp` difference
+//! raised to `p`; `RGp+(v1, v2) = max(0, v1 - v2)^p` captures asymmetric
+//! (increase-only) change. These are the paper's running examples and the
+//! functions for which the L\* competitive ratio is 2 (p = 1) and 2.5 (p = 2).
+
+use super::ItemFn;
+
+/// `RGp+(v1, v2) = max(0, v1 - v2)^p` over pairs, the increase-only
+/// exponentiated range (paper, Examples 1, 3, 4).
+///
+/// # Examples
+///
+/// ```
+/// use monotone_core::func::{ItemFn, RangePowPlus};
+///
+/// let rg = RangePowPlus::new(2.0);
+/// assert!((rg.eval(&[0.6, 0.2]) - 0.16).abs() < 1e-12);
+/// assert_eq!(rg.eval(&[0.2, 0.6]), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RangePowPlus {
+    p: f64,
+}
+
+impl RangePowPlus {
+    /// Creates `RGp+` with exponent `p > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not finite and positive.
+    pub fn new(p: f64) -> RangePowPlus {
+        assert!(p.is_finite() && p > 0.0, "RGp+ exponent must be positive, got {p}");
+        RangePowPlus { p }
+    }
+
+    /// The exponent `p`.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    fn pow(&self, d: f64) -> f64 {
+        if d <= 0.0 {
+            0.0
+        } else if self.p == 1.0 {
+            d
+        } else if self.p == 2.0 {
+            d * d
+        } else {
+            d.powf(self.p)
+        }
+    }
+}
+
+impl ItemFn for RangePowPlus {
+    fn arity(&self) -> usize {
+        2
+    }
+
+    fn eval(&self, v: &[f64]) -> f64 {
+        assert_eq!(v.len(), 2, "RGp+ is a pair function");
+        self.pow(v[0] - v[1])
+    }
+
+    fn box_inf(&self, known: &[Option<f64>], caps: &[f64]) -> f64 {
+        // Minimize v1 - v2: smallest feasible v1, largest feasible v2.
+        let lo1 = known[0].unwrap_or(0.0);
+        let hi2 = known[1].unwrap_or(caps[1]);
+        self.pow(lo1 - hi2)
+    }
+
+    fn box_sup(&self, known: &[Option<f64>], caps: &[f64]) -> f64 {
+        let hi1 = known[0].unwrap_or(caps[0]);
+        let lo2 = known[1].unwrap_or(0.0);
+        self.pow(hi1 - lo2)
+    }
+
+    fn sup_lower_bound(&self, known: &[Option<f64>], caps_rho: &[f64], caps_eta: &[f64]) -> f64 {
+        // The maximizing completion takes v1 as large as the ρ-box allows and
+        // v2 = 0 (which at η is still capped by the finer threshold).
+        let top = match known[0] {
+            Some(a) => a,
+            None => {
+                if caps_eta[0] < caps_rho[0] {
+                    caps_rho[0]
+                } else {
+                    // A hidden first entry stays hidden at η: its completion
+                    // can be 0, so the lower bound collapses to 0.
+                    return 0.0;
+                }
+            }
+        };
+        let sub = known[1].unwrap_or(caps_eta[1]);
+        self.pow(top - sub)
+    }
+}
+
+/// `RGp(v) = (max(v) - min(v))^p` over `r >= 1` entries, the symmetric
+/// exponentiated range whose sum aggregate is `Lp^p` (paper, Example 1).
+///
+/// # Examples
+///
+/// ```
+/// use monotone_core::func::{ItemFn, RangePow};
+///
+/// let rg = RangePow::new(1.0, 3);
+/// assert_eq!(rg.eval(&[0.1, 0.7, 0.4]), 0.6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RangePow {
+    p: f64,
+    arity: usize,
+}
+
+impl RangePow {
+    /// Creates `RGp` over `arity` instances with exponent `p > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not positive or `arity == 0`.
+    pub fn new(p: f64, arity: usize) -> RangePow {
+        assert!(p.is_finite() && p > 0.0, "RGp exponent must be positive, got {p}");
+        assert!(arity >= 1, "RGp needs at least one entry");
+        RangePow { p, arity }
+    }
+
+    /// The exponent `p`.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    fn pow(&self, d: f64) -> f64 {
+        if d <= 0.0 {
+            0.0
+        } else if self.p == 1.0 {
+            d
+        } else if self.p == 2.0 {
+            d * d
+        } else {
+            d.powf(self.p)
+        }
+    }
+}
+
+impl ItemFn for RangePow {
+    fn arity(&self) -> usize {
+        self.arity
+    }
+
+    fn eval(&self, v: &[f64]) -> f64 {
+        assert_eq!(v.len(), self.arity, "RGp arity mismatch");
+        let mut max = f64::NEG_INFINITY;
+        let mut min = f64::INFINITY;
+        for &x in v {
+            max = max.max(x);
+            min = min.min(x);
+        }
+        self.pow(max - min)
+    }
+
+    fn box_inf(&self, known: &[Option<f64>], caps: &[f64]) -> f64 {
+        // Known entries fix the range [m, M]; an unknown entry with cap >= m
+        // can be placed inside [m, M] and never extends the range, while an
+        // unknown entry with cap < m is forced below m and extends it to cap.
+        let mut max_k = f64::NEG_INFINITY;
+        let mut min_k = f64::INFINITY;
+        for k in known.iter().flatten() {
+            max_k = max_k.max(*k);
+            min_k = min_k.min(*k);
+        }
+        if !max_k.is_finite() {
+            return 0.0; // nothing known: the all-equal completion has range 0
+        }
+        let mut eff_min = min_k;
+        for (i, k) in known.iter().enumerate() {
+            if k.is_none() && caps[i] < eff_min {
+                eff_min = caps[i];
+            }
+        }
+        self.pow(max_k - eff_min)
+    }
+
+    fn box_sup(&self, known: &[Option<f64>], caps: &[f64]) -> f64 {
+        // The supremum is attained at a corner (each unknown at 0 or its cap).
+        let unknown: Vec<usize> = (0..known.len()).filter(|&i| known[i].is_none()).collect();
+        let mut max_k = f64::NEG_INFINITY;
+        let mut min_k = f64::INFINITY;
+        for k in known.iter().flatten() {
+            max_k = max_k.max(*k);
+            min_k = min_k.min(*k);
+        }
+        if unknown.is_empty() {
+            return self.pow(max_k - min_k);
+        }
+        let mut best: f64 = 0.0;
+        for mask in 0u32..(1u32 << unknown.len()) {
+            let mut max = max_k;
+            let mut min = min_k;
+            for (bit, &i) in unknown.iter().enumerate() {
+                let z = if mask & (1 << bit) != 0 { caps[i] } else { 0.0 };
+                max = max.max(z);
+                min = min.min(z);
+            }
+            if max.is_finite() {
+                best = best.max(self.pow(max - min));
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::test_util::{grid_box_inf, grid_box_sup};
+    use crate::func::corner_sup_lower_bound;
+
+    #[test]
+    fn rg_plus_eval_matches_paper_example1() {
+        // L1+({b,c,e}) item terms: max{0,0-0.44}, max{0,0.23-0}, max{0,0.10-0.05}.
+        let rg = RangePowPlus::new(1.0);
+        assert_eq!(rg.eval(&[0.0, 0.44]), 0.0);
+        assert_eq!(rg.eval(&[0.23, 0.0]), 0.23);
+        assert!((rg.eval(&[0.10, 0.05]) - 0.05).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rg_plus_box_inf_is_example3_lower_bound() {
+        // Paper Example 3: RGp+ LB for data v = (v1, v2) under PPS(1) is
+        // max(0, v1 - max(v2, u))^p. With v1 sampled and v2 unsampled at
+        // seed u, box_inf(known=[v1, None], caps=[u, u]) must reproduce it.
+        let rg = RangePowPlus::new(0.5);
+        for &(v1, v2) in &[(0.6f64, 0.2f64), (0.6, 0.0)] {
+            for k in 1..20 {
+                let u = k as f64 / 20.0;
+                let expect = (v1 - v2.max(u)).max(0.0).powf(0.5);
+                let got = if u <= v2 {
+                    rg.box_inf(&[Some(v1), Some(v2)], &[u, u])
+                } else if u <= v1 {
+                    rg.box_inf(&[Some(v1), None], &[u, u])
+                } else {
+                    rg.box_inf(&[None, None], &[u, u])
+                };
+                assert!((got - expect).abs() < 1e-12, "u={u} got={got} expect={expect}");
+            }
+        }
+    }
+
+    #[test]
+    fn rg_plus_extrema_match_grid_search() {
+        let rg = RangePowPlus::new(2.0);
+        let cases: &[(&[Option<f64>], &[f64])] = &[
+            (&[Some(0.6), None], &[0.3, 0.3]),
+            (&[None, Some(0.2)], &[0.5, 0.5]),
+            (&[None, None], &[0.4, 0.7]),
+            (&[Some(0.9), Some(0.1)], &[0.05, 0.05]),
+        ];
+        for (known, caps) in cases {
+            let inf = rg.box_inf(known, caps);
+            let sup = rg.box_sup(known, caps);
+            let ginf = grid_box_inf(&rg, known, caps, 100);
+            let gsup = grid_box_sup(&rg, known, caps, 100);
+            assert!((inf - ginf).abs() < 1e-9, "inf {inf} vs grid {ginf}");
+            assert!((sup - gsup).abs() < 1e-9, "sup {sup} vs grid {gsup}");
+        }
+    }
+
+    #[test]
+    fn rg_plus_sup_lower_bound_matches_corner_default() {
+        let rg = RangePowPlus::new(1.5);
+        let cases: &[(&[Option<f64>], &[f64], &[f64])] = &[
+            (&[Some(0.6), None], &[0.3, 0.3], &[0.1, 0.1]),
+            (&[Some(0.6), None], &[0.3, 0.3], &[0.3, 0.3]),
+            (&[None, None], &[0.5, 0.5], &[0.2, 0.2]),
+            (&[None, None], &[0.5, 0.5], &[0.5, 0.5]),
+            (&[Some(0.8), Some(0.3)], &[0.2, 0.2], &[0.1, 0.1]),
+            (&[None, Some(0.4)], &[0.3, 0.9], &[0.05, 0.9]),
+        ];
+        for (known, cr, ce) in cases {
+            let analytic = rg.sup_lower_bound(known, cr, ce);
+            let corner = corner_sup_lower_bound(&rg, known, cr, ce);
+            assert!(
+                (analytic - corner).abs() < 1e-12,
+                "analytic {analytic} vs corner {corner} for {known:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rg_eval_symmetric_range() {
+        let rg = RangePow::new(2.0, 2);
+        assert!((rg.eval(&[0.23, 0.0]) - 0.0529).abs() < 1e-12);
+        assert!((rg.eval(&[0.0, 0.23]) - 0.0529).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rg_box_inf_clamps_interior() {
+        // known = {0.5}, unknown cap 1.0: the unknown can sit at 0.5 exactly,
+        // so the infimum range is 0 (not a corner value).
+        let rg = RangePow::new(1.0, 2);
+        assert_eq!(rg.box_inf(&[Some(0.5), None], &[0.0, 1.0]), 0.0);
+        // cap below the known minimum forces an extension.
+        assert!((rg.box_inf(&[Some(0.5), None], &[0.0, 0.2]) - 0.3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rg_extrema_match_grid_search_r3() {
+        let rg = RangePow::new(1.0, 3);
+        let cases: &[(&[Option<f64>], &[f64])] = &[
+            (&[Some(0.7), None, Some(0.1)], &[0.0, 0.4, 0.0]),
+            (&[Some(0.7), None, None], &[0.0, 0.4, 0.2]),
+            (&[None, None, None], &[0.3, 0.4, 0.2]),
+            (&[Some(0.5), Some(0.5), Some(0.5)], &[0.0, 0.0, 0.0]),
+        ];
+        for (known, caps) in cases {
+            let inf = rg.box_inf(known, caps);
+            let sup = rg.box_sup(known, caps);
+            let ginf = grid_box_inf(&rg, known, caps, 40);
+            let gsup = grid_box_sup(&rg, known, caps, 40);
+            assert!((inf - ginf).abs() < 1e-9, "inf {inf} vs grid {ginf} for {known:?}");
+            assert!((sup - gsup).abs() < 1e-9, "sup {sup} vs grid {gsup} for {known:?}");
+        }
+    }
+
+    #[test]
+    fn rg_nothing_known_inf_zero() {
+        let rg = RangePow::new(2.0, 3);
+        assert_eq!(rg.box_inf(&[None, None, None], &[1.0, 1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent must be positive")]
+    fn rg_rejects_nonpositive_exponent() {
+        let _ = RangePow::new(0.0, 2);
+    }
+}

@@ -1,0 +1,67 @@
+//! # monotone-core
+//!
+//! Estimators for **monotone sampling**, reproducing Edith Cohen,
+//! *"Estimation for Monotone Sampling: Competitiveness and Customization"*
+//! (PODC 2014, arXiv:1212.0243).
+//!
+//! A *monotone sampling scheme* summarizes a data vector `v` by a sample
+//! `S(v, u)` driven by a single seed `u ~ U(0, 1]`, where smaller seeds give
+//! strictly more information. A *monotone estimation problem* asks for
+//! unbiased, nonnegative — and ideally admissible, variance-competitive and
+//! pattern-customized — estimators of `f(v) ≥ 0` from the sample. The prime
+//! application is estimating functions over **coordinated samples**
+//! (shared-seed PPS / bottom-k) of multiple data instances: distinct counts,
+//! Jaccard similarity, and `Lp` distances.
+//!
+//! ## What this crate provides
+//!
+//! * [`scheme`]: threshold sampling schemes over tuples (linear/PPS, step,
+//!   custom), outcomes, and path views;
+//! * [`func`]: item functions (`RGp`, `RGp+`, linear forms, min/max, scalar
+//!   families) with analytic box extrema — the lower/upper bound primitives;
+//! * [`problem`]: the [`problem::Mep`] bundle and lower-bound functions;
+//! * [`estimate`]: the **L\*** estimator (admissible, monotone,
+//!   4-competitive, dominates Horvitz-Thompson), the **U\*** estimator
+//!   (optimized for large `f`), Horvitz-Thompson, the dyadic **J** baseline,
+//!   and the v-optimal oracle;
+//! * [`discrete`]: exact ≺⁺-order-optimal estimators on finite domains
+//!   (the Example 5 construction), for any customization order;
+//! * [`optimal_range`]: the admissibility playing field `[λ_L, λ_U]`;
+//! * [`optimal_ratio`]: numeric search for instance-optimally competitive
+//!   estimators on discrete problems;
+//! * [`variance`] / [`existence`]: second moments, competitive ratios, and
+//!   the existence characterizations (9)–(11).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use monotone_core::estimate::{LStar, MonotoneEstimator};
+//! use monotone_core::func::RangePowPlus;
+//! use monotone_core::problem::Mep;
+//! use monotone_core::scheme::TupleScheme;
+//!
+//! # fn main() -> Result<(), monotone_core::Error> {
+//! // Estimate the one-sided difference RG1+(v) = max(0, v1 - v2) of a pair
+//! // of instances from a coordinated PPS sample with a shared seed.
+//! let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0]))?;
+//! let outcome = mep.scheme().sample(&[0.6, 0.2], 0.35)?;
+//! let estimate = LStar::new().estimate(&mep, &outcome);
+//! assert!(estimate > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod discrete;
+pub mod error;
+pub mod estimate;
+pub mod existence;
+pub mod func;
+pub mod hull;
+pub mod optimal_range;
+pub mod optimal_ratio;
+pub mod problem;
+pub mod quad;
+pub mod scheme;
+pub mod variance;
+
+pub use error::{Error, Result};

@@ -1,0 +1,206 @@
+//! The optimal range of estimates (paper, Section 3).
+//!
+//! Given an outcome `S(ρ, v)` and the mass `M = ∫_ρ¹ f̂(u, v) du` already
+//! committed on less-informative outcomes, the z-optimal estimates at `S`
+//! over consistent data `z ∈ S*` span the range `[λ_L(S, M), λ_U(S, M)]`
+//! (Eqs. (17)–(19)). Estimators that are *in range* almost everywhere are
+//! unbiased and nonnegative (Lemma 3.1), and being in range is necessary for
+//! admissibility (Theorem 3.1). L\* and U\* realize the two endpoints.
+
+use crate::error::Result;
+use crate::estimate::MonotoneEstimator;
+use crate::func::ItemFn;
+use crate::problem::Mep;
+use crate::quad::{integrate_with_breakpoints, QuadConfig};
+use crate::scheme::{Outcome, ThresholdFn};
+
+/// `λ_L(S, M) = (f̄(ρ) − M)/ρ` (Eq. (19)): the lower end of the optimal
+/// range, realized by data attaining the lower bound.
+pub fn lambda_l<F: ItemFn, T: ThresholdFn>(mep: &Mep<F, T>, outcome: &Outcome, m: f64) -> f64 {
+    let lb = mep.lower_bound(outcome);
+    (lb.at_seed() - m) / outcome.seed()
+}
+
+/// `λ_U(S, M) = sup_{z ∈ S*} λ(ρ, z, M)` (Eq. (18)): the upper end of the
+/// optimal range, computed by the corner sup-inf functional with `eta_grid`
+/// candidate η values (plus breakpoints and the boundary sliver).
+pub fn lambda_u<F: ItemFn, T: ThresholdFn>(
+    mep: &Mep<F, T>,
+    outcome: &Outcome,
+    m: f64,
+    eta_grid: usize,
+) -> f64 {
+    let rho = outcome.seed();
+    let r = mep.arity();
+    let caps_of = |u: f64| -> Vec<f64> {
+        (0..r).map(|i| mep.scheme().thresholds()[i].cap(u)).collect()
+    };
+    let mut eta_points: Vec<f64> = (0..eta_grid).map(|k| rho * k as f64 / eta_grid as f64).collect();
+    let lb = mep.lower_bound(outcome);
+    for bp in lb.breakpoints() {
+        if bp < rho {
+            eta_points.push(bp);
+        }
+    }
+    let etas: Vec<(f64, Vec<f64>)> = eta_points
+        .into_iter()
+        .map(|eta| (eta, caps_of(eta.max(f64::MIN_POSITIVE))))
+        .collect();
+
+    let mut known = Vec::with_capacity(r);
+    let mut caps = Vec::with_capacity(r);
+    mep.scheme().states_at(outcome, rho, &mut known, &mut caps);
+    let lb_rho = mep.f().box_inf(&known, &caps);
+    let m = m.min(lb_rho);
+
+    // Sliver candidate: chord to the path lower bound just below ρ.
+    let h = (rho / eta_grid as f64).max(1e-12);
+    let sliver = {
+        let mut k2 = Vec::with_capacity(r);
+        let mut c2 = Vec::with_capacity(r);
+        mep.scheme().states_at(outcome, rho, &mut k2, &mut c2);
+        // states at rho - h along the path: entries capped at rho stay
+        // capped with smaller caps; known entries stay known.
+        let caps_near = caps_of(rho - h);
+        for i in 0..r {
+            if k2[i].is_none() {
+                c2[i] = caps_near[i];
+            }
+        }
+        let lb_near = mep.f().box_inf(&k2, &c2);
+        (lb_near - m).max(0.0) / h
+    };
+
+    crate::estimate::ustar_sup_inf_slope(mep.f(), &known, &caps, rho, m, &etas, sliver)
+}
+
+/// The mass `M = ∫_ρ¹ f̂(u, v) du` an estimator commits above seed `ρ` along
+/// an outcome's path, by breakpoint-aware quadrature.
+pub fn committed_mass<F, T, E>(
+    mep: &Mep<F, T>,
+    est: &E,
+    outcome: &Outcome,
+    cfg: &QuadConfig,
+) -> Result<f64>
+where
+    F: ItemFn,
+    T: ThresholdFn,
+    E: MonotoneEstimator<F, T>,
+{
+    let rho = outcome.seed();
+    let lb = mep.lower_bound(outcome);
+    let bps = lb.breakpoints();
+    let scheme = mep.scheme();
+    let value = integrate_with_breakpoints(
+        |u| {
+            // Rebuild the less-informative outcome at u and estimate there.
+            let mut known = Vec::with_capacity(outcome.arity());
+            let mut caps = Vec::with_capacity(outcome.arity());
+            let mut entries = Vec::with_capacity(outcome.arity());
+            scheme.states_at(outcome, u, &mut known, &mut caps);
+            for k in known.iter() {
+                entries.push(match k {
+                    Some(w) => crate::scheme::EntryState::Known(*w),
+                    None => crate::scheme::EntryState::Capped,
+                });
+            }
+            match Outcome::from_parts(u, entries) {
+                Ok(out_u) => est.estimate(mep, &out_u),
+                Err(_) => 0.0,
+            }
+        },
+        rho,
+        1.0,
+        &bps,
+        cfg,
+    );
+    Ok(value)
+}
+
+/// Checks whether `value` is inside the optimal range at `outcome` given
+/// mass `m`, within absolute slack `tol`.
+pub fn in_range<F: ItemFn, T: ThresholdFn>(
+    mep: &Mep<F, T>,
+    outcome: &Outcome,
+    m: f64,
+    value: f64,
+    tol: f64,
+) -> bool {
+    let lo = lambda_l(mep, outcome, m);
+    let hi = lambda_u(mep, outcome, m, 256);
+    value >= lo - tol && value <= hi + tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::{LStar, RgPlusUStar};
+    use crate::func::RangePowPlus;
+    use crate::scheme::TupleScheme;
+
+    fn mep_p(p: f64) -> Mep<RangePowPlus, crate::scheme::LinearThreshold> {
+        Mep::new(RangePowPlus::new(p), TupleScheme::pps(&[1.0, 1.0])).unwrap()
+    }
+
+    #[test]
+    fn lstar_sits_at_lower_end() {
+        // L* solves (21a) with equality: its estimate equals λ_L given its
+        // own committed mass.
+        let mep = mep_p(1.0);
+        let lstar = LStar::new();
+        let cfg = QuadConfig::default();
+        for &(v, u) in &[([0.6, 0.2], 0.35), ([0.6, 0.0], 0.2), ([0.8, 0.3], 0.5)] {
+            let out = mep.scheme().sample(&v, u).unwrap();
+            let m = committed_mass(&mep, &lstar, &out, &cfg).unwrap();
+            let e = lstar.estimate(&mep, &out);
+            let lo = lambda_l(&mep, &out, m);
+            assert!((e - lo).abs() < 1e-5, "v={v:?} u={u}: {e} vs λ_L={lo}");
+        }
+    }
+
+    #[test]
+    fn ustar_sits_at_upper_end() {
+        let mep = mep_p(2.0);
+        let ustar = RgPlusUStar::new(2.0, 1.0);
+        let cfg = QuadConfig::default();
+        let v = [0.6, 0.2];
+        for &u in &[0.3, 0.45] {
+            let out = mep.scheme().sample(&v, u).unwrap();
+            let m = committed_mass(&mep, &ustar, &out, &cfg).unwrap();
+            let e = ustar.estimate(&mep, &out);
+            let hi = lambda_u(&mep, &out, m, 512);
+            assert!(
+                (e - hi).abs() < 5e-3 * e.max(1.0),
+                "u={u}: {e} vs λ_U={hi}"
+            );
+        }
+    }
+
+    #[test]
+    fn lstar_in_range_everywhere() {
+        let mep = mep_p(1.0);
+        let lstar = LStar::new();
+        let cfg = QuadConfig::default();
+        for &v in &[[0.6, 0.2], [0.6, 0.0]] {
+            for k in 1..=10 {
+                let u = k as f64 / 10.0;
+                let out = mep.scheme().sample(&v, u).unwrap();
+                let m = committed_mass(&mep, &lstar, &out, &cfg).unwrap();
+                let e = lstar.estimate(&mep, &out);
+                assert!(in_range(&mep, &out, m, e, 1e-4), "v={v:?} u={u} e={e}");
+            }
+        }
+    }
+
+    #[test]
+    fn range_endpoints_ordered() {
+        let mep = mep_p(1.0);
+        let out = mep.scheme().sample(&[0.6, 0.2], 0.35).unwrap();
+        // With no committed mass the range is widest.
+        let lo = lambda_l(&mep, &out, 0.0);
+        let hi = lambda_u(&mep, &out, 0.0, 256);
+        assert!(lo <= hi + 1e-9, "λ_L={lo} > λ_U={hi}");
+        // λ_L = f̄(ρ)/ρ = 0.25/0.35.
+        assert!((lo - 0.25 / 0.35).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,273 @@
+//! Numeric integration used by the generic estimator paths.
+//!
+//! The estimators of the paper are defined through definite integrals of the
+//! lower-bound function (for example Eq. (31), the L\* estimator). The
+//! integrands are piecewise smooth with kinks at outcome breakpoints, so we
+//! use adaptive Simpson quadrature with explicit breakpoint splitting and a
+//! minimum recursion depth that prevents premature convergence on flat
+//! regions.
+
+/// Configuration for adaptive Simpson quadrature.
+///
+/// # Examples
+///
+/// ```
+/// use monotone_core::quad::{integrate, QuadConfig};
+///
+/// let cfg = QuadConfig::default();
+/// let v = integrate(|x| x * x, 0.0, 1.0, &cfg);
+/// assert!((v - 1.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuadConfig {
+    /// Absolute tolerance per subinterval.
+    pub abs_tol: f64,
+    /// Maximum recursion depth (each level halves the interval).
+    pub max_depth: u32,
+    /// Minimum recursion depth, forcing refinement even when the Simpson
+    /// error estimate is small. Guards against kinks that alias to zero
+    /// error on coarse grids.
+    pub min_depth: u32,
+}
+
+impl Default for QuadConfig {
+    fn default() -> Self {
+        QuadConfig {
+            abs_tol: 1e-12,
+            max_depth: 40,
+            min_depth: 6,
+        }
+    }
+}
+
+impl QuadConfig {
+    /// A cheaper configuration for inner loops (benchmark paths).
+    pub fn fast() -> Self {
+        QuadConfig {
+            abs_tol: 1e-9,
+            max_depth: 24,
+            min_depth: 4,
+        }
+    }
+}
+
+fn simpson(fa: f64, fm: f64, fb: f64, h: f64) -> f64 {
+    (fa + 4.0 * fm + fb) * h / 6.0
+}
+
+#[allow(clippy::too_many_arguments)] // internal recursion carries its frame explicitly
+fn adaptive<F: Fn(f64) -> f64>(
+    f: &F,
+    a: f64,
+    b: f64,
+    fa: f64,
+    fm: f64,
+    fb: f64,
+    whole: f64,
+    depth: u32,
+    cfg: &QuadConfig,
+) -> f64 {
+    let m = 0.5 * (a + b);
+    let lm = 0.5 * (a + m);
+    let rm = 0.5 * (m + b);
+    let flm = f(lm);
+    let frm = f(rm);
+    let left = simpson(fa, flm, fm, m - a);
+    let right = simpson(fm, frm, fb, b - m);
+    let err = left + right - whole;
+    if depth >= cfg.min_depth && (err.abs() <= 15.0 * cfg.abs_tol || depth >= cfg.max_depth) {
+        return left + right + err / 15.0;
+    }
+    adaptive(f, a, m, fa, flm, fm, left, depth + 1, cfg)
+        + adaptive(f, m, b, fm, frm, fb, right, depth + 1, cfg)
+}
+
+/// Integrates `f` over `[a, b]` with adaptive Simpson quadrature.
+///
+/// Returns 0 when `b <= a`. The integrand is assumed finite on `[a, b]`.
+pub fn integrate<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, cfg: &QuadConfig) -> f64 {
+    if !(b > a) {
+        return 0.0;
+    }
+    let m = 0.5 * (a + b);
+    let fa = f(a);
+    let fm = f(m);
+    let fb = f(b);
+    let whole = simpson(fa, fm, fb, b - a);
+    adaptive(&f, a, b, fa, fm, fb, whole, 0, cfg)
+}
+
+/// Integrates `f` over `[a, b]`, first splitting at the supplied breakpoints.
+///
+/// Breakpoints outside `(a, b)` are ignored; the list need not be sorted or
+/// deduplicated. Use this when the integrand has kinks or jumps at known
+/// locations (outcome breakpoints of a lower-bound function).
+pub fn integrate_with_breakpoints<F: Fn(f64) -> f64>(
+    f: F,
+    a: f64,
+    b: f64,
+    breakpoints: &[f64],
+    cfg: &QuadConfig,
+) -> f64 {
+    if !(b > a) {
+        return 0.0;
+    }
+    let mut cuts: Vec<f64> = breakpoints
+        .iter()
+        .copied()
+        .filter(|&x| x > a && x < b && x.is_finite())
+        .collect();
+    cuts.sort_by(|x, y| x.partial_cmp(y).expect("finite breakpoints"));
+    cuts.dedup();
+    let mut total = 0.0;
+    let mut lo = a;
+    for cut in cuts {
+        if cut - lo > f64::EPSILON * lo.abs().max(1.0) {
+            total += integrate(&f, lo, cut, cfg);
+            lo = cut;
+        }
+    }
+    total += integrate(&f, lo, b, cfg);
+    total
+}
+
+/// Builds a geometric (log-uniform) grid of `n + 1` points from `eps` to `hi`.
+///
+/// Such grids resolve the behaviour of estimators near `u -> 0`, where the
+/// estimate may diverge while remaining square integrable.
+///
+/// # Panics
+///
+/// Panics if `eps <= 0`, `hi <= eps`, or `n == 0`.
+pub fn log_grid(eps: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(eps > 0.0 && hi > eps && n > 0, "log_grid requires 0 < eps < hi and n > 0");
+    let le = eps.ln();
+    let lh = hi.ln();
+    let mut pts = Vec::with_capacity(n + 1);
+    for k in 0..=n {
+        let t = k as f64 / n as f64;
+        pts.push((le + t * (lh - le)).exp());
+    }
+    // Guarantee exact endpoints despite rounding.
+    pts[0] = eps;
+    pts[n] = hi;
+    pts
+}
+
+/// Merges extra points (e.g. breakpoints) into a sorted grid, keeping the
+/// result sorted and deduplicated. Points outside `[grid[0], grid[last]]`
+/// are ignored.
+pub fn merge_into_grid(grid: &mut Vec<f64>, extra: &[f64]) {
+    if grid.is_empty() {
+        return;
+    }
+    let lo = grid[0];
+    let hi = grid[grid.len() - 1];
+    for &x in extra {
+        if x.is_finite() && x >= lo && x <= hi {
+            grid.push(x);
+        }
+    }
+    grid.sort_by(|a, b| a.partial_cmp(b).expect("finite grid"));
+    grid.dedup();
+}
+
+/// Trapezoid rule over tabulated values `ys` at points `xs` (same length).
+///
+/// # Panics
+///
+/// Panics if `xs.len() != ys.len()`.
+pub fn trapezoid(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "trapezoid requires matching lengths");
+    let mut total = 0.0;
+    for i in 1..xs.len() {
+        total += 0.5 * (ys[i] + ys[i - 1]) * (xs[i] - xs[i - 1]);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integrates_polynomial_exactly() {
+        let cfg = QuadConfig::default();
+        let v = integrate(|x| 3.0 * x * x, 0.0, 2.0, &cfg);
+        assert!((v - 8.0).abs() < 1e-10, "got {v}");
+    }
+
+    #[test]
+    fn integrates_reciprocal_square() {
+        // ∫_0.25^1 1/u² du = 4 - 1 = 3, the weight kernel of the L* estimator.
+        let cfg = QuadConfig::default();
+        let v = integrate(|u| 1.0 / (u * u), 0.25, 1.0, &cfg);
+        assert!((v - 3.0).abs() < 1e-9, "got {v}");
+    }
+
+    #[test]
+    fn handles_kink_with_breakpoint() {
+        // |x - 0.3| over [0,1]: exact 0.3²/2 + 0.7²/2 = 0.29.
+        let cfg = QuadConfig::default();
+        let v = integrate_with_breakpoints(|x| (x - 0.3f64).abs(), 0.0, 1.0, &[0.3], &cfg);
+        assert!((v - 0.29).abs() < 1e-11, "got {v}");
+    }
+
+    #[test]
+    fn handles_step_with_breakpoint() {
+        let f = |x: f64| if x < 0.5 { 1.0 } else { 3.0 };
+        let cfg = QuadConfig::default();
+        let v = integrate_with_breakpoints(f, 0.0, 1.0, &[0.5], &cfg);
+        assert!((v - 2.0).abs() < 1e-9, "got {v}");
+    }
+
+    #[test]
+    fn empty_interval_is_zero() {
+        let cfg = QuadConfig::default();
+        assert_eq!(integrate(|_| 1.0, 1.0, 1.0, &cfg), 0.0);
+        assert_eq!(integrate(|_| 1.0, 2.0, 1.0, &cfg), 0.0);
+    }
+
+    #[test]
+    fn breakpoints_outside_range_ignored() {
+        let cfg = QuadConfig::default();
+        let v = integrate_with_breakpoints(|x| x, 0.0, 1.0, &[-1.0, 0.0, 1.0, 2.0], &cfg);
+        assert!((v - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_grid_endpoints_and_monotone() {
+        let g = log_grid(1e-9, 1.0, 100);
+        assert_eq!(g.len(), 101);
+        assert_eq!(g[0], 1e-9);
+        assert_eq!(g[100], 1.0);
+        for w in g.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn merge_grid_dedups_and_sorts() {
+        let mut g = log_grid(0.01, 1.0, 10);
+        merge_into_grid(&mut g, &[0.5, 0.5, 0.02, 5.0, -1.0]);
+        assert!(g.windows(2).all(|w| w[1] > w[0]));
+        assert!(g.contains(&0.5));
+        assert!(!g.contains(&5.0));
+    }
+
+    #[test]
+    fn trapezoid_linear_exact() {
+        let xs = [0.0, 0.5, 1.0];
+        let ys = [0.0, 1.0, 2.0];
+        assert!((trapezoid(&xs, &ys) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ln_square_integral() {
+        // ∫_0^1 ln²(1/t) dt = 2 (used by the RG1 competitive-ratio test).
+        // Integrate away from the (integrable) singularity at 0.
+        let cfg = QuadConfig::default();
+        let v = integrate(|t: f64| t.ln() * t.ln(), 1e-12, 1.0, &cfg);
+        assert!((v - 2.0).abs() < 1e-6, "got {v}");
+    }
+}

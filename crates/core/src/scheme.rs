@@ -1,0 +1,491 @@
+//! Monotone sampling schemes over data tuples.
+//!
+//! A *monotone sampling scheme* (paper, Section 1) maps data `v` and a seed
+//! `u ~ U(0, 1]` to the set `S*(v, u)` of data vectors consistent with the
+//! sample, non-decreasing in `u`. The concrete schemes here are coordinated
+//! threshold schemes on tuples `v ∈ R^r_{≥0}`: entry `i` is included iff
+//! `v_i >= τ_i(u)` for per-entry non-decreasing threshold functions `τ_i`
+//! (paper, "Coordinated shared-seed sampling"). PPS sampling corresponds to
+//! linear thresholds `τ_i(u) = u·τ*_i`; all-distances sketches induce step
+//! thresholds.
+
+use crate::error::{check_seed, check_value, Error, Result};
+
+/// A per-entry threshold function `τ(u)`, non-decreasing in the seed `u`.
+///
+/// An entry of value `w` is sampled at seed `u` iff `w >= τ(u)`; its
+/// inclusion probability is `sup { u : τ(u) <= w }`.
+pub trait ThresholdFn {
+    /// Threshold value at seed `u ∈ (0, 1]`.
+    fn cap(&self, u: f64) -> f64;
+
+    /// Inclusion probability of a value `w`: the measure of seeds for which
+    /// `w` is sampled. Must satisfy `w >= cap(u) ⟺ u <= inclusion_prob(w)`
+    /// (up to boundary conventions).
+    fn inclusion_prob(&self, w: f64) -> f64;
+
+    /// Appends the seed values in `(lo, hi)` at which `τ` has kinks or jumps
+    /// (used to split integrals). Smooth thresholds append nothing.
+    fn breakpoints(&self, lo: f64, hi: f64, out: &mut Vec<f64>) {
+        let _ = (lo, hi, out);
+    }
+}
+
+/// Linear (PPS) thresholds `τ(u) = u·scale` (paper, Example 2 uses scale 1).
+///
+/// An entry of value `w` is sampled with probability `min(1, w/scale)` —
+/// probability proportional to size.
+///
+/// # Examples
+///
+/// ```
+/// use monotone_core::scheme::{LinearThreshold, ThresholdFn};
+///
+/// let t = LinearThreshold::unit();
+/// assert_eq!(t.cap(0.32), 0.32);
+/// assert_eq!(t.inclusion_prob(0.95), 0.95);
+/// assert_eq!(t.inclusion_prob(2.5), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearThreshold {
+    scale: f64,
+}
+
+impl LinearThreshold {
+    /// PPS threshold with the given positive scale `τ*`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not finite and positive.
+    pub fn new(scale: f64) -> LinearThreshold {
+        assert!(scale.is_finite() && scale > 0.0, "PPS scale must be positive, got {scale}");
+        LinearThreshold { scale }
+    }
+
+    /// PPS threshold with scale 1 (`τ(u) = u`).
+    pub fn unit() -> LinearThreshold {
+        LinearThreshold { scale: 1.0 }
+    }
+
+    /// The scale `τ*`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+impl ThresholdFn for LinearThreshold {
+    fn cap(&self, u: f64) -> f64 {
+        u * self.scale
+    }
+
+    fn inclusion_prob(&self, w: f64) -> f64 {
+        (w / self.scale).clamp(0.0, 1.0)
+    }
+}
+
+/// A right-continuous non-decreasing step threshold.
+///
+/// `τ(u) = steps[k].1` for `u ∈ (steps[k-1].0, steps[k].0]` style lookup; more
+/// precisely `τ(u) = value of the first step whose seed bound is >= u`.
+/// Values below the first step are never hidden; values above the last cap
+/// are sampled for every seed up to 1.
+///
+/// Used for discrete domains (Example 5's `π₁ < π₂ < π₃`) and for the
+/// rank-distance thresholds induced by all-distances sketches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepThreshold {
+    /// `(seed_upper, cap)` pairs with strictly increasing seeds and
+    /// non-decreasing caps; `τ(u) = cap_k` for the smallest `seed_k >= u`.
+    steps: Vec<(f64, f64)>,
+    /// Cap for seeds above the last step (typically `+∞`-like: nothing more
+    /// is sampled).
+    top_cap: f64,
+}
+
+impl StepThreshold {
+    /// Builds a step threshold from `(seed_upper, cap)` pairs.
+    ///
+    /// Seeds must be strictly increasing within `(0, 1]` and caps
+    /// non-decreasing; `top_cap` applies to seeds above the last pair and
+    /// must be at least the last cap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NonMonotoneThreshold`] when the monotonicity
+    /// contract is violated and [`Error::InvalidSeed`]/[`Error::InvalidValue`]
+    /// for out-of-range inputs.
+    pub fn new(steps: Vec<(f64, f64)>, top_cap: f64) -> Result<StepThreshold> {
+        let mut prev_seed = 0.0;
+        let mut prev_cap = f64::NEG_INFINITY;
+        for &(s, c) in &steps {
+            check_seed(s)?;
+            check_value(c)?;
+            if s <= prev_seed || c < prev_cap {
+                return Err(Error::NonMonotoneThreshold);
+            }
+            prev_seed = s;
+            prev_cap = c;
+        }
+        if !(top_cap >= prev_cap) {
+            return Err(Error::NonMonotoneThreshold);
+        }
+        Ok(StepThreshold { steps, top_cap })
+    }
+
+    /// The step list as `(seed_upper, cap)` pairs.
+    pub fn steps(&self) -> &[(f64, f64)] {
+        &self.steps
+    }
+}
+
+impl ThresholdFn for StepThreshold {
+    fn cap(&self, u: f64) -> f64 {
+        // First step whose seed bound is >= u (seeds are strictly
+        // increasing, so binary search applies).
+        let i = self.steps.partition_point(|&(s, _)| s < u);
+        self.steps.get(i).map_or(self.top_cap, |&(_, c)| c)
+    }
+
+    fn inclusion_prob(&self, w: f64) -> f64 {
+        // Largest seed with τ(u) <= w (caps are non-decreasing).
+        if w >= self.top_cap {
+            return 1.0;
+        }
+        let i = self.steps.partition_point(|&(_, c)| c <= w);
+        if i == 0 {
+            0.0
+        } else {
+            self.steps[i - 1].0
+        }
+    }
+
+    fn breakpoints(&self, lo: f64, hi: f64, out: &mut Vec<f64>) {
+        for &(s, _) in &self.steps {
+            if s > lo && s < hi {
+                out.push(s);
+            }
+        }
+    }
+}
+
+/// The state of one tuple entry in an outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EntryState {
+    /// The entry was sampled; its exact value is known.
+    Known(f64),
+    /// The entry was not sampled; it is upper-bounded by the threshold at
+    /// the outcome's seed.
+    Capped,
+}
+
+/// The outcome of monotone sampling: the seed together with per-entry states.
+///
+/// An outcome determines `S*(v, u)` for every `u >= seed` — all
+/// less-informative outcomes on the same sampling path — which is what the
+/// estimators integrate over.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outcome {
+    seed: f64,
+    entries: Vec<EntryState>,
+}
+
+impl Outcome {
+    /// Assembles an outcome from parts (used by sampling substrates that
+    /// compute inclusions themselves, e.g. bottom-k with conditioned
+    /// thresholds).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the seed is outside `(0, 1]` or a known value is
+    /// negative/non-finite.
+    pub fn from_parts(seed: f64, entries: Vec<EntryState>) -> Result<Outcome> {
+        check_seed(seed)?;
+        for e in &entries {
+            if let EntryState::Known(w) = e {
+                check_value(*w)?;
+            }
+        }
+        Ok(Outcome { seed, entries })
+    }
+
+    /// The seed `ρ` that produced this outcome.
+    pub fn seed(&self) -> f64 {
+        self.seed
+    }
+
+    /// Per-entry states.
+    pub fn entries(&self) -> &[EntryState] {
+        &self.entries
+    }
+
+    /// Number of tuple entries.
+    pub fn arity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The known value of entry `i`, if sampled.
+    pub fn known(&self, i: usize) -> Option<f64> {
+        match self.entries[i] {
+            EntryState::Known(w) => Some(w),
+            EntryState::Capped => None,
+        }
+    }
+}
+
+/// A coordinated threshold scheme over `r`-tuples: one [`ThresholdFn`] per
+/// entry, all driven by the same seed.
+///
+/// # Examples
+///
+/// ```
+/// use monotone_core::scheme::{EntryState, LinearThreshold, TupleScheme};
+///
+/// // Example 2 of the paper: PPS with τ* = 1 on item d = (0.7, 0.8, 0.1),
+/// // seed 0.23: entries 1 and 2 are sampled, entry 3 is not.
+/// let scheme = TupleScheme::pps(&[1.0, 1.0, 1.0]);
+/// let out = scheme.sample(&[0.7, 0.8, 0.1], 0.23).unwrap();
+/// assert_eq!(out.entries()[0], EntryState::Known(0.7));
+/// assert_eq!(out.entries()[1], EntryState::Known(0.8));
+/// assert_eq!(out.entries()[2], EntryState::Capped);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TupleScheme<T> {
+    thresholds: Vec<T>,
+}
+
+impl TupleScheme<LinearThreshold> {
+    /// Coordinated PPS scheme with the given per-instance scales.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scales` is empty or contains a non-positive scale.
+    pub fn pps(scales: &[f64]) -> TupleScheme<LinearThreshold> {
+        assert!(!scales.is_empty(), "scheme needs at least one entry");
+        TupleScheme {
+            thresholds: scales.iter().map(|&s| LinearThreshold::new(s)).collect(),
+        }
+    }
+}
+
+impl<T: ThresholdFn> TupleScheme<T> {
+    /// Builds a scheme from per-entry thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thresholds` is empty.
+    pub fn new(thresholds: Vec<T>) -> TupleScheme<T> {
+        assert!(!thresholds.is_empty(), "scheme needs at least one entry");
+        TupleScheme { thresholds }
+    }
+
+    /// Number of tuple entries `r`.
+    pub fn arity(&self) -> usize {
+        self.thresholds.len()
+    }
+
+    /// The per-entry threshold functions.
+    pub fn thresholds(&self) -> &[T] {
+        &self.thresholds
+    }
+
+    /// Samples data `v` with seed `u`, producing the outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `v` has the wrong arity, contains invalid
+    /// values, or `u` is outside `(0, 1]`.
+    pub fn sample(&self, v: &[f64], u: f64) -> Result<Outcome> {
+        check_seed(u)?;
+        if v.len() != self.arity() {
+            return Err(Error::ArityMismatch {
+                expected: self.arity(),
+                got: v.len(),
+            });
+        }
+        let mut entries = Vec::with_capacity(v.len());
+        for (i, &w) in v.iter().enumerate() {
+            check_value(w)?;
+            if w >= self.thresholds[i].cap(u) {
+                entries.push(EntryState::Known(w));
+            } else {
+                entries.push(EntryState::Capped);
+            }
+        }
+        Ok(Outcome { seed: u, entries })
+    }
+
+    /// The known/cap view of `S*(·, u)` along the outcome's path, for any
+    /// `u >= outcome.seed()`.
+    ///
+    /// Entries capped at the outcome's seed stay capped (with the larger cap
+    /// `τ(u)`); known entries stay known while `u <= inclusion_prob(value)`
+    /// and become capped above it.
+    ///
+    /// Writes into the provided buffers (cleared first) to avoid allocation
+    /// in integration loops.
+    pub fn states_at(
+        &self,
+        outcome: &Outcome,
+        u: f64,
+        known: &mut Vec<Option<f64>>,
+        caps: &mut Vec<f64>,
+    ) {
+        debug_assert!(u >= outcome.seed() - 1e-15, "states_at needs u >= seed");
+        known.clear();
+        caps.clear();
+        for (i, e) in outcome.entries.iter().enumerate() {
+            let cap = self.thresholds[i].cap(u);
+            match *e {
+                EntryState::Known(w) if u <= self.thresholds[i].inclusion_prob(w) => {
+                    known.push(Some(w));
+                    caps.push(0.0);
+                }
+                _ => {
+                    known.push(None);
+                    caps.push(cap);
+                }
+            }
+        }
+    }
+
+    /// Seed values in `(outcome.seed(), 1)` at which the path outcome
+    /// changes: inclusion probabilities of sampled entries plus threshold
+    /// kinks.
+    pub fn path_breakpoints(&self, outcome: &Outcome) -> Vec<f64> {
+        let mut bps = Vec::new();
+        let lo = outcome.seed();
+        for (i, e) in outcome.entries.iter().enumerate() {
+            if let EntryState::Known(w) = *e {
+                let p = self.thresholds[i].inclusion_prob(w);
+                if p > lo && p < 1.0 {
+                    bps.push(p);
+                }
+            }
+            self.thresholds[i].breakpoints(lo, 1.0, &mut bps);
+        }
+        bps.sort_by(|a, b| a.partial_cmp(b).expect("finite breakpoints"));
+        bps.dedup();
+        bps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pps_sampling_matches_example2() {
+        // Example 2 of the paper: seeds per item and resulting outcomes.
+        let scheme = TupleScheme::pps(&[1.0, 1.0, 1.0]);
+        let items: &[(&str, [f64; 3], f64, [bool; 3])] = &[
+            ("a", [0.95, 0.15, 0.25], 0.32, [true, false, false]),
+            ("b", [0.00, 0.44, 0.00], 0.21, [false, true, false]),
+            ("c", [0.23, 0.00, 0.00], 0.04, [true, false, false]),
+            ("d", [0.70, 0.80, 0.10], 0.23, [true, true, false]),
+            ("e", [0.10, 0.05, 0.00], 0.84, [false, false, false]),
+            ("f", [0.42, 0.50, 0.22], 0.70, [false, false, false]),
+            ("g", [0.00, 0.20, 0.00], 0.15, [false, true, false]),
+            ("h", [0.32, 0.00, 0.00], 0.64, [false, false, false]),
+        ];
+        for (name, v, seed, expect) in items {
+            let out = scheme.sample(v, *seed).unwrap();
+            for i in 0..3 {
+                let sampled = matches!(out.entries()[i], EntryState::Known(_));
+                assert_eq!(sampled, expect[i], "item {name} entry {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_in_seed_more_info_for_smaller_u() {
+        let scheme = TupleScheme::pps(&[1.0, 2.0]);
+        let v = [0.5, 0.8];
+        let o_fine = scheme.sample(&v, 0.3).unwrap();
+        let o_coarse = scheme.sample(&v, 0.9).unwrap();
+        // Fine seed knows both entries (0.5 >= 0.3, 0.8 >= 0.6);
+        // coarse seed knows neither (0.5 < 0.9, 0.8 < 1.8).
+        assert_eq!(o_fine.known(0), Some(0.5));
+        assert_eq!(o_fine.known(1), Some(0.8));
+        assert_eq!(o_coarse.known(0), None);
+        assert_eq!(o_coarse.known(1), None);
+    }
+
+    #[test]
+    fn states_at_tracks_path() {
+        let scheme = TupleScheme::pps(&[1.0, 1.0]);
+        let out = scheme.sample(&[0.6, 0.2], 0.1).unwrap();
+        let mut known = Vec::new();
+        let mut caps = Vec::new();
+        // At u = 0.1 both are known.
+        scheme.states_at(&out, 0.1, &mut known, &mut caps);
+        assert_eq!(known, vec![Some(0.6), Some(0.2)]);
+        // At u = 0.4 the second entry drops out.
+        scheme.states_at(&out, 0.4, &mut known, &mut caps);
+        assert_eq!(known, vec![Some(0.6), None]);
+        assert_eq!(caps[1], 0.4);
+        // At u = 0.8 nothing is known.
+        scheme.states_at(&out, 0.8, &mut known, &mut caps);
+        assert_eq!(known, vec![None, None]);
+    }
+
+    #[test]
+    fn path_breakpoints_are_inclusion_probs() {
+        let scheme = TupleScheme::pps(&[1.0, 1.0]);
+        let out = scheme.sample(&[0.6, 0.2], 0.1).unwrap();
+        let bps = scheme.path_breakpoints(&out);
+        assert_eq!(bps, vec![0.2, 0.6]);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let scheme = TupleScheme::pps(&[1.0]);
+        assert!(matches!(scheme.sample(&[0.5], 0.0), Err(Error::InvalidSeed(_))));
+        assert!(matches!(scheme.sample(&[0.5, 0.5], 0.5), Err(Error::ArityMismatch { .. })));
+        assert!(matches!(scheme.sample(&[-0.5], 0.5), Err(Error::InvalidValue(_))));
+    }
+
+    #[test]
+    fn step_threshold_lookup() {
+        // Example 5 style: values {0,1,2,3} with π(1)=0.25, π(2)=0.5, π(3)=0.75.
+        // τ(u) = smallest value whose inclusion prob is >= u.
+        let t = StepThreshold::new(vec![(0.25, 1.0), (0.5, 2.0), (0.75, 3.0)], 4.0).unwrap();
+        assert_eq!(t.cap(0.1), 1.0);
+        assert_eq!(t.cap(0.25), 1.0);
+        assert_eq!(t.cap(0.3), 2.0);
+        assert_eq!(t.cap(0.8), 4.0);
+        assert_eq!(t.inclusion_prob(0.0), 0.0);
+        assert_eq!(t.inclusion_prob(1.0), 0.25);
+        assert_eq!(t.inclusion_prob(2.0), 0.5);
+        assert_eq!(t.inclusion_prob(3.0), 0.75);
+        assert_eq!(t.inclusion_prob(4.0), 1.0);
+    }
+
+    #[test]
+    fn step_threshold_consistency_with_sampling() {
+        // w >= cap(u) ⟺ u <= inclusion_prob(w) on a grid.
+        let t = StepThreshold::new(vec![(0.25, 1.0), (0.5, 2.0), (0.75, 3.0)], 4.0).unwrap();
+        for wi in 0..=4 {
+            let w = wi as f64;
+            for ui in 1..=100 {
+                let u = ui as f64 / 100.0;
+                let sampled = w >= t.cap(u);
+                let by_prob = u <= t.inclusion_prob(w);
+                assert_eq!(sampled, by_prob, "w={w} u={u}");
+            }
+        }
+    }
+
+    #[test]
+    fn step_threshold_rejects_non_monotone() {
+        assert!(StepThreshold::new(vec![(0.5, 2.0), (0.25, 1.0)], 3.0).is_err());
+        assert!(StepThreshold::new(vec![(0.25, 2.0), (0.5, 1.0)], 3.0).is_err());
+        assert!(StepThreshold::new(vec![(0.25, 2.0)], 1.0).is_err());
+    }
+
+    #[test]
+    fn outcome_from_parts_validates() {
+        assert!(Outcome::from_parts(0.5, vec![EntryState::Known(1.0)]).is_ok());
+        assert!(Outcome::from_parts(0.0, vec![]).is_err());
+        assert!(Outcome::from_parts(0.5, vec![EntryState::Known(-1.0)]).is_err());
+    }
+}

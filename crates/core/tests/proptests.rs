@@ -1,0 +1,190 @@
+//! Property-based tests of the core estimation machinery.
+
+use monotone_core::discrete::{DiscreteMep, OrderOptimal};
+use monotone_core::estimate::{LStar, MonotoneEstimator, RgPlusLStar, RgPlusUStar, VOptimal};
+use monotone_core::func::{ItemFn, LinearAbsPow, RangePow, RangePowPlus, TupleMax, TupleMin};
+use monotone_core::hull::LowerHull;
+use monotone_core::optimal_range::{committed_mass, in_range};
+use monotone_core::problem::Mep;
+use monotone_core::quad::{integrate, integrate_with_breakpoints, QuadConfig};
+use monotone_core::scheme::{StepThreshold, ThresholdFn, TupleScheme};
+use proptest::prelude::*;
+
+fn value() -> impl Strategy<Value = f64> {
+    (0u32..=100).prop_map(|k| k as f64 / 100.0)
+}
+
+fn seed() -> impl Strategy<Value = f64> {
+    (1u32..=100).prop_map(|k| k as f64 / 100.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Quadrature is exact on cubics (Simpson's degree of exactness).
+    #[test]
+    fn quad_exact_on_cubics(a in -3.0..3.0f64, b in -3.0..3.0f64, c in -3.0..3.0f64) {
+        let cfg = QuadConfig::default();
+        let got = integrate(|x| a * x * x * x + b * x + c, 0.0, 1.0, &cfg);
+        let expect = a / 4.0 + b / 2.0 + c;
+        prop_assert!((got - expect).abs() < 1e-9);
+    }
+
+    /// Hull invariants: minorant, convex, anchored at the lowest points.
+    #[test]
+    fn hull_is_convex_minorant(ys in proptest::collection::vec(0.0..2.0f64, 3..40)) {
+        let pts: Vec<(f64, f64)> = ys
+            .iter()
+            .enumerate()
+            .map(|(i, &y)| (i as f64 / ys.len() as f64, y))
+            .collect();
+        let hull = LowerHull::of_points(&pts);
+        for &(x, y) in &pts {
+            prop_assert!(hull.value(x) <= y + 1e-9, "hull above point at {}", x);
+        }
+        let vs = hull.vertices();
+        for w in vs.windows(3) {
+            let s1 = (w[1].1 - w[0].1) / (w[1].0 - w[0].0);
+            let s2 = (w[2].1 - w[1].1) / (w[2].0 - w[1].0);
+            prop_assert!(s2 >= s1 - 1e-9, "non-convex hull");
+        }
+    }
+
+    /// Box extrema of every function family bracket random consistent
+    /// completions.
+    #[test]
+    fn box_extrema_bracket_all_families(
+        v1 in value(), v2 in value(), u in seed(), t in value()
+    ) {
+        let scheme = TupleScheme::pps(&[1.0, 1.0]);
+        let out = scheme.sample(&[v1, v2], u).unwrap();
+        let mut known = Vec::new();
+        let mut caps = Vec::new();
+        scheme.states_at(&out, u, &mut known, &mut caps);
+        let z: Vec<f64> = (0..2).map(|i| known[i].unwrap_or(t * caps[i])).collect();
+
+        fn check<F: ItemFn>(f: &F, known: &[Option<f64>], caps: &[f64], z: &[f64]) -> bool {
+            let fv = f.eval(z);
+            f.box_inf(known, caps) <= fv + 1e-9 && f.box_sup(known, caps) >= fv - 1e-9
+        }
+        prop_assert!(check(&RangePowPlus::new(1.5), &known, &caps, &z));
+        prop_assert!(check(&RangePow::new(2.0, 2), &known, &caps, &z));
+        prop_assert!(check(&TupleMin::new(2), &known, &caps, &z));
+        prop_assert!(check(&TupleMax::new(2), &known, &caps, &z));
+        prop_assert!(check(&LinearAbsPow::new(vec![1.0, -2.0], 0.3, 2.0), &known, &caps, &z));
+    }
+
+    /// L* estimates are in the optimal range (Section 3) given their own
+    /// committed mass — the defining property (21a) plus admissibility's
+    /// necessary condition.
+    #[test]
+    fn lstar_in_optimal_range(v1 in value(), v2 in value(), u in seed()) {
+        prop_assume!(v1 > 0.05 && u > 0.05);
+        let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+        let est = LStar::new();
+        let out = mep.scheme().sample(&[v1, v2], u).unwrap();
+        let m = committed_mass(&mep, &est, &out, &QuadConfig::fast()).unwrap();
+        let e = est.estimate(&mep, &out);
+        prop_assert!(in_range(&mep, &out, m, e, 1e-3), "estimate {} out of range", e);
+    }
+
+    /// The v-optimal oracle is never beaten: E[f̂²] of L*, U* is at least
+    /// the hull optimum for the same data.
+    #[test]
+    fn nothing_beats_the_oracle(v1 in value(), v2 in value()) {
+        prop_assume!(v1 > 0.05);
+        let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+        let calc = monotone_core::variance::VarianceCalc::new(1e-8, 800);
+        let vopt = VOptimal::with_resolution(1e-8, 1500);
+        let v = [v1, v2];
+        let opt = vopt.esq(&mep, &v).unwrap();
+        let l = calc.lstar_stats(&mep, &v).unwrap().esq;
+        let us = calc.stats(&mep, &RgPlusUStar::new(1.0, 1.0), &v).unwrap().esq;
+        prop_assert!(l >= opt - 1e-3 * opt.max(1e-6), "L* {} below optimum {}", l, opt);
+        prop_assert!(us >= opt - 1e-3 * opt.max(1e-6), "U* {} below optimum {}", us, opt);
+    }
+
+    /// The L* competitive ratio never exceeds 4 (Theorem 4.1), on any data
+    /// and for several function families.
+    #[test]
+    fn lstar_ratio_below_four(v1 in value(), v2 in value(), p_idx in 0usize..3) {
+        prop_assume!(v1 > 0.05);
+        let p = [0.75, 1.0, 2.0][p_idx];
+        let mep = Mep::new(RangePowPlus::new(p), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+        let calc = monotone_core::variance::VarianceCalc::new(1e-8, 1000);
+        if let Some(ratio) = calc.lstar_competitive_ratio(&mep, &[v1, v2]).unwrap() {
+            prop_assert!(ratio <= 4.0 + 0.05, "ratio {} at p={} v=({}, {})", ratio, p, v1, v2);
+        }
+    }
+
+    /// Step thresholds: cap and inclusion probability stay consistent
+    /// (w >= cap(u) ⟺ u <= inclusion_prob(w)) on random step ladders.
+    #[test]
+    fn step_threshold_consistency(
+        n in 1usize..6,
+        base in 1u32..20,
+        w in 0.0..5.0f64,
+        u in seed()
+    ) {
+        let steps: Vec<(f64, f64)> = (0..n)
+            .map(|i| {
+                let s = (i + 1) as f64 / (n + 1) as f64;
+                let c = base as f64 * 0.1 * (i + 1) as f64;
+                (s, c)
+            })
+            .collect();
+        let top = base as f64 * 0.1 * (n + 1) as f64;
+        let t = StepThreshold::new(steps, top).unwrap();
+        let sampled = w >= t.cap(u);
+        let by_prob = u <= t.inclusion_prob(w);
+        prop_assert_eq!(sampled, by_prob, "w={} u={}", w, u);
+    }
+
+    /// Discrete order-optimal estimators are exactly unbiased for random
+    /// total orders (not just the L*/U* ones).
+    #[test]
+    fn random_orders_unbiased(key_mul in -5i32..=5, key_off in -3i32..=3) {
+        let mut vectors = Vec::new();
+        for a in 0..4 {
+            for b in 0..4 {
+                vectors.push(vec![a as f64, b as f64]);
+            }
+        }
+        let probs = vec![(0.0, 0.0), (1.0, 0.25), (2.0, 0.5), (3.0, 0.75)];
+        let mep =
+            DiscreteMep::new(RangePowPlus::new(1.0), vectors, vec![probs.clone(), probs]).unwrap();
+        let est = OrderOptimal::by_key(&mep, move |v| {
+            let d = v[0] - v[1];
+            (key_mul as f64) * d + (key_off as f64) * v[1]
+        });
+        for v in mep.vectors().to_vec() {
+            let f = (v[0] - v[1]).max(0.0);
+            let mean = est.expected(&v).unwrap();
+            prop_assert!((mean - f).abs() < 1e-9, "order ({}, {}) biased at {:?}: {} vs {}",
+                key_mul, key_off, v, mean, f);
+            prop_assert!(est.esq(&v).unwrap() >= f * f - 1e-9);
+        }
+    }
+
+    /// Unbiasedness of the truncated closed forms at random scales.
+    #[test]
+    fn truncated_closed_forms_unbiased(
+        v1 in value(), v2 in value(), scale_pct in 20u32..=100
+    ) {
+        prop_assume!(v1 > 0.05);
+        let scale = scale_pct as f64 / 100.0;
+        let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[scale, scale])).unwrap();
+        let est = RgPlusLStar::new(1, scale);
+        let cfg = QuadConfig::fast();
+        let mean = integrate_with_breakpoints(
+            |u| est.estimate(&mep, &mep.scheme().sample(&[v1, v2], u).unwrap()),
+            1e-9,
+            1.0,
+            &[v1 / scale, v2 / scale, 1.0],
+            &cfg,
+        );
+        let expect = (v1 - v2).max(0.0);
+        prop_assert!((mean - expect).abs() < 5e-3 * expect.max(0.05),
+            "scale {}: mean {} vs {}", scale, mean, expect);
+    }
+}

@@ -1,0 +1,261 @@
+//! All-distances sketches (ADS) with bottom-k ranks.
+//!
+//! The ADS of a node `v` contains every node `u` whose rank is among the `k`
+//! lowest ranks of the nodes at distance at most `d(v, u)` from `v` — a
+//! bottom-k sample of every distance-neighborhood simultaneously (paper,
+//! Section 1 and [6, 8]). ADSs of different nodes share the per-node ranks,
+//! so they are *coordinated* samples, and per-entry HIP inclusion
+//! probabilities (conditioned on the closer nodes) turn them into monotone
+//! sampling schemes.
+//!
+//! Construction: process nodes in increasing rank order and run a *pruned
+//! Dijkstra* from each — the standard near-linear construction.
+
+use monotone_coord::seed::SeedHasher;
+
+use crate::dijkstra::dijkstra_pruned;
+use crate::graph::Graph;
+
+/// One sketch entry: a node with its distance and rank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdsEntry {
+    /// The sketched node.
+    pub node: u32,
+    /// Its distance from the sketch owner.
+    pub dist: f64,
+    /// Its shared rank (hash seed).
+    pub rank: f64,
+}
+
+/// The all-distances sketch of one node.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Ads {
+    /// Entries sorted by `(dist, rank)`.
+    entries: Vec<AdsEntry>,
+}
+
+impl Ads {
+    /// Entries sorted by `(dist, rank)`.
+    pub fn entries(&self) -> &[AdsEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the sketch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entry for `node`, if sketched.
+    pub fn get(&self, node: u32) -> Option<&AdsEntry> {
+        self.entries.iter().find(|e| e.node == node)
+    }
+
+    /// Whether `node` is in the sketch.
+    pub fn contains(&self, node: u32) -> bool {
+        self.get(node).is_some()
+    }
+}
+
+/// Builds the ADS of every node with bottom-k ranks derived from `seeder`.
+///
+/// Runs one pruned Dijkstra per node in increasing rank order; expected
+/// sketch sizes are `O(k ln n)`.
+///
+/// # Examples
+///
+/// ```
+/// use monotone_coord::seed::SeedHasher;
+/// use monotone_sketches::ads::build_all_ads;
+/// use monotone_sketches::graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(4);
+/// b.add_undirected(0, 1, 1.0);
+/// b.add_undirected(1, 2, 1.0);
+/// b.add_undirected(2, 3, 1.0);
+/// let g = b.build();
+/// let sketches = build_all_ads(&g, 2, &SeedHasher::new(5));
+/// // Every node sketches itself at distance 0.
+/// for (v, ads) in sketches.iter().enumerate() {
+///     assert!(ads.contains(v as u32));
+/// }
+/// ```
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn build_all_ads(g: &Graph, k: usize, seeder: &SeedHasher) -> Vec<Ads> {
+    assert!(k > 0, "ADS needs k >= 1");
+    let n = g.node_count();
+    let ranks: Vec<f64> = (0..n).map(|v| seeder.seed(v as u64)).collect();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by(|&a, &b| {
+        ranks[a as usize]
+            .partial_cmp(&ranks[b as usize])
+            .expect("finite ranks")
+            .then(a.cmp(&b))
+    });
+    // Per node: sorted distances of current entries (all lower rank than the
+    // node being processed).
+    let mut dists: Vec<Vec<f64>> = vec![Vec::new(); n];
+    let mut sketches: Vec<Ads> = vec![Ads::default(); n];
+    for &u in &order {
+        let rank = ranks[u as usize];
+        dijkstra_pruned(g, u, |v, d| {
+            let dv = &mut dists[v as usize];
+            // Number of existing entries at distance <= d (all lower rank).
+            let pos = dv.partition_point(|&x| x <= d);
+            if pos < k {
+                dv.insert(dv.partition_point(|&x| x <= d), d);
+                sketches[v as usize].entries.push(AdsEntry { node: u, dist: d, rank });
+                true
+            } else {
+                false
+            }
+        });
+    }
+    for ads in &mut sketches {
+        ads.entries.sort_by(|a, b| {
+            a.dist
+                .partial_cmp(&b.dist)
+                .expect("finite dists")
+                .then(a.rank.partial_cmp(&b.rank).expect("finite ranks"))
+        });
+    }
+    sketches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra;
+    use crate::graph::GraphBuilder;
+
+    fn random_graph(n: usize, p_num: u64, seed: u64) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                if next() < p_num as f64 / 100.0 {
+                    b.add_undirected(u, v, 0.1 + next());
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Brute-force membership: u ∈ ADS(v) iff fewer than k nodes with lower
+    /// rank lie at distance ≤ d(v, u) (ties on distance resolved by rank).
+    fn brute_force_member(
+        dist_from: &[Vec<f64>],
+        ranks: &[f64],
+        v: usize,
+        u: usize,
+        k: usize,
+    ) -> bool {
+        let du = dist_from[v][u];
+        if du.is_infinite() {
+            return false;
+        }
+        let lower = (0..ranks.len())
+            .filter(|&w| w != u)
+            .filter(|&w| ranks[w] < ranks[u] && dist_from[v][w] <= du)
+            .count();
+        lower < k
+    }
+
+    #[test]
+    fn matches_brute_force_definition() {
+        for trial in 0..3u64 {
+            let n = 40;
+            let g = random_graph(n, 12, 77 + trial);
+            let seeder = SeedHasher::new(100 + trial);
+            let k = 3;
+            let sketches = build_all_ads(&g, k, &seeder);
+            let ranks: Vec<f64> = (0..n).map(|v| seeder.seed(v as u64)).collect();
+            let dist_from: Vec<Vec<f64>> = (0..n).map(|v| dijkstra(&g, v as u32)).collect();
+            for v in 0..n {
+                for u in 0..n {
+                    let expect = brute_force_member(&dist_from, &ranks, v, u, k);
+                    let got = sketches[v].contains(u as u32);
+                    assert_eq!(got, expect, "trial {trial} v={v} u={u}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn entries_have_correct_distances() {
+        let g = random_graph(30, 15, 5);
+        let seeder = SeedHasher::new(8);
+        let sketches = build_all_ads(&g, 4, &seeder);
+        for v in 0..30 {
+            let d = dijkstra(&g, v as u32);
+            for e in sketches[v].entries() {
+                assert!(
+                    (e.dist - d[e.node as usize]).abs() < 1e-12,
+                    "v={v} entry {e:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn self_always_included_at_zero() {
+        let g = random_graph(20, 20, 3);
+        let sketches = build_all_ads(&g, 2, &SeedHasher::new(1));
+        for (v, ads) in sketches.iter().enumerate() {
+            let e = ads.get(v as u32).expect("self entry");
+            assert_eq!(e.dist, 0.0);
+        }
+    }
+
+    #[test]
+    fn k_lowest_ranks_within_any_distance_are_present() {
+        // The prefix invariant that HIP relies on.
+        let n = 35;
+        let g = random_graph(n, 14, 21);
+        let seeder = SeedHasher::new(31);
+        let k = 3;
+        let sketches = build_all_ads(&g, k, &seeder);
+        let ranks: Vec<f64> = (0..n).map(|v| seeder.seed(v as u64)).collect();
+        for v in 0..n {
+            let d = dijkstra(&g, v as u32);
+            // For every reachable distance horizon, the k lowest-rank nodes
+            // within it must all be sketch entries.
+            let mut horizons: Vec<f64> = d.iter().copied().filter(|x| x.is_finite()).collect();
+            horizons.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for &h in &horizons {
+                let mut within: Vec<usize> =
+                    (0..n).filter(|&w| d[w] <= h).collect();
+                within.sort_by(|&a, &b| ranks[a].partial_cmp(&ranks[b]).unwrap());
+                for &w in within.iter().take(k) {
+                    assert!(
+                        sketches[v].contains(w as u32),
+                        "v={v} horizon {h}: node {w} missing"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sketch_sizes_are_logarithmic() {
+        // Expected size ~ k·H_n ≪ n on a well-connected graph.
+        let n = 300;
+        let g = random_graph(n, 4, 9);
+        let k = 4;
+        let sketches = build_all_ads(&g, k, &SeedHasher::new(2));
+        let avg: f64 = sketches.iter().map(|s| s.len() as f64).sum::<f64>() / n as f64;
+        let bound = k as f64 * (n as f64).ln() * 1.6 + k as f64;
+        assert!(avg < bound, "average sketch size {avg} vs bound {bound}");
+    }
+}

@@ -1,0 +1,189 @@
+//! Single-source shortest paths (binary-heap Dijkstra).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::graph::Graph;
+
+/// A `(distance, node)` heap entry ordered as a min-heap by distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapItem {
+    dist: f64,
+    node: u32,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap; distances are finite by construction.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .expect("finite distances")
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Distances from `src` to every node (`f64::INFINITY` when unreachable).
+///
+/// # Examples
+///
+/// ```
+/// use monotone_sketches::dijkstra::dijkstra;
+/// use monotone_sketches::graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_undirected(0, 1, 1.0);
+/// b.add_undirected(1, 2, 2.0);
+/// let g = b.build();
+/// assert_eq!(dijkstra(&g, 0), vec![0.0, 1.0, 3.0]);
+/// ```
+pub fn dijkstra(g: &Graph, src: u32) -> Vec<f64> {
+    let mut dist = vec![f64::INFINITY; g.node_count()];
+    let mut heap = BinaryHeap::new();
+    dist[src as usize] = 0.0;
+    heap.push(HeapItem { dist: 0.0, node: src });
+    while let Some(HeapItem { dist: d, node: u }) = heap.pop() {
+        if d > dist[u as usize] {
+            continue;
+        }
+        for (v, w) in g.neighbors(u) {
+            let nd = d + w;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(HeapItem { dist: nd, node: v });
+            }
+        }
+    }
+    dist
+}
+
+/// Dijkstra that visits nodes in distance order, calling
+/// `visit(node, dist) -> bool`; returning `false` prunes the search at that
+/// node (its edges are not relaxed). Used by the pruned all-distances-sketch
+/// construction.
+pub fn dijkstra_pruned<V: FnMut(u32, f64) -> bool>(g: &Graph, src: u32, mut visit: V) {
+    let mut dist = vec![f64::INFINITY; g.node_count()];
+    let mut heap = BinaryHeap::new();
+    dist[src as usize] = 0.0;
+    heap.push(HeapItem { dist: 0.0, node: src });
+    while let Some(HeapItem { dist: d, node: u }) = heap.pop() {
+        if d > dist[u as usize] {
+            continue;
+        }
+        if !visit(u, d) {
+            continue;
+        }
+        for (v, w) in g.neighbors(u) {
+            let nd = d + w;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(HeapItem { dist: nd, node: v });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn diamond() -> Graph {
+        // 0 -1- 1 -1- 3, 0 -3- 2 -0.5- 3
+        let mut b = GraphBuilder::new(4);
+        b.add_undirected(0, 1, 1.0);
+        b.add_undirected(1, 3, 1.0);
+        b.add_undirected(0, 2, 3.0);
+        b.add_undirected(2, 3, 0.5);
+        b.build()
+    }
+
+    #[test]
+    fn shortest_paths_diamond() {
+        let g = diamond();
+        let d = dijkstra(&g, 0);
+        assert_eq!(d, vec![0.0, 1.0, 2.5, 2.0]);
+    }
+
+    #[test]
+    fn matches_floyd_warshall_on_random_graph() {
+        // Deterministic pseudo-random weights; all-pairs check.
+        let n = 30usize;
+        let mut b = GraphBuilder::new(n);
+        let mut state = 12345u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                if next() < 0.15 {
+                    b.add_undirected(u, v, 0.1 + next());
+                }
+            }
+        }
+        let g = b.build();
+        // Floyd-Warshall baseline.
+        let mut fw = vec![vec![f64::INFINITY; n]; n];
+        for u in 0..n {
+            fw[u][u] = 0.0;
+            for (v, w) in g.neighbors(u as u32) {
+                if w < fw[u][v as usize] {
+                    fw[u][v as usize] = w;
+                }
+            }
+        }
+        for k in 0..n {
+            for i in 0..n {
+                for j in 0..n {
+                    let alt = fw[i][k] + fw[k][j];
+                    if alt < fw[i][j] {
+                        fw[i][j] = alt;
+                    }
+                }
+            }
+        }
+        for src in 0..n {
+            let d = dijkstra(&g, src as u32);
+            for t in 0..n {
+                let (a, b_) = (d[t], fw[src][t]);
+                assert!(
+                    (a.is_infinite() && b_.is_infinite()) || (a - b_).abs() < 1e-9,
+                    "src={src} t={t}: {a} vs {b_}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let b = GraphBuilder::new(3);
+        let g = b.build();
+        let d = dijkstra(&g, 0);
+        assert_eq!(d[0], 0.0);
+        assert!(d[1].is_infinite() && d[2].is_infinite());
+    }
+
+    #[test]
+    fn pruned_visits_in_distance_order_and_prunes() {
+        let g = diamond();
+        let mut order = Vec::new();
+        dijkstra_pruned(&g, 0, |u, d| {
+            order.push((u, d));
+            u != 1 // prune at node 1
+        });
+        // Node 1 pruned: 3 is reached only via 2 at 3.5.
+        assert_eq!(order[0], (0, 0.0));
+        assert_eq!(order[1], (1, 1.0));
+        let d3 = order.iter().find(|&&(u, _)| u == 3).map(|&(_, d)| d);
+        assert_eq!(d3, Some(3.5));
+    }
+}

@@ -1,0 +1,156 @@
+//! Weighted graphs in compressed sparse row form.
+
+/// A weighted directed graph stored in CSR form. Undirected graphs are
+/// represented by symmetric arcs (see [`GraphBuilder::add_undirected`]).
+///
+/// # Examples
+///
+/// ```
+/// use monotone_sketches::graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_undirected(0, 1, 1.0);
+/// b.add_undirected(1, 2, 2.5);
+/// let g = b.build();
+/// assert_eq!(g.node_count(), 3);
+/// assert_eq!(g.degree(1), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Graph {
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+    weights: Vec<f64>,
+}
+
+impl Graph {
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of (directed) arcs.
+    pub fn arc_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-degree of `u`.
+    pub fn degree(&self, u: u32) -> usize {
+        self.offsets[u as usize + 1] - self.offsets[u as usize]
+    }
+
+    /// Iterates the out-neighbors of `u` as `(target, weight)`.
+    pub fn neighbors(&self, u: u32) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let lo = self.offsets[u as usize];
+        let hi = self.offsets[u as usize + 1];
+        self.targets[lo..hi]
+            .iter()
+            .zip(&self.weights[lo..hi])
+            .map(|(&t, &w)| (t, w))
+    }
+}
+
+/// Incremental builder for [`Graph`].
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(u32, u32, f64)>,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph with `n` nodes (ids `0..n`).
+    pub fn new(n: usize) -> GraphBuilder {
+        GraphBuilder { n, edges: Vec::new() }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Adds a directed arc.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range endpoints or a non-positive/non-finite weight.
+    pub fn add_arc(&mut self, u: u32, v: u32, w: f64) -> &mut GraphBuilder {
+        assert!((u as usize) < self.n && (v as usize) < self.n, "endpoint out of range");
+        assert!(w.is_finite() && w > 0.0, "edge weight must be positive, got {w}");
+        self.edges.push((u, v, w));
+        self
+    }
+
+    /// Adds an undirected edge (two arcs).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`GraphBuilder::add_arc`].
+    pub fn add_undirected(&mut self, u: u32, v: u32, w: f64) -> &mut GraphBuilder {
+        self.add_arc(u, v, w);
+        self.add_arc(v, u, w);
+        self
+    }
+
+    /// Finalizes into CSR form.
+    pub fn build(&self) -> Graph {
+        let mut offsets = vec![0usize; self.n + 1];
+        for &(u, _, _) in &self.edges {
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 0..self.n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut targets = vec![0u32; self.edges.len()];
+        let mut weights = vec![0.0; self.edges.len()];
+        let mut cursor = offsets.clone();
+        for &(u, v, w) in &self.edges {
+            let at = cursor[u as usize];
+            targets[at] = v;
+            weights[at] = w;
+            cursor[u as usize] += 1;
+        }
+        Graph {
+            offsets,
+            targets,
+            weights,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_layout() {
+        let mut b = GraphBuilder::new(4);
+        b.add_arc(0, 1, 1.0).add_arc(0, 2, 2.0).add_arc(2, 3, 3.0);
+        let g = b.build();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.arc_count(), 3);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 0);
+        let n0: Vec<(u32, f64)> = g.neighbors(0).collect();
+        assert_eq!(n0, vec![(1, 1.0), (2, 2.0)]);
+    }
+
+    #[test]
+    fn undirected_adds_both_arcs() {
+        let mut b = GraphBuilder::new(2);
+        b.add_undirected(0, 1, 5.0);
+        let g = b.build();
+        assert_eq!(g.arc_count(), 2);
+        assert_eq!(g.neighbors(1).next(), Some((0, 5.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_endpoint() {
+        GraphBuilder::new(2).add_arc(0, 5, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_bad_weight() {
+        GraphBuilder::new(2).add_arc(0, 1, 0.0);
+    }
+}

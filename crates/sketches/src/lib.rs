@@ -1,0 +1,52 @@
+//! # monotone-sketches
+//!
+//! Graph substrate and **all-distances sketches** (ADS) for the similarity
+//! application of Cohen, *"Estimation for Monotone Sampling"* (PODC 2014,
+//! Section 7 and reference \[9\]).
+//!
+//! An ADS is a bottom-k sample of every distance neighborhood of a node at
+//! once; ADSs of different nodes share per-node ranks and are therefore
+//! *coordinated* samples, computable for all nodes in near-linear time by
+//! pruned Dijkstra searches in rank order. HIP inclusion probabilities
+//! (conditioned on closer nodes) turn sketch membership into a monotone
+//! sampling scheme per item, so the L\* estimator applies to pairwise
+//! queries such as **closeness similarity**
+//! `sim(a,b) = Σ α(max(d_ai, d_bi)) / Σ α(min(d_ai, d_bi))`.
+//!
+//! Modules:
+//!
+//! * [`graph`] — CSR graphs and a builder;
+//! * [`dijkstra`] — shortest paths and the pruned search used by the ADS
+//!   construction;
+//! * [`ads`] — bottom-k all-distances sketches;
+//! * [`hip`] — HIP probabilities, neighborhood-size estimation, and the
+//!   per-item threshold functions on the α scale;
+//! * [`closeness`] — exact and sketch-based closeness similarity.
+//!
+//! ## Example
+//!
+//! ```
+//! use monotone_coord::seed::SeedHasher;
+//! use monotone_sketches::ads::build_all_ads;
+//! use monotone_sketches::closeness::ClosenessEstimator;
+//! use monotone_sketches::graph::GraphBuilder;
+//!
+//! # fn main() -> monotone_core::Result<()> {
+//! let mut b = GraphBuilder::new(5);
+//! for i in 0..4u32 {
+//!     b.add_undirected(i, i + 1, 1.0 + 0.1 * i as f64);
+//! }
+//! let g = b.build();
+//! let sketches = build_all_ads(&g, 3, &SeedHasher::new(7));
+//! let est = ClosenessEstimator::new(&sketches, 3, |d: f64| (-d).exp());
+//! let sim = est.estimate(0, 1)?;
+//! assert!((0.0..=1.0).contains(&sim));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod ads;
+pub mod closeness;
+pub mod dijkstra;
+pub mod graph;
+pub mod hip;

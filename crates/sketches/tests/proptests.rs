@@ -1,0 +1,119 @@
+//! Property-based tests of the graph/ADS substrate.
+
+use monotone_coord::seed::SeedHasher;
+use monotone_sketches::ads::build_all_ads;
+use monotone_sketches::dijkstra::dijkstra;
+use monotone_sketches::graph::{Graph, GraphBuilder};
+use monotone_sketches::hip::{hip_probabilities, item_threshold};
+use monotone_core::scheme::ThresholdFn;
+use proptest::prelude::*;
+
+/// A connected random graph: a path backbone plus random extra edges.
+fn graph_strategy() -> impl Strategy<Value = Graph> {
+    (5usize..30, proptest::collection::vec((0u16..900, 0u16..900, 1u32..100), 0..60)).prop_map(
+        |(n, extras)| {
+            let mut b = GraphBuilder::new(n);
+            for i in 0..(n - 1) as u32 {
+                b.add_undirected(i, i + 1, 0.5 + (i as f64 * 0.37) % 1.0);
+            }
+            for (x, y, w) in extras {
+                let (u, v) = ((x as usize % n) as u32, (y as usize % n) as u32);
+                if u != v {
+                    b.add_undirected(u, v, 0.1 + w as f64 / 50.0);
+                }
+            }
+            b.build()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Dijkstra satisfies the triangle inequality over edges and starts
+    /// at zero.
+    #[test]
+    fn dijkstra_relaxed(g in graph_strategy(), src_raw in 0u16..900) {
+        let src = (src_raw as usize % g.node_count()) as u32;
+        let d = dijkstra(&g, src);
+        prop_assert_eq!(d[src as usize], 0.0);
+        for u in 0..g.node_count() as u32 {
+            for (v, w) in g.neighbors(u) {
+                prop_assert!(d[v as usize] <= d[u as usize] + w + 1e-9,
+                    "edge ({}, {}) violated", u, v);
+            }
+        }
+    }
+
+    /// ADS entries carry true distances and contain the k lowest-rank nodes
+    /// of every neighborhood prefix.
+    #[test]
+    fn ads_prefix_invariant(g in graph_strategy(), salt in any::<u64>(), k in 1usize..5) {
+        let seeder = SeedHasher::new(salt);
+        let sketches = build_all_ads(&g, k, &seeder);
+        let n = g.node_count();
+        for v in 0..n.min(6) {
+            let d = dijkstra(&g, v as u32);
+            for e in sketches[v].entries() {
+                prop_assert!((e.dist - d[e.node as usize]).abs() < 1e-9);
+            }
+            // Membership rule: fewer than k lower-rank nodes at distance <= own.
+            for u in 0..n {
+                if d[u].is_infinite() {
+                    prop_assert!(!sketches[v].contains(u as u32));
+                    continue;
+                }
+                let ru = seeder.seed(u as u64);
+                let lower = (0..n)
+                    .filter(|&w| w != u && seeder.seed(w as u64) < ru && d[w] <= d[u])
+                    .count();
+                prop_assert_eq!(sketches[v].contains(u as u32), lower < k,
+                    "v={} u={}", v, u);
+            }
+        }
+    }
+
+    /// HIP probabilities are valid probabilities, and every entry's rank is
+    /// below its threshold (the conditioned inclusion rule).
+    #[test]
+    fn hip_probabilities_valid(g in graph_strategy(), salt in any::<u64>(), k in 1usize..5) {
+        let seeder = SeedHasher::new(salt);
+        let sketches = build_all_ads(&g, k, &seeder);
+        for v in 0..g.node_count().min(6) {
+            for (node, _dist, p) in hip_probabilities(&sketches[v], k) {
+                prop_assert!(p > 0.0 && p <= 1.0);
+                prop_assert!(seeder.seed(node as u64) < p + 1e-15);
+            }
+        }
+    }
+
+    /// The α-scale item threshold is a monotone step function consistent
+    /// with sketch membership.
+    #[test]
+    fn item_threshold_monotone_consistent(g in graph_strategy(), salt in any::<u64>()) {
+        let k = 3;
+        let seeder = SeedHasher::new(salt);
+        let sketches = build_all_ads(&g, k, &seeder);
+        let alpha = |d: f64| if d.is_finite() { (-d).exp() } else { 0.0 };
+        let v = 0usize;
+        let d = dijkstra(&g, v as u32);
+        for i in 0..g.node_count().min(8) as u32 {
+            if d[i as usize].is_infinite() {
+                continue;
+            }
+            let t = item_threshold(&sketches[v], k, i, &alpha);
+            // Monotone caps.
+            let mut prev = -1.0;
+            for j in 1..=20 {
+                let u = j as f64 / 20.0;
+                let c = t.cap(u);
+                prop_assert!(c >= prev - 1e-12);
+                prev = c;
+            }
+            // Consistency with membership at the item's own seed.
+            let u = seeder.seed(i as u64);
+            let x = alpha(d[i as usize]);
+            prop_assert_eq!(x >= t.cap(u), sketches[v].contains(i), "node {}", i);
+        }
+    }
+}

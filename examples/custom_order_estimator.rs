@@ -1,0 +1,60 @@
+//! Customizing an estimator to expected data patterns via order optimality
+//! (paper, Section 5 and Example 5).
+//!
+//! On a discrete domain we build three ≺⁺-optimal estimators for RG1+ —
+//! the L* order (prioritizing similar data), the U* order (prioritizing
+//! dissimilar data), and a custom order prioritizing differences near 2 —
+//! and compare their exact variances per data vector. Every one of them is
+//! unbiased and admissible; the order chooses *where* the variance goes.
+//!
+//! Run with: `cargo run --example custom_order_estimator`
+
+use monotone_sampling::core::discrete::{DiscreteMep, OrderOptimal};
+use monotone_sampling::core::func::RangePowPlus;
+
+fn main() -> Result<(), monotone_sampling::core::Error> {
+    // Example 5's setting: V = {0,1,2,3}², π = (0.25, 0.5, 0.75).
+    let mut vectors = Vec::new();
+    for a in 0..4 {
+        for b in 0..4 {
+            vectors.push(vec![a as f64, b as f64]);
+        }
+    }
+    let probs = vec![(0.0, 0.0), (1.0, 0.25), (2.0, 0.5), (3.0, 0.75)];
+    let mep = DiscreteMep::new(RangePowPlus::new(1.0), vectors, vec![probs.clone(), probs])?;
+
+    let lstar_order = OrderOptimal::f_ascending(&mep);
+    let ustar_order = OrderOptimal::f_descending(&mep);
+    let custom = OrderOptimal::by_key(&mep, |v| {
+        let d = v[0] - v[1];
+        (d - 2.0).abs() * 10.0 + d // difference-2 vectors first
+    });
+
+    println!(
+        "{:>8} {:>6} {:>12} {:>12} {:>12}",
+        "vector", "f(v)", "var L*-ord", "var U*-ord", "var custom"
+    );
+    for v in mep.vectors().to_vec() {
+        let f = (v[0] - v[1]).max(0.0);
+        if f == 0.0 {
+            continue;
+        }
+        // Exact unbiasedness on discrete domains:
+        assert!((lstar_order.expected(&v)? - f).abs() < 1e-10);
+        assert!((ustar_order.expected(&v)? - f).abs() < 1e-10);
+        assert!((custom.expected(&v)? - f).abs() < 1e-10);
+        println!(
+            "{:>8} {:>6} {:>12.4} {:>12.4} {:>12.4}",
+            format!("({},{})", v[0], v[1]),
+            f,
+            lstar_order.variance(&v)?,
+            ustar_order.variance(&v)?,
+            custom.variance(&v)?,
+        );
+    }
+    println!("\nreading the table:");
+    println!("  * the L* order has the least variance on small differences,");
+    println!("  * the U* order on the largest difference (3,0),");
+    println!("  * the custom order on the difference-2 vectors (2,0) and (3,1).");
+    Ok(())
+}

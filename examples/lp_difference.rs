@@ -1,0 +1,64 @@
+//! Estimating an L1 difference between two large instances from small
+//! coordinated PPS samples — the paper's flagship application (Section 7).
+//!
+//! Generates an IP-flow-like pair of instances, samples ~5% of each with a
+//! shared hash seed, and estimates `L1 = Σ_k |a_k − b_k|` as the sum of the
+//! increase-only and decrease-only parts, each a sum aggregate of RG1+.
+//!
+//! Run with: `cargo run --example lp_difference`
+
+use monotone_sampling::coord::instance::Dataset;
+use monotone_sampling::coord::pps::{scale_for_expected_size, CoordPps};
+use monotone_sampling::coord::query::{estimate_sum, exact_sum};
+use monotone_sampling::coord::seed::SeedHasher;
+use monotone_sampling::core::estimate::{RgPlusLStar, RgPlusUStar};
+use monotone_sampling::core::func::RangePowPlus;
+use monotone_sampling::datagen::pairs::{flow_like, PairConfig};
+use rand::SeedableRng;
+
+fn main() -> Result<(), monotone_sampling::core::Error> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2014);
+    let data = flow_like(&PairConfig::flow(), &mut rng);
+    let f = RangePowPlus::new(1.0);
+
+    // Ground truth: L1 = increase + decrease.
+    let swapped = Dataset::new(vec![data.instance(1).clone(), data.instance(0).clone()]);
+    let truth = exact_sum(&f, &data, None) + exact_sum(&f, &swapped, None);
+    println!(
+        "instances: {} / {} items; exact L1 difference = {truth:.3}",
+        data.instance(0).len(),
+        data.instance(1).len()
+    );
+
+    // Sample ~100 items per instance.
+    let scale = scale_for_expected_size(data.instance(0), 100.0);
+    println!("PPS scale for ~100 sampled items: {scale:.4}\n");
+
+    println!("{:>6} {:>12} {:>12} {:>14}", "salt", "L1 via L*", "L1 via U*", "sampled items");
+    let mut sum_l = 0.0;
+    let mut sum_u = 0.0;
+    let trials = 10;
+    for salt in 0..trials {
+        let sampler = CoordPps::uniform_scale(2, scale, SeedHasher::new(salt));
+        let samples = sampler.sample_all(&data);
+        let swapped_samples = vec![samples[1].clone(), samples[0].clone()];
+        let lstar = RgPlusLStar::new(1, scale);
+        let ustar = RgPlusUStar::new(1.0, scale);
+        let l1_l = estimate_sum(f, &lstar, &sampler, &samples, None)?
+            + estimate_sum(f, &lstar, &sampler, &swapped_samples, None)?;
+        let l1_u = estimate_sum(f, &ustar, &sampler, &samples, None)?
+            + estimate_sum(f, &ustar, &sampler, &swapped_samples, None)?;
+        sum_l += l1_l;
+        sum_u += l1_u;
+        let n: usize = samples.iter().map(|s| s.len()).sum();
+        println!("{salt:>6} {l1_l:>12.3} {l1_u:>12.3} {n:>14}");
+    }
+    println!(
+        "\nmeans over {trials} runs: L* {:.3}, U* {:.3} (truth {truth:.3})",
+        sum_l / trials as f64,
+        sum_u / trials as f64
+    );
+    println!("on dissimilar (flow-like) data the U* estimate is typically tighter —");
+    println!("run the E9 experiment binary for the full NRMSE comparison.");
+    Ok(())
+}

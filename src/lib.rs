@@ -1,0 +1,48 @@
+//! # monotone-sampling
+//!
+//! A Rust implementation of **Edith Cohen, "Estimation for Monotone
+//! Sampling: Competitiveness and Customization" (PODC 2014,
+//! arXiv:1212.0243)** — the L\*, U\* and order-optimal estimators for
+//! monotone sampling schemes, together with the substrates the paper's
+//! applications rest on: coordinated shared-seed sampling (PPS / bottom-k)
+//! of multi-instance datasets and all-distances sketches of graphs.
+//!
+//! This umbrella crate re-exports the workspace members:
+//!
+//! * [`core`] ([`monotone_core`]) — monotone estimation problems, the
+//!   lower-bound/hull calculus, and the estimators (L\*, U\*,
+//!   Horvitz-Thompson, dyadic J, v-optimal oracle, discrete order-optimal);
+//! * [`coord`] ([`monotone_coord`]) — coordinated sampling of weighted
+//!   instances and the sum-aggregate query pipeline;
+//! * [`sketches`] ([`monotone_sketches`]) — graphs, Dijkstra,
+//!   all-distances sketches, HIP probabilities, closeness similarity;
+//! * [`datagen`] ([`monotone_datagen`]) — synthetic workloads standing in
+//!   for the paper's proprietary datasets.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use monotone_sampling::core::estimate::{LStar, MonotoneEstimator};
+//! use monotone_sampling::core::func::RangePowPlus;
+//! use monotone_sampling::core::problem::Mep;
+//! use monotone_sampling::core::scheme::TupleScheme;
+//!
+//! # fn main() -> Result<(), monotone_sampling::core::Error> {
+//! // A monotone estimation problem: estimate max(0, v1 - v2) from a
+//! // coordinated PPS sample of the pair (v1, v2).
+//! let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0]))?;
+//! let outcome = mep.scheme().sample(&[0.6, 0.2], 0.35)?;
+//! let estimate = LStar::new().estimate(&mep, &outcome);
+//! assert!(estimate > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and the
+//! `monotone-bench` crate for the experiment suite regenerating every table
+//! and figure of the paper.
+
+pub use monotone_coord as coord;
+pub use monotone_core as core;
+pub use monotone_datagen as datagen;
+pub use monotone_sketches as sketches;

@@ -1,0 +1,171 @@
+//! Integration tests for the paper's headline claims, spanning crates.
+
+use monotone_sampling::core::discrete::{DiscreteMep, OrderOptimal};
+use monotone_sampling::core::estimate::{
+    DyadicJ, HorvitzThompson, LStar, MonotoneEstimator, RgPlusLStar, RgPlusUStar,
+};
+use monotone_sampling::core::func::{PowerGapFamily, RangePowPlus};
+use monotone_sampling::core::problem::Mep;
+use monotone_sampling::core::scheme::TupleScheme;
+use monotone_sampling::core::variance::VarianceCalc;
+
+/// Theorem 4.1: the L* competitive ratio approaches (and never exceeds) 4
+/// on the tight family; closed forms and numerics agree away from the
+/// boundary.
+#[test]
+fn lstar_ratio_approaches_four_on_tight_family() {
+    let calc = VarianceCalc::new(1e-12, 4000);
+    for &p in &[0.0, 0.15, 0.3, 0.4] {
+        let fam = PowerGapFamily::new(p);
+        let mep = Mep::new(fam, TupleScheme::pps(&[1.0])).unwrap();
+        let numeric = calc
+            .lstar_competitive_ratio(&mep, &[0.0])
+            .unwrap()
+            .expect("optimum positive");
+        let closed = fam.ratio_at_zero();
+        assert!(closed < 4.0);
+        assert!(
+            (numeric - closed).abs() < 0.08 * closed,
+            "p={p}: numeric {numeric} vs closed {closed}"
+        );
+    }
+    // The closed form crosses 3.9 only very near p = 0.5.
+    assert!(PowerGapFamily::new(0.49).ratio_at_zero() > 3.9);
+}
+
+/// Section 1 / Section 7: the L* ratios for the exponentiated range are
+/// 2 (p = 1) and 2.5 (p = 2), attained at v2 = 0.
+#[test]
+fn lstar_ratios_for_exponentiated_range() {
+    let calc = VarianceCalc::new(1e-10, 3000);
+    let mep1 = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+    let r1 = calc.lstar_competitive_ratio(&mep1, &[0.8, 0.0]).unwrap().unwrap();
+    assert!((r1 - 2.0).abs() < 0.03, "RG1+ ratio {r1}");
+    let mep2 = Mep::new(RangePowPlus::new(2.0), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+    let r2 = calc.lstar_competitive_ratio(&mep2, &[0.8, 0.0]).unwrap().unwrap();
+    assert!((r2 - 2.5).abs() < 0.04, "RG2+ ratio {r2}");
+    // Interior vectors have smaller ratios (v2 = 0 is the supremum).
+    let r_interior = calc.lstar_competitive_ratio(&mep1, &[0.8, 0.4]).unwrap().unwrap();
+    assert!(r_interior < r1 + 1e-9, "interior ratio {r_interior} vs sup {r1}");
+}
+
+/// Theorem 4.2: L* dominates HT (at most its variance on every data vector
+/// where HT is unbiased).
+#[test]
+fn lstar_dominates_horvitz_thompson() {
+    let calc = VarianceCalc::new(1e-9, 1500);
+    let ht = HorvitzThompson::new();
+    for &p in &[1.0, 2.0] {
+        let mep = Mep::new(RangePowPlus::new(p), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+        for &v in &[[0.9, 0.2], [0.9, 0.6], [0.5, 0.3], [0.7, 0.65]] {
+            assert!(ht.is_applicable(&mep, &v).unwrap());
+            let l = calc.lstar_stats(&mep, &v).unwrap().variance;
+            let h = calc.stats(&mep, &ht, &v).unwrap().variance;
+            assert!(l <= h + 1e-6, "p={p} v={v:?}: L* {l} vs HT {h}");
+        }
+    }
+}
+
+/// Monotonicity (Theorem 4.2): fixing data, the L* estimate is
+/// non-increasing in the seed; the J baseline is not monotone.
+#[test]
+fn lstar_monotone_j_not() {
+    let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+    let lstar = RgPlusLStar::new(1, 1.0);
+    let j = DyadicJ::new();
+    let v = [0.7, 0.3];
+    let mut prev_l = f64::INFINITY;
+    let mut j_increases = 0;
+    let mut prev_j = f64::INFINITY;
+    for k in 1..=200 {
+        let u = k as f64 / 200.0;
+        let out = mep.scheme().sample(&v, u).unwrap();
+        let l = lstar.estimate(&mep, &out);
+        assert!(l <= prev_l + 1e-9, "L* increased at u={u}");
+        prev_l = l;
+        let jv = j.estimate(&mep, &out);
+        if jv > prev_j + 1e-12 {
+            j_increases += 1;
+        }
+        prev_j = jv;
+    }
+    assert!(j_increases > 0, "expected the J estimate to be non-monotone");
+}
+
+/// Theorem 4.3 + Lemma 6.1 on a discrete domain: the order-optimal
+/// construction with f-ascending order is L*, and the f-descending order
+/// beats it exactly on the largest-f data.
+#[test]
+fn discrete_order_optimality_matches_continuous_intuition() {
+    let mut vectors = Vec::new();
+    for a in 0..5 {
+        for b in 0..5 {
+            vectors.push(vec![a as f64, b as f64]);
+        }
+    }
+    let probs: Vec<(f64, f64)> = (0..5).map(|w| (w as f64, w as f64 * 0.2)).collect();
+    let mep = DiscreteMep::new(RangePowPlus::new(1.0), vectors, vec![probs.clone(), probs]).unwrap();
+    let asc = OrderOptimal::f_ascending(&mep);
+    let desc = OrderOptimal::f_descending(&mep);
+    // Exact unbiasedness everywhere for both.
+    for v in mep.vectors().to_vec() {
+        let f = (v[0] - v[1]).max(0.0);
+        assert!((asc.expected(&v).unwrap() - f).abs() < 1e-10, "asc at {v:?}");
+        assert!((desc.expected(&v).unwrap() - f).abs() < 1e-10, "desc at {v:?}");
+        // And agreement with the exact interval-sum L* for the asc order.
+        for k in 0..mep.interval_count() {
+            let out = mep.outcome_at_interval(&v, k);
+            assert!((asc.estimate(&out) - mep.lstar_estimate(&out)).abs() < 1e-10);
+        }
+    }
+    // Customization: desc order no worse at the max-difference vector.
+    let vmax = [4.0, 0.0];
+    assert!(desc.variance(&vmax).unwrap() <= asc.variance(&vmax).unwrap() + 1e-9);
+    // And asc no worse at a minimal positive difference.
+    let vmin = [4.0, 3.0];
+    assert!(asc.variance(&vmin).unwrap() <= desc.variance(&vmin).unwrap() + 1e-9);
+}
+
+/// The customization story of Section 7: U* wins on dissimilar data, L* on
+/// similar data, and L*'s worst case is bounded while U*'s is not small.
+#[test]
+fn customization_tradeoff() {
+    let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+    let calc = VarianceCalc::new(1e-9, 1500);
+    let ustar = RgPlusUStar::new(1.0, 1.0);
+    // Dissimilar: v2 = 0.
+    let l_dis = calc.lstar_stats(&mep, &[0.8, 0.0]).unwrap().variance;
+    let u_dis = calc.stats(&mep, &ustar, &[0.8, 0.0]).unwrap().variance;
+    assert!(u_dis < l_dis, "dissimilar: U* {u_dis} vs L* {l_dis}");
+    // Similar: v2 close to v1.
+    let l_sim = calc.lstar_stats(&mep, &[0.8, 0.75]).unwrap().variance;
+    let u_sim = calc.stats(&mep, &ustar, &[0.8, 0.75]).unwrap().variance;
+    assert!(l_sim < u_sim, "similar: L* {l_sim} vs U* {u_sim}");
+    // The relative penalty of U* on similar data exceeds L*'s on dissimilar.
+    let l_penalty = l_dis / u_dis;
+    let u_penalty = u_sim / l_sim;
+    assert!(u_penalty > l_penalty, "U* penalty {u_penalty} vs L* penalty {l_penalty}");
+}
+
+/// The generic (quadrature) L* path agrees with the closed forms on random
+/// outcomes — the closed forms validate the machinery used for arbitrary f.
+#[test]
+fn generic_lstar_agrees_with_closed_forms() {
+    for &(p, pi) in &[(1u8, 1.0f64), (2u8, 2.0f64)] {
+        let mep = Mep::new(RangePowPlus::new(pi), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+        let closed = RgPlusLStar::new(p, 1.0);
+        let generic = LStar::new();
+        for i in 0..40 {
+            let v1 = 0.05 + 0.9 * ((i * 7) % 19) as f64 / 19.0;
+            let v2 = v1 * (((i * 3) % 10) as f64 / 10.0);
+            let u = 0.02 + 0.96 * ((i * 11) % 23) as f64 / 23.0;
+            let out = mep.scheme().sample(&[v1, v2], u).unwrap();
+            let a = closed.estimate(&mep, &out);
+            let b = generic.estimate(&mep, &out);
+            assert!(
+                (a - b).abs() < 1e-7 * a.abs().max(1.0),
+                "p={pi} v=({v1},{v2}) u={u}: {a} vs {b}"
+            );
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests (proptest) of the crate-spanning invariants listed
+//! in DESIGN.md §7.
+
+use monotone_sampling::core::estimate::{
+    DyadicJ, HorvitzThompson, LStar, MonotoneEstimator, RgPlusLStar, RgPlusUStar,
+};
+use monotone_sampling::core::func::{ItemFn, RangePow, RangePowPlus, TupleMax};
+use monotone_sampling::core::problem::Mep;
+use monotone_sampling::core::quad::{integrate_with_breakpoints, QuadConfig};
+use monotone_sampling::core::scheme::TupleScheme;
+use monotone_sampling::coord::seed::SeedHasher;
+use proptest::prelude::*;
+
+fn value() -> impl Strategy<Value = f64> {
+    (0u32..=100).prop_map(|k| k as f64 / 100.0)
+}
+
+fn seed() -> impl Strategy<Value = f64> {
+    (1u32..=100).prop_map(|k| k as f64 / 100.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Monotone sampling: smaller seeds give at least as much information
+    /// (known entries stay known, caps shrink).
+    #[test]
+    fn sampling_monotone_in_seed(v1 in value(), v2 in value(), u in seed(), frac in 1u32..=99) {
+        let scheme = TupleScheme::pps(&[1.0, 1.0]);
+        let u_fine = u * frac as f64 / 100.0;
+        prop_assume!(u_fine > 0.0);
+        let coarse = scheme.sample(&[v1, v2], u).unwrap();
+        let fine = scheme.sample(&[v1, v2], u_fine).unwrap();
+        for i in 0..2 {
+            if coarse.known(i).is_some() {
+                prop_assert_eq!(coarse.known(i), fine.known(i));
+            }
+        }
+    }
+
+    /// The lower-bound function is nonnegative, non-increasing in u, and
+    /// bounded by f(v).
+    #[test]
+    fn lower_bound_invariants(v1 in value(), v2 in value(), v3 in value()) {
+        let mep = Mep::new(RangePow::new(1.0, 3), TupleScheme::pps(&[1.0, 1.0, 1.0])).unwrap();
+        let v = [v1, v2, v3];
+        let lb = mep.data_lower_bound(&v).unwrap();
+        let target = mep.f().eval(&v);
+        let mut prev = f64::INFINITY;
+        for k in 1..=50 {
+            let u = k as f64 / 50.0;
+            let x = lb.eval(u);
+            prop_assert!(x >= -1e-12);
+            prop_assert!(x <= target + 1e-12);
+            prop_assert!(x <= prev + 1e-12);
+            prev = x;
+        }
+    }
+
+    /// Nonnegativity of every estimator on arbitrary outcomes.
+    #[test]
+    fn estimates_nonnegative(v1 in value(), v2 in value(), u in seed()) {
+        let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+        let out = mep.scheme().sample(&[v1, v2], u).unwrap();
+        prop_assert!(RgPlusLStar::new(1, 1.0).estimate(&mep, &out) >= 0.0);
+        prop_assert!(RgPlusUStar::new(1.0, 1.0).estimate(&mep, &out) >= 0.0);
+        prop_assert!(HorvitzThompson::new().estimate(&mep, &out) >= 0.0);
+        prop_assert!(DyadicJ::new().estimate(&mep, &out) >= 0.0);
+    }
+
+    /// Unbiasedness of the L* closed form on arbitrary data (numeric
+    /// integration over the seed).
+    #[test]
+    fn lstar_unbiased(v1 in value(), v2 in value()) {
+        prop_assume!(v1 > 0.02);
+        let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+        let est = RgPlusLStar::new(1, 1.0);
+        let cfg = QuadConfig::default();
+        let mean = integrate_with_breakpoints(
+            |u| est.estimate(&mep, &mep.scheme().sample(&[v1, v2], u).unwrap()),
+            1e-9,
+            1.0,
+            &[v1, v2],
+            &cfg,
+        );
+        let expect = (v1 - v2).max(0.0);
+        prop_assert!((mean - expect).abs() < 2e-3 * expect.max(0.05),
+            "v=({}, {}): mean {} vs {}", v1, v2, mean, expect);
+    }
+
+    /// The L* estimate is monotone non-increasing in the seed for fixed data.
+    #[test]
+    fn lstar_monotone(v1 in value(), v2 in value()) {
+        let mep = Mep::new(RangePowPlus::new(2.0), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+        let est = RgPlusLStar::new(2, 1.0);
+        let mut prev = f64::INFINITY;
+        for k in 1..=40 {
+            let u = k as f64 / 40.0;
+            let e = est.estimate(&mep, &mep.scheme().sample(&[v1, v2], u).unwrap());
+            prop_assert!(e <= prev + 1e-9);
+            prev = e;
+        }
+    }
+
+    /// Generic L* equals the closed form on arbitrary outcomes.
+    #[test]
+    fn generic_lstar_matches_closed(v1 in value(), v2 in value(), u in seed()) {
+        let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+        let out = mep.scheme().sample(&[v1, v2], u).unwrap();
+        let a = RgPlusLStar::new(1, 1.0).estimate(&mep, &out);
+        let b = LStar::new().estimate(&mep, &out);
+        prop_assert!((a - b).abs() < 1e-7 * a.max(1.0), "{} vs {}", a, b);
+    }
+
+    /// Hash seeds are deterministic, salted, and in (0, 1].
+    #[test]
+    fn seed_hash_properties(key in any::<u64>(), salt in any::<u64>()) {
+        let h = SeedHasher::new(salt);
+        let u = h.seed(key);
+        prop_assert!(u > 0.0 && u <= 1.0);
+        prop_assert_eq!(u, SeedHasher::new(salt).seed(key));
+    }
+
+    /// TupleMax box extrema bracket the value of any consistent completion.
+    #[test]
+    fn box_extrema_bracket(v1 in value(), v2 in value(), u in seed(), z in value()) {
+        let f = TupleMax::new(2);
+        let scheme = TupleScheme::pps(&[1.0, 1.0]);
+        let out = scheme.sample(&[v1, v2], u).unwrap();
+        let mut known = Vec::new();
+        let mut caps = Vec::new();
+        scheme.states_at(&out, u, &mut known, &mut caps);
+        // Build a consistent completion: keep knowns, clamp z into caps.
+        let zv: Vec<f64> = (0..2)
+            .map(|i| known[i].unwrap_or_else(|| z * caps[i]))
+            .collect();
+        let fv = f.eval(&zv);
+        prop_assert!(f.box_inf(&known, &caps) <= fv + 1e-12);
+        prop_assert!(f.box_sup(&known, &caps) >= fv - 1e-12);
+    }
+}
