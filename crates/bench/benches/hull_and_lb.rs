@@ -13,11 +13,17 @@ fn bench_lb_and_hull(c: &mut Criterion) {
     let v = [0.6, 0.2];
     let lb = mep.data_lower_bound(&v).unwrap();
 
-    c.bench_function("lb_eval", |b| b.iter(|| black_box(lb.eval(black_box(0.37)))));
-    c.bench_function("hull_build_800", |b| b.iter(|| black_box(lb.hull(1e-6, 800))));
+    c.bench_function("lb_eval", |b| {
+        b.iter(|| black_box(lb.eval(black_box(0.37))))
+    });
+    c.bench_function("hull_build_800", |b| {
+        b.iter(|| black_box(lb.hull(1e-6, 800)))
+    });
 
     let vopt = VOptimal::with_resolution(1e-6, 800);
-    c.bench_function("vopt_esq", |b| b.iter(|| black_box(vopt.esq(&mep, &v).unwrap())));
+    c.bench_function("vopt_esq", |b| {
+        b.iter(|| black_box(vopt.esq(&mep, &v).unwrap()))
+    });
 
     let calc = VarianceCalc::new(1e-6, 400);
     c.bench_function("lstar_stats_fastpath", |b| {
@@ -26,7 +32,9 @@ fn bench_lb_and_hull(c: &mut Criterion) {
 
     let mep3 = Mep::new(RangePow::new(1.0, 3), TupleScheme::pps(&[1.0, 1.0, 1.0])).unwrap();
     let lb3 = mep3.data_lower_bound(&[0.7, 0.2, 0.4]).unwrap();
-    c.bench_function("lb_eval_r3_range", |b| b.iter(|| black_box(lb3.eval(black_box(0.3)))));
+    c.bench_function("lb_eval_r3_range", |b| {
+        b.iter(|| black_box(lb3.eval(black_box(0.3))))
+    });
 }
 
 criterion_group!(benches, bench_lb_and_hull);

@@ -27,7 +27,13 @@ fn main() {
 
     let mut t = Table::new(
         "E15: NRMSE of the L1+ sum estimate — coordinated vs independent samples",
-        &["drift sigma", "data jaccard", "coord L*", "coord HT", "indep HT (product)"],
+        &[
+            "drift sigma",
+            "data jaccard",
+            "coord L*",
+            "coord HT",
+            "indep HT (product)",
+        ],
     );
     let mut csv = Vec::new();
     for &sigma in &[0.02f64, 0.05, 0.1, 0.25, 0.5, 1.0] {
@@ -51,9 +57,8 @@ fn main() {
             coord_l.push(
                 estimate_sum(f, &RgPlusLStar::new(1, scale), &cs, &samples, None).expect("L*"),
             );
-            coord_ht.push(
-                estimate_sum(f, &HorvitzThompson::new(), &cs, &samples, None).expect("HT"),
-            );
+            coord_ht
+                .push(estimate_sum(f, &HorvitzThompson::new(), &cs, &samples, None).expect("HT"));
             let is = IndependentPps::uniform_scale(2, scale, SeedHasher::new(salt));
             let isamples = is.sample_all(&data);
             indep_ht.push(is.ht_sum_estimate(&f, &isamples, None));
@@ -85,7 +90,13 @@ fn main() {
     println!("already beats independent HT; L* adds the partial-information outcomes.");
     let path = write_csv(
         "e15_coordination_gain.csv",
-        &["sigma", "data_jaccard", "nrmse_coord_lstar", "nrmse_coord_ht", "nrmse_indep_ht"],
+        &[
+            "sigma",
+            "data_jaccard",
+            "nrmse_coord_lstar",
+            "nrmse_coord_ht",
+            "nrmse_indep_ht",
+        ],
         &csv,
     );
     println!("wrote {}", path.display());

@@ -51,12 +51,17 @@ fn main() {
 
     // Least-squares slope of log error vs log size.
     let n_pts = points.len() as f64;
-    let (sx, sy): (f64, f64) = points.iter().fold((0.0, 0.0), |(a, b), &(x, y)| (a + x, b + y));
+    let (sx, sy): (f64, f64) = points
+        .iter()
+        .fold((0.0, 0.0), |(a, b), &(x, y)| (a + x, b + y));
     let (sxx, sxy): (f64, f64) = points
         .iter()
         .fold((0.0, 0.0), |(a, b), &(x, y)| (a + x * x, b + x * y));
     let slope = (n_pts * sxy - sx * sy) / (n_pts * sxx - sx * sx);
-    println!("\nfitted scaling exponent: {} (paper shape: −0.5)", fnum(slope));
+    println!(
+        "\nfitted scaling exponent: {} (paper shape: −0.5)",
+        fnum(slope)
+    );
     let path = write_csv("e13_error_scaling.csv", &["domain_size", "nrmse"], &csv);
     println!("wrote {}", path.display());
 }

@@ -22,7 +22,11 @@ fn main() {
     let l22 = exact_sum(&RangePow::new(2.0, 2), &pair, Some(&cfh));
     let l2 = l22.sqrt();
     let l1p = exact_sum(&RangePowPlus::new(1.0), &pair, Some(&bce));
-    let g = exact_sum(&LinearAbsPow::new(vec![1.0, -2.0, 1.0], 0.0, 2.0), &data, Some(&bd));
+    let g = exact_sum(
+        &LinearAbsPow::new(vec![1.0, -2.0, 1.0], 0.0, 2.0),
+        &data,
+        Some(&bd),
+    );
 
     let mut t = Table::new(
         "E1: Example 1 queries (paper values in parentheses where they differ)",
@@ -32,8 +36,18 @@ fn main() {
         ("L1({b,c,e})", l1, "0.71", "paper summands total 0.72"),
         ("L2^2({c,f,h})", l22, "≈0.16", "match"),
         ("L2({c,f,h})", l2, "≈0.40", "match"),
-        ("L1+({b,c,e})", l1p, "0.235", "paper took 0.10-0.05 as 0.005; correct sum 0.28"),
-        ("G({b,d})", g, "≈1.18", "paper printed √G; G itself is 1.4144"),
+        (
+            "L1+({b,c,e})",
+            l1p,
+            "0.235",
+            "paper took 0.10-0.05 as 0.005; correct sum 0.28",
+        ),
+        (
+            "G({b,d})",
+            g,
+            "≈1.18",
+            "paper printed √G; G itself is 1.4144",
+        ),
     ];
     let mut csv = Vec::new();
     for (name, ours, paper, note) in rows {

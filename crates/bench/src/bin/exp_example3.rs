@@ -73,9 +73,8 @@ fn main() {
             );
         }
         if p == 1.0 {
-            let equal = (0.0f64..0.6).step_check(|u| {
-                (lb_b.eval(u.max(1e-9)) - hull_b.value(u.max(1e-9))).abs() < 1e-9
-            });
+            let equal = (0.0f64..0.6)
+                .step_check(|u| (lb_b.eval(u.max(1e-9)) - hull_b.value(u.max(1e-9))).abs() < 1e-9);
             println!("  v2 = 0, p = 1: LB equals its hull: {equal}");
         }
         println!();

@@ -24,7 +24,15 @@ fn main() {
         let mut rows = Vec::new();
         let mut t = Table::new(
             &format!("E4 panel p={p}: estimates at probe points"),
-            &["u", "L*(.6,.2)", "U*(.6,.2)", "opt(.6,.2)", "L*(.6,0)", "U*(.6,0)", "opt(.6,0)"],
+            &[
+                "u",
+                "L*(.6,.2)",
+                "U*(.6,.2)",
+                "opt(.6,.2)",
+                "L*(.6,0)",
+                "U*(.6,0)",
+                "opt(.6,0)",
+            ],
         );
         let datasets: [[f64; 2]; 2] = [[0.6, 0.2], [0.6, 0.0]];
         let mut max_generic_gap: f64 = 0.0;
@@ -57,11 +65,22 @@ fn main() {
         t.print();
         let path = write_csv(
             &format!("e4_estimates_p{p}.csv"),
-            &["u", "lstar_062", "ustar_062", "opt_062", "lstar_060", "ustar_060", "opt_060"],
+            &[
+                "u",
+                "lstar_062",
+                "ustar_062",
+                "opt_062",
+                "lstar_060",
+                "ustar_060",
+                "opt_060",
+            ],
             &rows,
         );
         println!("wrote {}", path.display());
-        println!("  max |U*generic − U*closed| at probes: {}", fnum(max_generic_gap));
+        println!(
+            "  max |U*generic − U*closed| at probes: {}",
+            fnum(max_generic_gap)
+        );
 
         // Paper captions: at v2 = 0 the U* estimates are v-optimal.
         let v = [0.6, 0.0];
@@ -73,7 +92,10 @@ fn main() {
             let opt = vopt.estimate_for_data(&mep, &v, u).expect("opt");
             max_gap = max_gap.max((uc - opt).abs());
         }
-        println!("  max |U* − v-opt| at v2=0: {} (paper: U* is v-optimal there)", fnum(max_gap));
+        println!(
+            "  max |U* − v-opt| at v2=0: {} (paper: U* is v-optimal there)",
+            fnum(max_gap)
+        );
 
         // L* unbounded at v2 = 0: estimate grows as u → 0.
         let small = mep.scheme().sample(&v, 1e-6).expect("outcome");

@@ -36,7 +36,12 @@ fn main() {
     let intervals = ["(0,π1]", "(π1,π2]", "(π2,π3]", "(π3,1]"];
 
     // Lower-bound table (paper's first Example 5 table).
-    let mut t = Table::new("E5: lower bounds RG1+(v)(u)", &["interval", "(1,0)", "(2,1)", "(2,0)", "(3,2)", "(3,1)", "(3,0)"]);
+    let mut t = Table::new(
+        "E5: lower bounds RG1+(v)(u)",
+        &[
+            "interval", "(1,0)", "(2,1)", "(2,0)", "(3,2)", "(3,1)", "(3,0)",
+        ],
+    );
     let mut csv = Vec::new();
     for k in 0..mep.interval_count() {
         let mut cells = vec![intervals[k].to_owned()];
@@ -48,7 +53,11 @@ fn main() {
         t.row(cells);
     }
     t.print();
-    write_csv("e5_lower_bounds.csv", &["interval", "v10", "v21", "v20", "v32", "v31", "v30"], &csv);
+    write_csv(
+        "e5_lower_bounds.csv",
+        &["interval", "v10", "v21", "v20", "v32", "v31", "v30"],
+        &csv,
+    );
 
     // Estimator tables for the three orders.
     let orders: Vec<(&str, OrderOptimal<'_, RangePowPlus>)> = vec![
@@ -65,7 +74,9 @@ fn main() {
     for (name, est) in &orders {
         let mut t = Table::new(
             &format!("E5: {name} — estimates per interval"),
-            &["interval", "(1,0)", "(2,1)", "(2,0)", "(3,2)", "(3,1)", "(3,0)"],
+            &[
+                "interval", "(1,0)", "(2,1)", "(2,0)", "(3,2)", "(3,1)", "(3,0)",
+            ],
         );
         let mut csv = Vec::new();
         for k in 0..mep.interval_count() {
@@ -93,7 +104,11 @@ fn main() {
         write_csv(
             &format!(
                 "e5_estimates_{}.csv",
-                name.split_whitespace().next().unwrap_or("order").to_lowercase().replace('*', "star")
+                name.split_whitespace()
+                    .next()
+                    .unwrap_or("order")
+                    .to_lowercase()
+                    .replace('*', "star")
             ),
             &["interval", "v10", "v21", "v20", "v32", "v31", "v30"],
             &csv,
@@ -109,7 +124,10 @@ fn main() {
             max_gap = max_gap.max((asc.estimate(&out) - mep.lstar_estimate(&out)).abs());
         }
     }
-    println!("max |order-opt(f asc) − L*| over all outcomes: {} (Theorem 4.3)", fnum(max_gap));
+    println!(
+        "max |order-opt(f asc) − L*| over all outcomes: {} (Theorem 4.3)",
+        fnum(max_gap)
+    );
 
     // Variance comparison across orders at the extreme vectors.
     let mut c = Table::new(
@@ -118,7 +136,11 @@ fn main() {
     );
     for v in &positive {
         let cells: Vec<String> = std::iter::once(format!("{v:?}"))
-            .chain(orders.iter().map(|(_, e)| fnum(e.variance(v).expect("var"))))
+            .chain(
+                orders
+                    .iter()
+                    .map(|(_, e)| fnum(e.variance(v).expect("var"))),
+            )
             .collect();
         c.row(cells);
     }

@@ -22,7 +22,14 @@ fn main() {
         let mep = Mep::new(RangePowPlus::new(p), TupleScheme::pps(&[1.0, 1.0])).expect("mep");
         let mut t = Table::new(
             &format!("E8: variance on RG{p}+ (PPS 1)"),
-            &["v", "VAR L*", "VAR HT", "VAR J", "HT applicable", "L* <= HT"],
+            &[
+                "v",
+                "VAR L*",
+                "VAR HT",
+                "VAR J",
+                "HT applicable",
+                "L* <= HT",
+            ],
         );
         let mut dominated = true;
         for &v in &[
@@ -46,7 +53,11 @@ fn main() {
             t.row(vec![
                 format!("({}, {})", v[0], v[1]),
                 fnum(l.variance),
-                if applicable { fnum(h.variance) } else { format!("{} (biased)", fnum(h.variance)) },
+                if applicable {
+                    fnum(h.variance)
+                } else {
+                    format!("{} (biased)", fnum(h.variance))
+                },
                 fnum(jv.variance),
                 if applicable { "yes" } else { "no" }.into(),
                 if ok { "yes" } else { "NO" }.into(),

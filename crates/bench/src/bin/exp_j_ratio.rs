@@ -27,8 +27,14 @@ fn main() {
     for &p in &[0.5, 1.0, 2.0] {
         let mep = Mep::new(RangePowPlus::new(p), TupleScheme::pps(&[1.0, 1.0])).expect("mep");
         for &v in &[[0.9, 0.0], [0.9, 0.45], [0.9, 0.8], [0.3, 0.1]] {
-            let rj = calc.competitive_ratio(&mep, &j, &v).expect("j").unwrap_or(f64::NAN);
-            let rl = calc.lstar_competitive_ratio(&mep, &v).expect("l").unwrap_or(f64::NAN);
+            let rj = calc
+                .competitive_ratio(&mep, &j, &v)
+                .expect("j")
+                .unwrap_or(f64::NAN);
+            let rl = calc
+                .lstar_competitive_ratio(&mep, &v)
+                .expect("l")
+                .unwrap_or(f64::NAN);
             if rj.is_finite() {
                 sup_j = sup_j.max(rj);
             }
@@ -41,21 +47,45 @@ fn main() {
                 fnum(rj),
                 fnum(rl),
             ]);
-            csv.push(vec![format!("RG{p}+"), format!("{};{}", v[0], v[1]), format!("{rj}"), format!("{rl}")]);
+            csv.push(vec![
+                format!("RG{p}+"),
+                format!("{};{}", v[0], v[1]),
+                format!("{rj}"),
+                format!("{rl}"),
+            ]);
         }
     }
     for &p in &[0.0, 0.2, 0.35] {
         let fam = PowerGapFamily::new(p);
         let mep = Mep::new(fam, TupleScheme::pps(&[1.0])).expect("mep");
-        let rj = calc.competitive_ratio(&mep, &j, &[0.0]).expect("j").unwrap_or(f64::NAN);
-        let rl = calc.lstar_competitive_ratio(&mep, &[0.0]).expect("l").unwrap_or(f64::NAN);
+        let rj = calc
+            .competitive_ratio(&mep, &j, &[0.0])
+            .expect("j")
+            .unwrap_or(f64::NAN);
+        let rl = calc
+            .lstar_competitive_ratio(&mep, &[0.0])
+            .expect("l")
+            .unwrap_or(f64::NAN);
         sup_j = sup_j.max(rj);
         sup_l = sup_l.max(rl);
         t.row(vec![format!("power p={p}"), "0".into(), fnum(rj), fnum(rl)]);
-        csv.push(vec![format!("power{p}"), "0".into(), format!("{rj}"), format!("{rl}")]);
+        csv.push(vec![
+            format!("power{p}"),
+            "0".into(),
+            format!("{rj}"),
+            format!("{rl}"),
+        ]);
     }
     t.print();
-    println!("\nsup observed: J = {}, L* = {} (L* is provably <= 4 everywhere)", fnum(sup_j), fnum(sup_l));
-    let path = write_csv("e11_j_ratio.csv", &["problem", "data", "ratio_j", "ratio_lstar"], &csv);
+    println!(
+        "\nsup observed: J = {}, L* = {} (L* is provably <= 4 everywhere)",
+        fnum(sup_j),
+        fnum(sup_l)
+    );
+    let path = write_csv(
+        "e11_j_ratio.csv",
+        &["problem", "data", "ratio_j", "ratio_lstar"],
+        &csv,
+    );
     println!("wrote {}", path.display());
 }

@@ -12,14 +12,16 @@
 //!   never is (its 4-competitiveness in action).
 //!
 //! Reports NRMSE per estimator across a sampling-rate sweep, averaged over
-//! coordinated sampling randomizations (parallelized with crossbeam).
+//! coordinated sampling randomizations (parallelized with scoped threads).
 
 use monotone_bench::{fnum, stats::nrmse, table::Table, write_csv};
 use monotone_coord::instance::Dataset;
 use monotone_coord::pps::{scale_for_expected_size, CoordPps};
 use monotone_coord::query::{estimate_sum, exact_sum};
 use monotone_coord::seed::SeedHasher;
-use monotone_core::estimate::{DyadicJ, HorvitzThompson, MonotoneEstimator, RgPlusLStar, RgPlusUStar};
+use monotone_core::estimate::{
+    DyadicJ, HorvitzThompson, MonotoneEstimator, RgPlusLStar, RgPlusUStar,
+};
 use monotone_core::func::RangePowPlus;
 use monotone_core::scheme::LinearThreshold;
 use monotone_datagen::pairs::{flow_like, stable_like, PairConfig};
@@ -28,12 +30,7 @@ use rand::SeedableRng;
 const TRIALS: u64 = 48;
 
 /// Sum of the increase-only and decrease-only estimates = Lp^p estimate.
-fn lpp_estimate<E>(
-    p: f64,
-    est: &E,
-    sampler: &CoordPps,
-    data: &Dataset,
-) -> f64
+fn lpp_estimate<E>(p: f64, est: &E, sampler: &CoordPps, data: &Dataset) -> f64
 where
     E: MonotoneEstimator<RangePowPlus, LinearThreshold>,
 {
@@ -53,11 +50,18 @@ fn lpp_exact(p: f64, data: &Dataset) -> f64 {
 }
 
 fn run_family(name: &str, data: &Dataset, csv: &mut Vec<Vec<String>>) {
-    println!("\n### dataset family: {name} ({} / {} items)", data.instance(0).len(), data.instance(1).len());
+    println!(
+        "\n### dataset family: {name} ({} / {} items)",
+        data.instance(0).len(),
+        data.instance(1).len()
+    );
     for &p in &[1.0, 2.0] {
         let truth = lpp_exact(p, data);
         let mut t = Table::new(
-            &format!("E9 {name}: NRMSE of Lp^p estimate, p = {p} (truth {})", fnum(truth)),
+            &format!(
+                "E9 {name}: NRMSE of Lp^p estimate, p = {p} (truth {})",
+                fnum(truth)
+            ),
             &["expected sample size", "L*", "U*", "HT", "J"],
         );
         for &target in &[50.0, 100.0, 200.0, 400.0] {
@@ -70,17 +74,20 @@ fn run_family(name: &str, data: &Dataset, csv: &mut Vec<Vec<String>>) {
 
             let mut series: Vec<Vec<f64>> = vec![Vec::new(); 4];
             let chunks: Vec<u64> = (0..TRIALS).collect();
-            let results: Vec<[f64; 4]> = crossbeam::scope(|scope| {
+            let results: Vec<[f64; 4]> = std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for chunk in chunks.chunks(TRIALS as usize / 4 + 1) {
                     let (lstar, ustar, ht, j) = (&lstar, &ustar, &ht, &j);
                     let data = &data;
-                    handles.push(scope.spawn(move |_| {
+                    handles.push(scope.spawn(move || {
                         chunk
                             .iter()
                             .map(|&salt| {
-                                let sampler =
-                                    CoordPps::uniform_scale(2, scale, SeedHasher::new(salt * 7 + 1));
+                                let sampler = CoordPps::uniform_scale(
+                                    2,
+                                    scale,
+                                    SeedHasher::new(salt * 7 + 1),
+                                );
                                 [
                                     lpp_estimate(p, lstar, &sampler, data),
                                     lpp_estimate(p, ustar, &sampler, data),
@@ -95,8 +102,7 @@ fn run_family(name: &str, data: &Dataset, csv: &mut Vec<Vec<String>>) {
                     .into_iter()
                     .flat_map(|h| h.join().expect("worker"))
                     .collect()
-            })
-            .expect("scope");
+            });
             for r in results {
                 for (i, x) in r.iter().enumerate() {
                     series[i].push(*x);
@@ -143,7 +149,15 @@ fn main() {
     println!("  * L* never blows up (4-competitive), HT degrades where reveal probs vanish.");
     let path = write_csv(
         "e9_lp_difference.csv",
-        &["family", "p", "target_size", "nrmse_lstar", "nrmse_ustar", "nrmse_ht", "nrmse_j"],
+        &[
+            "family",
+            "p",
+            "target_size",
+            "nrmse_lstar",
+            "nrmse_ustar",
+            "nrmse_ht",
+            "nrmse_j",
+        ],
         &csv,
     );
     println!("wrote {}", path.display());

@@ -17,7 +17,12 @@ fn main() {
     let n = 3000u64;
     let mut t = Table::new(
         "E12: sample overlap under coordination vs independence (PPS, E|S| ≈ 300)",
-        &["drift sigma", "data jaccard", "coordinated overlap", "independent overlap"],
+        &[
+            "drift sigma",
+            "data jaccard",
+            "coordinated overlap",
+            "independent overlap",
+        ],
     );
     let mut csv = Vec::new();
     for &sigma in &[0.0, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0] {
@@ -56,7 +61,12 @@ fn main() {
     println!("sampling overlaps far less at every similarity level.");
     let path = write_csv(
         "e12_lsh.csv",
-        &["sigma", "data_jaccard", "coordinated_overlap", "independent_overlap"],
+        &[
+            "sigma",
+            "data_jaccard",
+            "coordinated_overlap",
+            "independent_overlap",
+        ],
         &csv,
     );
     println!("wrote {}", path.display());

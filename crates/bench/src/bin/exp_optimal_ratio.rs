@@ -74,7 +74,12 @@ fn main() {
     println!("bound is at least 1.4 on adversarial instances per the conclusion).");
     let path = write_csv(
         "e14_optimal_ratio.csv",
-        &["levels", "ratio_lstar_order", "ratio_ustar_order", "ratio_optimized"],
+        &[
+            "levels",
+            "ratio_lstar_order",
+            "ratio_ustar_order",
+            "ratio_optimized",
+        ],
         &csv,
     );
     println!("wrote {}", path.display());

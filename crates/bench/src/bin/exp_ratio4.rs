@@ -36,10 +36,23 @@ fn main() {
         t.row(vec![
             format!("{p}"),
             fnum(closed),
-            if numeric.is_nan() { "-".into() } else { fnum(numeric) },
-            if numeric_valid { "yes" } else { "tail-dominated" }.into(),
+            if numeric.is_nan() {
+                "-".into()
+            } else {
+                fnum(numeric)
+            },
+            if numeric_valid {
+                "yes"
+            } else {
+                "tail-dominated"
+            }
+            .into(),
         ]);
-        csv.push(vec![format!("{p}"), format!("{closed}"), format!("{numeric}")]);
+        csv.push(vec![
+            format!("{p}"),
+            format!("{closed}"),
+            format!("{numeric}"),
+        ]);
     }
     t.print();
     println!("\nsup over the family = 4 (Theorem 4.1); L* is 4-competitive for every MEP");

@@ -24,13 +24,20 @@ fn alpha(d: f64) -> f64 {
 }
 
 fn run(name: &str, g: &Graph, pairs: &[(u32, u32)], csv: &mut Vec<Vec<String>>) {
-    println!("\n### graph: {name} (n = {}, arcs = {})", g.node_count(), g.arc_count());
+    println!(
+        "\n### graph: {name} (n = {}, arcs = {})",
+        g.node_count(),
+        g.arc_count()
+    );
     let truths: Vec<f64> = pairs
         .iter()
         .map(|&(a, b)| exact_closeness(g, a, b, &alpha))
         .collect();
     let mut t = Table::new(
-        &format!("E10 {name}: mean |sim estimate − truth| over {} pairs", pairs.len()),
+        &format!(
+            "E10 {name}: mean |sim estimate − truth| over {} pairs",
+            pairs.len()
+        ),
         &["k", "mean abs error", "mean sketch size"],
     );
     for &k in &[4usize, 8, 16, 32, 64] {
@@ -39,9 +46,8 @@ fn run(name: &str, g: &Graph, pairs: &[(u32, u32)], csv: &mut Vec<Vec<String>>) 
         for salt in 0..3u64 {
             let seeder = SeedHasher::new(97 + salt);
             let sketches = build_all_ads(g, k, &seeder);
-            sizes.push(
-                sketches.iter().map(|s| s.len() as f64).sum::<f64>() / sketches.len() as f64,
-            );
+            sizes
+                .push(sketches.iter().map(|s| s.len() as f64).sum::<f64>() / sketches.len() as f64);
             let est = ClosenessEstimator::new(&sketches, k, alpha);
             for (i, &(a, b)) in pairs.iter().enumerate() {
                 let s = est.estimate(a, b).expect("estimate");
@@ -51,7 +57,12 @@ fn run(name: &str, g: &Graph, pairs: &[(u32, u32)], csv: &mut Vec<Vec<String>>) 
         let e = mean(&errs);
         let sz = mean(&sizes);
         t.row(vec![format!("{k}"), fnum(e), fnum(sz)]);
-        csv.push(vec![name.to_owned(), format!("{k}"), format!("{e}"), format!("{sz}")]);
+        csv.push(vec![
+            name.to_owned(),
+            format!("{k}"),
+            format!("{e}"),
+            format!("{sz}"),
+        ]);
     }
     t.print();
 }
@@ -62,8 +73,10 @@ fn main() {
     let gr = grid(20, 20, 0.5, 1.5, &mut rng);
 
     // Pairs at varying similarity: neighbors, 2-hop-ish, random.
-    let pairs_pa: Vec<(u32, u32)> = vec![(0, 1), (0, 5), (10, 11), (17, 300), (250, 251), (40, 520)];
-    let pairs_grid: Vec<(u32, u32)> = vec![(0, 1), (0, 21), (105, 106), (0, 399), (190, 210), (45, 267)];
+    let pairs_pa: Vec<(u32, u32)> =
+        vec![(0, 1), (0, 5), (10, 11), (17, 300), (250, 251), (40, 520)];
+    let pairs_grid: Vec<(u32, u32)> =
+        vec![(0, 1), (0, 21), (105, 106), (0, 399), (190, 210), (45, 267)];
 
     let mut csv = Vec::new();
     run("preferential-attachment", &pa, &pairs_pa, &mut csv);

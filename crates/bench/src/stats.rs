@@ -23,7 +23,11 @@ pub fn rmse(estimates: &[f64], truth: f64) -> f64 {
     if estimates.is_empty() {
         return 0.0;
     }
-    (estimates.iter().map(|e| (e - truth) * (e - truth)).sum::<f64>() / estimates.len() as f64)
+    (estimates
+        .iter()
+        .map(|e| (e - truth) * (e - truth))
+        .sum::<f64>()
+        / estimates.len() as f64)
         .sqrt()
 }
 

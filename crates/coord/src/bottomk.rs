@@ -19,9 +19,7 @@
 //! * [`RankMethod::Uniform`] — `rank = u` (reservoir sampling; weights
 //!   ignored), conditioning to an all-or-nothing threshold.
 
-use monotone_core::scheme::{
-    EntryState, LinearThreshold, Outcome, ThresholdFn, TupleScheme,
-};
+use monotone_core::scheme::{EntryState, LinearThreshold, Outcome, ThresholdFn, TupleScheme};
 
 use crate::instance::Instance;
 use crate::seed::SeedHasher;
@@ -111,7 +109,10 @@ impl BottomKSample {
             f64::INFINITY
         } else {
             // k-th smallest overall = largest retained rank.
-            self.entries.last().map(|&(r, _, _)| r).unwrap_or(f64::INFINITY)
+            self.entries
+                .last()
+                .map(|&(r, _, _)| r)
+                .unwrap_or(f64::INFINITY)
         }
     }
 }
@@ -207,14 +208,21 @@ impl BottomK {
             let tau = s.conditioned_rank_threshold(key);
             // Included iff u/w < tau ⟺ w > u/tau: linear threshold with
             // scale 1/tau (≈0 when tau = ∞: always included).
-            let scale = if tau.is_finite() { 1.0 / tau } else { f64::MIN_POSITIVE };
+            let scale = if tau.is_finite() {
+                1.0 / tau
+            } else {
+                f64::MIN_POSITIVE
+            };
             thresholds.push(LinearThreshold::new(scale));
             entries.push(match s.get(key) {
                 Some(w) => EntryState::Known(w),
                 None => EntryState::Capped,
             });
         }
-        Ok((TupleScheme::new(thresholds), Outcome::from_parts(u, entries)?))
+        Ok((
+            TupleScheme::new(thresholds),
+            Outcome::from_parts(u, entries)?,
+        ))
     }
 
     /// The conditioned per-item monotone problem for exponential ranks.
@@ -247,7 +255,10 @@ impl BottomK {
                 None => EntryState::Capped,
             });
         }
-        Ok((TupleScheme::new(thresholds), Outcome::from_parts(u, entries)?))
+        Ok((
+            TupleScheme::new(thresholds),
+            Outcome::from_parts(u, entries)?,
+        ))
     }
 }
 
@@ -267,7 +278,10 @@ impl ExpThreshold {
     ///
     /// Panics if `τ_rank <= 0` or is NaN.
     pub fn new(tau_rank: f64) -> ExpThreshold {
-        assert!(tau_rank > 0.0 && !tau_rank.is_nan(), "rank threshold must be positive");
+        assert!(
+            tau_rank > 0.0 && !tau_rank.is_nan(),
+            "rank threshold must be positive"
+        );
         ExpThreshold { tau_rank }
     }
 
@@ -321,7 +335,11 @@ mod tests {
     #[test]
     fn membership_iff_rank_below_conditioned_threshold() {
         // The defining property of the conditioned reduction (footnote 1).
-        for method in [RankMethod::Priority, RankMethod::Exponential, RankMethod::Uniform] {
+        for method in [
+            RankMethod::Priority,
+            RankMethod::Exponential,
+            RankMethod::Uniform,
+        ] {
             let inst = test_instance(100);
             let sampler = BottomK::new(10, method, SeedHasher::new(7));
             let s = sampler.sample_instance(&inst);
@@ -364,7 +382,10 @@ mod tests {
         let inst_a = test_instance(80);
         let inst_b = Instance::from_pairs(inst_a.iter().map(|(k, w)| (k, w * 1.3)));
         let sampler = BottomK::new(12, RankMethod::Priority, SeedHasher::new(21));
-        let samples = vec![sampler.sample_instance(&inst_a), sampler.sample_instance(&inst_b)];
+        let samples = vec![
+            sampler.sample_instance(&inst_a),
+            sampler.sample_instance(&inst_b),
+        ];
         for (key, _) in inst_a.iter() {
             let (scheme, outcome) = sampler.priority_item_problem(&samples, key).unwrap();
             let u = sampler.seeder().seed(key);

@@ -14,6 +14,22 @@
 //! standard practical choice and inherits HT's applicability caveat: items
 //! with an always-hidden entry (e.g. a zero entry under PPS) are never
 //! revealed and bias the estimate low.
+//!
+//! # Examples
+//!
+//! ```
+//! use monotone_coord::independent::IndependentPps;
+//! use monotone_coord::instance::{Dataset, Instance};
+//! use monotone_coord::seed::SeedHasher;
+//!
+//! let data = Dataset::new(vec![
+//!     Instance::from_pairs([(1u64, 0.9), (2, 0.4)]),
+//!     Instance::from_pairs([(1u64, 0.7), (2, 0.5)]),
+//! ]);
+//! let pps = IndependentPps::uniform_scale(2, 1.0, SeedHasher::new(7));
+//! let samples = pps.sample_all(&data);
+//! assert_eq!(samples.len(), 2);
+//! ```
 
 use monotone_core::func::ItemFn;
 
@@ -173,8 +189,16 @@ mod tests {
         for salt in 0..200 {
             let coord = crate::pps::CoordPps::uniform_scale(2, 2.0, SeedHasher::new(salt));
             let indep = IndependentPps::uniform_scale(2, 2.0, SeedHasher::new(salt));
-            count_coord += coord.sample_all(&data).iter().map(|s| s.len()).sum::<usize>();
-            count_indep += indep.sample_all(&data).iter().map(|s| s.len()).sum::<usize>();
+            count_coord += coord
+                .sample_all(&data)
+                .iter()
+                .map(|s| s.len())
+                .sum::<usize>();
+            count_indep += indep
+                .sample_all(&data)
+                .iter()
+                .map(|s| s.len())
+                .sum::<usize>();
         }
         let (a, b) = (count_coord as f64, count_indep as f64);
         assert!(

@@ -163,7 +163,9 @@ impl Dataset {
         Dataset::new(
             [v1, v2, v3]
                 .iter()
-                .map(|row| Instance::from_pairs(row.iter().enumerate().map(|(k, &w)| (k as u64, w))))
+                .map(|row| {
+                    Instance::from_pairs(row.iter().enumerate().map(|(k, &w)| (k as u64, w)))
+                })
                 .collect(),
         )
     }

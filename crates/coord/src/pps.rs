@@ -265,7 +265,10 @@ mod tests {
         let ck: std::collections::BTreeSet<u64> = c.keys().collect();
         let dk: std::collections::BTreeSet<u64> = d.keys().collect();
         let inter = ck.intersection(&dk).count();
-        assert!(inter < ck.len().min(dk.len()), "independent samples should differ");
+        assert!(
+            inter < ck.len().min(dk.len()),
+            "independent samples should differ"
+        );
     }
 
     #[test]

@@ -7,6 +7,21 @@
 //! nonnegative functions used here, so the sum estimate remains unbiased
 //! and its variance is the sum of per-item variances (pairwise independent
 //! seeds).
+//!
+//! # Examples
+//!
+//! ```
+//! use monotone_coord::instance::{Dataset, Instance};
+//! use monotone_coord::query::{exact_sum, weighted_jaccard};
+//! use monotone_core::func::RangePowPlus;
+//!
+//! let a = Instance::from_pairs([(1u64, 0.9), (2, 0.4)]);
+//! let b = Instance::from_pairs([(1u64, 0.7), (2, 0.5)]);
+//! let data = Dataset::new(vec![a.clone(), b.clone()]);
+//! // L1+ difference: max(0, 0.9 - 0.7) + max(0, 0.4 - 0.5) = 0.2.
+//! assert!((exact_sum(&RangePowPlus::new(1.0), &data, None) - 0.2).abs() < 1e-12);
+//! assert!(weighted_jaccard(&a, &b) < 1.0);
+//! ```
 
 use monotone_core::estimate::MonotoneEstimator;
 use monotone_core::func::ItemFn;
@@ -119,7 +134,11 @@ pub fn estimate_weighted_jaccard(
     let lstar = LStar::with_quad(monotone_core::quad::QuadConfig::fast());
     let num = estimate_sum(TupleMin::new(2), &lstar, sampler, samples, None)?;
     let den = estimate_sum(TupleMax::new(2), &lstar, sampler, samples, None)?;
-    Ok(if den > 0.0 { (num / den).clamp(0.0, 1.0) } else { 1.0 })
+    Ok(if den > 0.0 {
+        (num / den).clamp(0.0, 1.0)
+    } else {
+        1.0
+    })
 }
 
 /// Weighted Jaccard similarity `Σ min(a, b) / Σ max(a, b)` of two instances
@@ -262,14 +281,20 @@ mod tests {
             total += estimate_distinct_count(&sampler, &samples).unwrap();
         }
         let mean = total / trials as f64;
-        assert!((mean - truth).abs() < 0.05 * truth, "mean {mean} vs {truth}");
+        assert!(
+            (mean - truth).abs() < 0.05 * truth,
+            "mean {mean} vs {truth}"
+        );
     }
 
     #[test]
     fn jaccard_estimate_tracks_truth() {
         let n = 400u64;
         let a = Instance::from_pairs((0..n).map(|k| (k, 0.2 + (k % 9) as f64 / 12.0)));
-        let b = Instance::from_pairs(a.iter().map(|(k, w)| (k, (w * (1.0 + (k % 3) as f64 * 0.1)).min(1.0))));
+        let b = Instance::from_pairs(
+            a.iter()
+                .map(|(k, w)| (k, (w * (1.0 + (k % 3) as f64 * 0.1)).min(1.0))),
+        );
         let truth = weighted_jaccard(&a, &b);
         let data = Dataset::new(vec![a, b]);
         let mut total = 0.0;

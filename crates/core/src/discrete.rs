@@ -384,7 +384,9 @@ impl<'a, F: ItemFn> OrderOptimal<'a, F> {
         if let Some(&v) = self.lb_memo.borrow().get(&(zi, interval)) {
             return v;
         }
-        let out = self.mep.outcome_at_interval(&self.mep.vectors()[zi], interval);
+        let out = self
+            .mep
+            .outcome_at_interval(&self.mep.vectors()[zi], interval);
         let v = self.mep.lower_bound(&out);
         self.lb_memo.borrow_mut().insert((zi, interval), v);
         v
@@ -623,7 +625,10 @@ mod tests {
         // Example 5: RˆG(≺)(2,1) = (1 − (π2−π1)·RˆG(≺)(2,≤1)) / π1.
         let e_21 = est.estimate(&mep.outcome_at_interval(&[2.0, 1.0], 0));
         let expect_21 = (1.0 - (p2 - p1) * e_2le1) / p1;
-        assert!((e_21 - expect_21).abs() < 1e-12, "got {e_21} vs {expect_21}");
+        assert!(
+            (e_21 - expect_21).abs() < 1e-12,
+            "got {e_21} vs {expect_21}"
+        );
         // v-optimal for (3,1) on (π2, π3] (outcome (3,≤2)): min{2/π3, 1/(π3−π2)}.
         let e_3le2 = est.estimate(&mep.outcome_at_interval(&[3.0, 1.0], 2));
         let expect_3le2 = (2.0 / p3).min(1.0 / (p3 - p2));
@@ -633,13 +638,19 @@ mod tests {
         // (2 − M)/π2.
         let e_3le1 = est.estimate(&mep.outcome_at_interval(&[3.0, 1.0], 1));
         let expect_3le1 = (2.0 - (p3 - p2) * e_3le2) / p2;
-        assert!((e_3le1 - expect_3le1).abs() < 1e-12, "got {e_3le1} vs {expect_3le1}");
+        assert!(
+            (e_3le1 - expect_3le1).abs() < 1e-12,
+            "got {e_3le1} vs {expect_3le1}"
+        );
         // Example 5's (3,0) formula: value 0 is never sampled, so (3,0)'s
         // most informative outcome spans only (0, π1]:
         // RˆG(≺)(3,0) = (3 − (π3−π2)e(3,≤2) − (π2−π1)e(3,≤1)) / π1.
         let e_30 = est.estimate(&mep.outcome_at_interval(&[3.0, 0.0], 0));
         let expect_30 = (3.0 - (p3 - p2) * e_3le2 - (p2 - p1) * e_3le1) / p1;
-        assert!((e_30 - expect_30).abs() < 1e-12, "got {e_30} vs {expect_30}");
+        assert!(
+            (e_30 - expect_30).abs() < 1e-12,
+            "got {e_30} vs {expect_30}"
+        );
         // (3,2): value 2 stays sampled through u <= π2, so the both-known
         // outcome spans intervals 0 and 1 with a constant estimate
         // (1 − (π3−π2)e(3,≤2)) / π2, and unbiasedness for (3,2) holds
@@ -649,8 +660,14 @@ mod tests {
         let e_32_i0 = est.estimate(&mep.outcome_at_interval(&[3.0, 2.0], 0));
         let e_32_i1 = est.estimate(&mep.outcome_at_interval(&[3.0, 2.0], 1));
         let expect_32 = (1.0 - (p3 - p2) * e_3le2) / p2;
-        assert!((e_32_i0 - expect_32).abs() < 1e-12, "got {e_32_i0} vs {expect_32}");
-        assert!((e_32_i1 - expect_32).abs() < 1e-12, "got {e_32_i1} vs {expect_32}");
+        assert!(
+            (e_32_i0 - expect_32).abs() < 1e-12,
+            "got {e_32_i0} vs {expect_32}"
+        );
+        assert!(
+            (e_32_i1 - expect_32).abs() < 1e-12,
+            "got {e_32_i1} vs {expect_32}"
+        );
         let mean = p2 * e_32_i0 + (p3 - p2) * e_3le2;
         assert!((mean - 1.0).abs() < 1e-10, "unbiasedness of (3,2): {mean}");
     }
@@ -691,10 +708,7 @@ mod tests {
         let r = DiscreteMep::new(
             RangePowPlus::new(1.0),
             vec![vec![1.0, 0.0]],
-            vec![
-                vec![(0.0, 0.5), (1.0, 0.25)],
-                vec![(0.0, 0.0), (1.0, 0.25)],
-            ],
+            vec![vec![(0.0, 0.5), (1.0, 0.25)], vec![(0.0, 0.0), (1.0, 0.25)]],
         );
         assert!(r.is_err());
     }

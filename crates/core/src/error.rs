@@ -1,4 +1,16 @@
 //! Error types for monotone estimation.
+//!
+//! # Examples
+//!
+//! ```
+//! use monotone_core::scheme::TupleScheme;
+//!
+//! // Seeds live in (0, 1]; a zero seed is rejected with a typed error.
+//! let scheme = TupleScheme::pps(&[1.0, 1.0]);
+//! let err = scheme.sample(&[0.5, 0.5], 0.0).unwrap_err();
+//! assert_eq!(err, monotone_core::Error::InvalidSeed(0.0));
+//! assert!(err.to_string().contains("(0, 1]"));
+//! ```
 
 use std::fmt;
 
@@ -39,13 +51,18 @@ impl fmt::Display for Error {
             Error::ArityMismatch { expected, got } => {
                 write!(f, "arity mismatch: expected {expected} entries, got {got}")
             }
-            Error::InvalidValue(v) => write!(f, "data value {v} is not a finite nonnegative number"),
+            Error::InvalidValue(v) => {
+                write!(f, "data value {v} is not a finite nonnegative number")
+            }
             Error::InvalidProbability(p) => write!(f, "probability {p} is not in [0, 1]"),
             Error::NonMonotoneThreshold => write!(f, "threshold function is not non-decreasing"),
             Error::InvalidDomain(msg) => write!(f, "invalid discrete domain: {msg}"),
             Error::NotApplicable(what) => write!(f, "estimator not applicable: {what}"),
             Error::NoEstimatorExists => {
-                write!(f, "no unbiased nonnegative estimator exists for this problem")
+                write!(
+                    f,
+                    "no unbiased nonnegative estimator exists for this problem"
+                )
             }
         }
     }
@@ -106,7 +123,10 @@ mod tests {
     fn errors_display_nonempty() {
         let errors = [
             Error::InvalidSeed(0.0),
-            Error::ArityMismatch { expected: 2, got: 3 },
+            Error::ArityMismatch {
+                expected: 2,
+                got: 3,
+            },
             Error::InvalidValue(-1.0),
             Error::InvalidProbability(2.0),
             Error::NonMonotoneThreshold,

@@ -104,7 +104,10 @@ impl RgPlusLStar {
     ///
     /// Panics if `p` is not 1 or 2, or the scale is not positive.
     pub fn new(p: u8, scale: f64) -> RgPlusLStar {
-        assert!(p == 1 || p == 2, "closed form available for p in {{1, 2}}, got {p}");
+        assert!(
+            p == 1 || p == 2,
+            "closed form available for p in {{1, 2}}, got {p}"
+        );
         assert!(scale.is_finite() && scale > 0.0, "scale must be positive");
         RgPlusLStar { p, scale }
     }
@@ -169,7 +172,11 @@ impl MonotoneEstimator<RangePowPlus, LinearThreshold> for RgPlusLStar {
         };
         let w1 = v1 / self.scale;
         let beta = outcome.known(1).map_or(0.0, |v2| v2 / self.scale);
-        let factor = if self.p == 1 { self.scale } else { self.scale * self.scale };
+        let factor = if self.p == 1 {
+            self.scale
+        } else {
+            self.scale * self.scale
+        };
         factor * self.kernel(w1, beta, u)
     }
 
@@ -199,7 +206,10 @@ mod tests {
                 let out = mep.scheme().sample(&v, u).unwrap();
                 let a = closed.estimate(&mep, &out);
                 let b = generic.estimate(&mep, &out);
-                assert!((a - b).abs() < 1e-8, "v={v:?} u={u}: closed {a} vs generic {b}");
+                assert!(
+                    (a - b).abs() < 1e-8,
+                    "v={v:?} u={u}: closed {a} vs generic {b}"
+                );
             }
         }
     }
@@ -215,7 +225,10 @@ mod tests {
                 let out = mep.scheme().sample(&v, u).unwrap();
                 let a = closed.estimate(&mep, &out);
                 let b = generic.estimate(&mep, &out);
-                assert!((a - b).abs() < 1e-8, "v={v:?} u={u}: closed {a} vs generic {b}");
+                assert!(
+                    (a - b).abs() < 1e-8,
+                    "v={v:?} u={u}: closed {a} vs generic {b}"
+                );
             }
         }
     }
@@ -320,7 +333,10 @@ mod tests {
                 &cfg,
             );
             let expect = v[0] - v[1];
-            assert!((mean - expect).abs() < 1e-5, "v={v:?}: mean {mean} vs {expect}");
+            assert!(
+                (mean - expect).abs() < 1e-5,
+                "v={v:?}: mean {mean} vs {expect}"
+            );
         }
     }
 

@@ -15,6 +15,25 @@
 //!   `v`), used as the denominator of competitive ratios;
 //! * closed forms [`RgPlusLStar`] / [`RgPlusUStar`] for exponentiated-range
 //!   functions under PPS, validating and accelerating the generic paths.
+//!
+//! # Examples
+//!
+//! ```
+//! use monotone_core::estimate::{HorvitzThompson, LStar, MonotoneEstimator};
+//! use monotone_core::func::RangePowPlus;
+//! use monotone_core::problem::Mep;
+//! use monotone_core::scheme::TupleScheme;
+//!
+//! # fn main() -> Result<(), monotone_core::Error> {
+//! let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0]))?;
+//! let outcome = mep.scheme().sample(&[0.6, 0.2], 0.1)?;
+//! // Both entries are revealed at this seed, so HT and L* agree on sign.
+//! let lstar = LStar::new().estimate(&mep, &outcome);
+//! let ht = HorvitzThompson::new().estimate(&mep, &outcome);
+//! assert!(lstar > 0.0 && ht > 0.0);
+//! # Ok(())
+//! # }
+//! ```
 
 mod ht;
 mod jest;
@@ -25,8 +44,8 @@ mod voptimal;
 pub use ht::HorvitzThompson;
 pub use jest::DyadicJ;
 pub use lstar::{LStar, RgPlusLStar};
-pub use ustar::{RgPlusUStar, UStar};
 pub(crate) use ustar::sup_inf_slope as ustar_sup_inf_slope;
+pub use ustar::{RgPlusUStar, UStar};
 pub use voptimal::VOptimal;
 
 use crate::func::ItemFn;

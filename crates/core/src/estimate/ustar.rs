@@ -45,7 +45,11 @@ pub(crate) fn sup_inf_slope<F: ItemFn>(
                 continue;
             }
             for (bit, &i) in unknown.iter().enumerate() {
-                let corner = if mask & (1 << bit) != 0 { caps_u[i] } else { 0.0 };
+                let corner = if mask & (1 << bit) != 0 {
+                    caps_u[i]
+                } else {
+                    0.0
+                };
                 let visible = if corner > 0.0 {
                     caps_eta[i] < corner
                 } else {
@@ -142,7 +146,9 @@ impl UStar {
 
         let r = mep.arity();
         let caps_of = |u: f64| -> Vec<f64> {
-            (0..r).map(|i| mep.scheme().thresholds()[i].cap(u)).collect()
+            (0..r)
+                .map(|i| mep.scheme().thresholds()[i].cap(u))
+                .collect()
         };
         let mut etas: Vec<(f64, Vec<f64>)> = Vec::with_capacity(grid.len() + 1);
         etas.push((0.0, caps_of(f64::MIN_POSITIVE)));

@@ -62,11 +62,7 @@ impl VOptimal {
     /// # Errors
     ///
     /// Returns an error if `v` is invalid for the scheme.
-    pub fn hull<F: ItemFn, T: ThresholdFn>(
-        &self,
-        mep: &Mep<F, T>,
-        v: &[f64],
-    ) -> Result<LowerHull> {
+    pub fn hull<F: ItemFn, T: ThresholdFn>(&self, mep: &Mep<F, T>, v: &[f64]) -> Result<LowerHull> {
         Ok(mep.data_lower_bound(v)?.hull(self.eps, self.grid))
     }
 
@@ -153,7 +149,10 @@ mod tests {
         let vopt = VOptimal::with_resolution(1e-9, 4000);
         let esq = vopt.esq(&mep, &[0.6, 0.0]).unwrap();
         let expect = 4.0 * 0.6f64.powi(3) / 3.0;
-        assert!((esq - expect).abs() < 2e-3 * expect, "esq {esq} vs {expect}");
+        assert!(
+            (esq - expect).abs() < 2e-3 * expect,
+            "esq {esq} vs {expect}"
+        );
     }
 
     #[test]

@@ -11,6 +11,23 @@
 //! These are limit statements; this module evaluates them on shrinking-seed
 //! sequences and reports the verdicts together with the witnesses, making
 //! the diagnostics honest about their numeric nature.
+//!
+//! # Examples
+//!
+//! ```
+//! use monotone_core::existence::ExistenceCheck;
+//! use monotone_core::func::RangePowPlus;
+//! use monotone_core::problem::Mep;
+//! use monotone_core::scheme::TupleScheme;
+//!
+//! # fn main() -> Result<(), monotone_core::Error> {
+//! // RG1+ under PPS is estimable with finite variance everywhere.
+//! let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0]))?;
+//! let verdict = ExistenceCheck::default().check(&mep, &[0.6, 0.2])?;
+//! assert!(verdict.estimable && verdict.finite_variance);
+//! # Ok(())
+//! # }
+//! ```
 
 use crate::error::Result;
 use crate::func::ItemFn;
@@ -58,7 +75,11 @@ impl ExistenceCheck {
     /// # Errors
     ///
     /// Returns an error if `v` is invalid for the scheme.
-    pub fn check<F: ItemFn, T: ThresholdFn>(&self, mep: &Mep<F, T>, v: &[f64]) -> Result<Existence> {
+    pub fn check<F: ItemFn, T: ThresholdFn>(
+        &self,
+        mep: &Mep<F, T>,
+        v: &[f64],
+    ) -> Result<Existence> {
         let lb = mep.data_lower_bound(v)?;
         let target = lb.target();
         let scale = target.abs().max(1.0);
@@ -81,10 +102,12 @@ impl ExistenceCheck {
         let bounded = estimable && (s2.abs() <= (s1.abs() + self.tol * scale) * 1.5);
 
         // (10): hull slope square integral must stabilize as eps shrinks.
-        let esq_a = lb.hull((self.eps * 1e3).min(0.1), 1200).sq_integral_of_slope();
+        let esq_a = lb
+            .hull((self.eps * 1e3).min(0.1), 1200)
+            .sq_integral_of_slope();
         let esq_b = lb.hull(self.eps, 1200).sq_integral_of_slope();
-        let finite_variance =
-            estimable && (esq_b - esq_a).abs() <= self.tol.max(0.02) * esq_b.abs().max(1e-12) + 1e-12;
+        let finite_variance = estimable
+            && (esq_b - esq_a).abs() <= self.tol.max(0.02) * esq_b.abs().max(1e-12) + 1e-12;
 
         Ok(Existence {
             estimable,
@@ -100,8 +123,8 @@ impl ExistenceCheck {
 mod tests {
     use super::*;
     use crate::func::{ItemFn, RangePowPlus, ScalarDecreasing};
-    use crate::scheme::{LinearThreshold, TupleScheme};
     use crate::problem::Mep;
+    use crate::scheme::{LinearThreshold, TupleScheme};
 
     #[test]
     fn rg1plus_is_estimable_everywhere() {
@@ -163,7 +186,11 @@ mod tests {
                 }
             }
         }
-        let mep = Mep::new(ZeroIndicator, TupleScheme::new(vec![LinearThreshold::unit()])).unwrap();
+        let mep = Mep::new(
+            ZeroIndicator,
+            TupleScheme::new(vec![LinearThreshold::unit()]),
+        )
+        .unwrap();
         let chk = ExistenceCheck::default();
         let e = chk.check(&mep, &[0.0]).unwrap();
         assert!(!e.estimable, "{e:?}");

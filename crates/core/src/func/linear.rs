@@ -31,7 +31,10 @@ impl LinearAbsPow {
     /// Panics if `p` is not positive, `coeffs` is empty, or any coefficient
     /// is non-finite.
     pub fn new(coeffs: Vec<f64>, offset: f64, p: f64) -> LinearAbsPow {
-        assert!(p.is_finite() && p > 0.0, "exponent must be positive, got {p}");
+        assert!(
+            p.is_finite() && p > 0.0,
+            "exponent must be positive, got {p}"
+        );
         assert!(!coeffs.is_empty(), "coefficient vector must be nonempty");
         assert!(
             coeffs.iter().all(|c| c.is_finite()) && offset.is_finite(),

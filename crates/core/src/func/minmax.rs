@@ -50,7 +50,10 @@ impl ItemFn for TupleMin {
         if known.iter().any(|k| k.is_none()) {
             0.0
         } else {
-            known.iter().map(|k| k.unwrap()).fold(f64::INFINITY, f64::min)
+            known
+                .iter()
+                .map(|k| k.unwrap())
+                .fold(f64::INFINITY, f64::min)
         }
     }
 
@@ -102,11 +105,7 @@ impl ItemFn for TupleMax {
 
     fn box_inf(&self, known: &[Option<f64>], _caps: &[f64]) -> f64 {
         // Unknown entries can all be 0; the max of knowns remains.
-        known
-            .iter()
-            .flatten()
-            .copied()
-            .fold(0.0f64, f64::max)
+        known.iter().flatten().copied().fold(0.0f64, f64::max)
     }
 
     fn box_sup(&self, known: &[Option<f64>], caps: &[f64]) -> f64 {

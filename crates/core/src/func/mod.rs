@@ -12,6 +12,21 @@
 //! corner-enumeration default covers `sup_lower_bound`, the primitive behind
 //! the upper end of the optimal range (Section 3) and the U\* integral
 //! equation (Section 6).
+//!
+//! # Examples
+//!
+//! ```
+//! use monotone_core::func::{ItemFn, RangePowPlus};
+//!
+//! // RG1+(v) = max(0, v1 - v2), with box extrema: first entry known to be
+//! // 0.6, second hidden below a cap of 0.35.
+//! let f = RangePowPlus::new(1.0);
+//! assert!((f.eval(&[0.6, 0.2]) - 0.4).abs() < 1e-12);
+//! let known = [Some(0.6), None];
+//! let caps = [0.6, 0.35];
+//! assert!((f.box_inf(&known, &caps) - 0.25).abs() < 1e-12);
+//! assert!((f.box_sup(&known, &caps) - 0.6).abs() < 1e-12);
+//! ```
 
 mod distinct;
 mod linear;
@@ -95,7 +110,11 @@ pub fn corner_sup_lower_bound<F: ItemFn + ?Sized>(
     let mut known_eta: Vec<Option<f64>> = known.to_vec();
     for mask in 0u32..(1u32 << m) {
         for (bit, &i) in unknown.iter().enumerate() {
-            let corner = if mask & (1 << bit) != 0 { caps_rho[i] } else { 0.0 };
+            let corner = if mask & (1 << bit) != 0 {
+                caps_rho[i]
+            } else {
+                0.0
+            };
             // Visible at η iff the corner value clears the η threshold.
             let visible = if corner > 0.0 {
                 caps_eta[i] < corner
@@ -154,7 +173,11 @@ pub(crate) mod test_util {
         let r = known.len();
         let unknown: Vec<usize> = (0..r).filter(|&i| known[i].is_none()).collect();
         let mut v: Vec<f64> = known.iter().map(|k| k.unwrap_or(0.0)).collect();
-        let mut best = if minimize { f64::INFINITY } else { f64::NEG_INFINITY };
+        let mut best = if minimize {
+            f64::INFINITY
+        } else {
+            f64::NEG_INFINITY
+        };
         let combos = (n + 1).pow(unknown.len() as u32);
         for c in 0..combos {
             let mut rem = c;

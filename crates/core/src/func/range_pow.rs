@@ -31,7 +31,10 @@ impl RangePowPlus {
     ///
     /// Panics if `p` is not finite and positive.
     pub fn new(p: f64) -> RangePowPlus {
-        assert!(p.is_finite() && p > 0.0, "RGp+ exponent must be positive, got {p}");
+        assert!(
+            p.is_finite() && p > 0.0,
+            "RGp+ exponent must be positive, got {p}"
+        );
         RangePowPlus { p }
     }
 
@@ -120,7 +123,10 @@ impl RangePow {
     ///
     /// Panics if `p` is not positive or `arity == 0`.
     pub fn new(p: f64, arity: usize) -> RangePow {
-        assert!(p.is_finite() && p > 0.0, "RGp exponent must be positive, got {p}");
+        assert!(
+            p.is_finite() && p > 0.0,
+            "RGp exponent must be positive, got {p}"
+        );
         assert!(arity >= 1, "RGp needs at least one entry");
         RangePow { p, arity }
     }
@@ -213,8 +219,8 @@ impl ItemFn for RangePow {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::func::test_util::{grid_box_inf, grid_box_sup};
     use crate::func::corner_sup_lower_bound;
+    use crate::func::test_util::{grid_box_inf, grid_box_sup};
 
     #[test]
     fn rg_plus_eval_matches_paper_example1() {
@@ -242,7 +248,10 @@ mod tests {
                 } else {
                     rg.box_inf(&[None, None], &[u, u])
                 };
-                assert!((got - expect).abs() < 1e-12, "u={u} got={got} expect={expect}");
+                assert!(
+                    (got - expect).abs() < 1e-12,
+                    "u={u} got={got} expect={expect}"
+                );
             }
         }
     }
@@ -318,8 +327,14 @@ mod tests {
             let sup = rg.box_sup(known, caps);
             let ginf = grid_box_inf(&rg, known, caps, 40);
             let gsup = grid_box_sup(&rg, known, caps, 40);
-            assert!((inf - ginf).abs() < 1e-9, "inf {inf} vs grid {ginf} for {known:?}");
-            assert!((sup - gsup).abs() < 1e-9, "sup {sup} vs grid {gsup} for {known:?}");
+            assert!(
+                (inf - ginf).abs() < 1e-9,
+                "inf {inf} vs grid {ginf} for {known:?}"
+            );
+            assert!(
+                (sup - gsup).abs() < 1e-9,
+                "sup {sup} vs grid {gsup} for {known:?}"
+            );
         }
     }
 

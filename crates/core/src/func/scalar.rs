@@ -100,7 +100,10 @@ impl PowerGapFamily {
     ///
     /// Panics if `p` is outside `[0, 0.5)`.
     pub fn new(p: f64) -> PowerGapFamily {
-        assert!((0.0..0.5).contains(&p), "PowerGapFamily requires p in [0, 0.5), got {p}");
+        assert!(
+            (0.0..0.5).contains(&p),
+            "PowerGapFamily requires p in [0, 0.5), got {p}"
+        );
         PowerGapFamily { p }
     }
 

@@ -51,7 +51,10 @@ impl LowerHull {
         assert!(!points.is_empty(), "hull of empty point set");
         let mut pts: Vec<(f64, f64)> = points.to_vec();
         for &(x, y) in &pts {
-            assert!(x.is_finite() && y.is_finite(), "non-finite hull input ({x}, {y})");
+            assert!(
+                x.is_finite() && y.is_finite(),
+                "non-finite hull input ({x}, {y})"
+            );
         }
         pts.sort_by(|a, b| {
             a.0.partial_cmp(&b.0)

@@ -6,6 +6,29 @@
 //! (Eqs. (17)–(19)). Estimators that are *in range* almost everywhere are
 //! unbiased and nonnegative (Lemma 3.1), and being in range is necessary for
 //! admissibility (Theorem 3.1). L\* and U\* realize the two endpoints.
+//!
+//! # Examples
+//!
+//! ```
+//! use monotone_core::estimate::{LStar, MonotoneEstimator};
+//! use monotone_core::func::RangePowPlus;
+//! use monotone_core::optimal_range::{committed_mass, in_range};
+//! use monotone_core::problem::Mep;
+//! use monotone_core::quad::QuadConfig;
+//! use monotone_core::scheme::TupleScheme;
+//!
+//! # fn main() -> Result<(), monotone_core::Error> {
+//! // L* estimates sit inside the optimal range [λ_L, λ_U] given the mass
+//! // they commit on less-informative outcomes.
+//! let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0]))?;
+//! let est = LStar::new();
+//! let outcome = mep.scheme().sample(&[0.6, 0.2], 0.35)?;
+//! let mass = committed_mass(&mep, &est, &outcome, &QuadConfig::fast())?;
+//! let estimate = est.estimate(&mep, &outcome);
+//! assert!(in_range(&mep, &outcome, mass, estimate, 1e-3));
+//! # Ok(())
+//! # }
+//! ```
 
 use crate::error::Result;
 use crate::estimate::MonotoneEstimator;
@@ -33,9 +56,13 @@ pub fn lambda_u<F: ItemFn, T: ThresholdFn>(
     let rho = outcome.seed();
     let r = mep.arity();
     let caps_of = |u: f64| -> Vec<f64> {
-        (0..r).map(|i| mep.scheme().thresholds()[i].cap(u)).collect()
+        (0..r)
+            .map(|i| mep.scheme().thresholds()[i].cap(u))
+            .collect()
     };
-    let mut eta_points: Vec<f64> = (0..eta_grid).map(|k| rho * k as f64 / eta_grid as f64).collect();
+    let mut eta_points: Vec<f64> = (0..eta_grid)
+        .map(|k| rho * k as f64 / eta_grid as f64)
+        .collect();
     let lb = mep.lower_bound(outcome);
     for bp in lb.breakpoints() {
         if bp < rho {
@@ -169,10 +196,7 @@ mod tests {
             let m = committed_mass(&mep, &ustar, &out, &cfg).unwrap();
             let e = ustar.estimate(&mep, &out);
             let hi = lambda_u(&mep, &out, m, 512);
-            assert!(
-                (e - hi).abs() < 5e-3 * e.max(1.0),
-                "u={u}: {e} vs λ_U={hi}"
-            );
+            assert!((e - hi).abs() < 5e-3 * e.max(1.0), "u={u}: {e} vs λ_U={hi}");
         }
     }
 

@@ -64,10 +64,7 @@ impl<F: ItemFn, T: ThresholdFn> Mep<F, T> {
     /// `u >= outcome.seed()` (paper, Section 2). This is everything an
     /// estimator may use.
     pub fn lower_bound<'a>(&'a self, outcome: &'a Outcome) -> LowerBoundFn<'a, F, T> {
-        LowerBoundFn {
-            mep: self,
-            outcome,
-        }
+        LowerBoundFn { mep: self, outcome }
     }
 
     /// The lower-bound function of fully known data `v` over all of `(0, 1]`
@@ -108,7 +105,9 @@ impl<F: ItemFn, T: ThresholdFn> LowerBoundFn<'_, F, T> {
     pub fn eval(&self, u: f64) -> f64 {
         let mut known = Vec::with_capacity(self.outcome.arity());
         let mut caps = Vec::with_capacity(self.outcome.arity());
-        self.mep.scheme.states_at(self.outcome, u, &mut known, &mut caps);
+        self.mep
+            .scheme
+            .states_at(self.outcome, u, &mut known, &mut caps);
         self.mep.f.box_inf(&known, &caps)
     }
 

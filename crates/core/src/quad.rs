@@ -140,7 +140,10 @@ pub fn integrate_with_breakpoints<F: Fn(f64) -> f64>(
 ///
 /// Panics if `eps <= 0`, `hi <= eps`, or `n == 0`.
 pub fn log_grid(eps: f64, hi: f64, n: usize) -> Vec<f64> {
-    assert!(eps > 0.0 && hi > eps && n > 0, "log_grid requires 0 < eps < hi and n > 0");
+    assert!(
+        eps > 0.0 && hi > eps && n > 0,
+        "log_grid requires 0 < eps < hi and n > 0"
+    );
     let le = eps.ln();
     let lh = hi.ln();
     let mut pts = Vec::with_capacity(n + 1);

@@ -58,7 +58,10 @@ impl LinearThreshold {
     ///
     /// Panics if `scale` is not finite and positive.
     pub fn new(scale: f64) -> LinearThreshold {
-        assert!(scale.is_finite() && scale > 0.0, "PPS scale must be positive, got {scale}");
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "PPS scale must be positive, got {scale}"
+        );
         LinearThreshold { scale }
     }
 
@@ -439,9 +442,18 @@ mod tests {
     #[test]
     fn rejects_bad_inputs() {
         let scheme = TupleScheme::pps(&[1.0]);
-        assert!(matches!(scheme.sample(&[0.5], 0.0), Err(Error::InvalidSeed(_))));
-        assert!(matches!(scheme.sample(&[0.5, 0.5], 0.5), Err(Error::ArityMismatch { .. })));
-        assert!(matches!(scheme.sample(&[-0.5], 0.5), Err(Error::InvalidValue(_))));
+        assert!(matches!(
+            scheme.sample(&[0.5], 0.0),
+            Err(Error::InvalidSeed(_))
+        ));
+        assert!(matches!(
+            scheme.sample(&[0.5, 0.5], 0.5),
+            Err(Error::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            scheme.sample(&[-0.5], 0.5),
+            Err(Error::InvalidValue(_))
+        ));
     }
 
     #[test]

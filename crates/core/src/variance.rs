@@ -259,7 +259,10 @@ mod tests {
     fn lstar_ratio_two_for_rg1plus() {
         let mep = mep_p(1.0);
         let calc = VarianceCalc::new(1e-10, 3000);
-        let ratio = calc.lstar_competitive_ratio(&mep, &[0.6, 0.0]).unwrap().unwrap();
+        let ratio = calc
+            .lstar_competitive_ratio(&mep, &[0.6, 0.0])
+            .unwrap()
+            .unwrap();
         assert!((ratio - 2.0).abs() < 0.02, "ratio {ratio}");
     }
 
@@ -268,7 +271,10 @@ mod tests {
         // p = 2, v = (v1, 0): E[(f̂ᴸ)²]/E[(f̂⁽ᵛ⁾)²] = (10/3 v1³)/(4/3 v1³) = 2.5.
         let mep = mep_p(2.0);
         let calc = VarianceCalc::new(1e-10, 3000);
-        let ratio = calc.lstar_competitive_ratio(&mep, &[0.6, 0.0]).unwrap().unwrap();
+        let ratio = calc
+            .lstar_competitive_ratio(&mep, &[0.6, 0.0])
+            .unwrap()
+            .unwrap();
         assert!((ratio - 2.5).abs() < 0.03, "ratio {ratio}");
     }
 
@@ -292,8 +298,15 @@ mod tests {
         let mep = mep_p(1.0);
         let calc = VarianceCalc::new(1e-6, 400);
         let fast = calc.lstar_stats(&mep, &[0.6, 0.2]).unwrap();
-        let slow = calc.stats(&mep, &RgPlusLStar::new(1, 1.0), &[0.6, 0.2]).unwrap();
-        assert!((fast.esq - slow.esq).abs() < 1e-3, "{} vs {}", fast.esq, slow.esq);
+        let slow = calc
+            .stats(&mep, &RgPlusLStar::new(1, 1.0), &[0.6, 0.2])
+            .unwrap();
+        assert!(
+            (fast.esq - slow.esq).abs() < 1e-3,
+            "{} vs {}",
+            fast.esq,
+            slow.esq
+        );
         let generic = calc.stats(&mep, &LStar::new(), &[0.6, 0.2]).unwrap();
         assert!((fast.esq - generic.esq).abs() < 1e-3);
     }
@@ -323,9 +336,16 @@ mod tests {
         // given v1) its variance is below L*'s.
         let mep = mep_p(1.0);
         let calc = VarianceCalc::new(1e-9, 1200);
-        let u = calc.stats(&mep, &RgPlusUStar::new(1.0, 1.0), &[0.6, 0.0]).unwrap();
+        let u = calc
+            .stats(&mep, &RgPlusUStar::new(1.0, 1.0), &[0.6, 0.0])
+            .unwrap();
         let l = calc.lstar_stats(&mep, &[0.6, 0.0]).unwrap();
-        assert!(u.variance < l.variance, "U* {} vs L* {}", u.variance, l.variance);
+        assert!(
+            u.variance < l.variance,
+            "U* {} vs L* {}",
+            u.variance,
+            l.variance
+        );
     }
 
     #[test]
@@ -335,7 +355,12 @@ mod tests {
         let v = [0.6, 0.55];
         let u = calc.stats(&mep, &RgPlusUStar::new(1.0, 1.0), &v).unwrap();
         let l = calc.lstar_stats(&mep, &v).unwrap();
-        assert!(l.variance < u.variance, "L* {} vs U* {}", l.variance, u.variance);
+        assert!(
+            l.variance < u.variance,
+            "L* {} vs U* {}",
+            l.variance,
+            u.variance
+        );
     }
 
     #[test]

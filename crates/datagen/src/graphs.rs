@@ -112,7 +112,10 @@ mod tests {
         let g = erdos_renyi(n, p, 0.5, 1.5, &mut rng);
         let expect = (n * (n - 1) / 2) as f64 * p;
         let got = g.arc_count() as f64 / 2.0;
-        assert!((got - expect).abs() < 0.25 * expect, "edges {got} vs {expect}");
+        assert!(
+            (got - expect).abs() < 0.25 * expect,
+            "edges {got} vs {expect}"
+        );
     }
 
     #[test]
@@ -148,6 +151,9 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);
         let g = preferential_attachment(200, 2, 0.5, 1.5, &mut rng);
         let d = monotone_sketches::dijkstra::dijkstra(&g, 0);
-        assert!(d.iter().all(|x| x.is_finite()), "PA graph must be connected");
+        assert!(
+            d.iter().all(|x| x.is_finite()),
+            "PA graph must be connected"
+        );
     }
 }

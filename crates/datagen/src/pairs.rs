@@ -184,16 +184,22 @@ mod tests {
         assert_eq!(d.instance(0).len(), 100);
         // Small drift: tuples nearly constant.
         let t = d.tuple(5);
-        let spread = t.iter().cloned().fold(f64::MIN, f64::max)
-            - t.iter().cloned().fold(f64::MAX, f64::min);
+        let spread =
+            t.iter().cloned().fold(f64::MIN, f64::max) - t.iter().cloned().fold(f64::MAX, f64::min);
         let level = t.iter().cloned().fold(f64::MIN, f64::max);
         assert!(spread < level, "spread {spread} vs level {level}");
     }
 
     #[test]
     fn deterministic_given_seed() {
-        let a = flow_like(&PairConfig::flow(), &mut rand::rngs::StdRng::seed_from_u64(5));
-        let b = flow_like(&PairConfig::flow(), &mut rand::rngs::StdRng::seed_from_u64(5));
+        let a = flow_like(
+            &PairConfig::flow(),
+            &mut rand::rngs::StdRng::seed_from_u64(5),
+        );
+        let b = flow_like(
+            &PairConfig::flow(),
+            &mut rand::rngs::StdRng::seed_from_u64(5),
+        );
         assert_eq!(a, b);
     }
 }

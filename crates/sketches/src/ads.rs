@@ -111,7 +111,11 @@ pub fn build_all_ads(g: &Graph, k: usize, seeder: &SeedHasher) -> Vec<Ads> {
             let pos = dv.partition_point(|&x| x <= d);
             if pos < k {
                 dv.insert(dv.partition_point(|&x| x <= d), d);
-                sketches[v as usize].entries.push(AdsEntry { node: u, dist: d, rank });
+                sketches[v as usize].entries.push(AdsEntry {
+                    node: u,
+                    dist: d,
+                    rank,
+                });
                 true
             } else {
                 false
@@ -139,7 +143,9 @@ mod tests {
         let mut b = GraphBuilder::new(n);
         let mut state = seed;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64)
         };
         for u in 0..n as u32 {
@@ -234,8 +240,7 @@ mod tests {
             let mut horizons: Vec<f64> = d.iter().copied().filter(|x| x.is_finite()).collect();
             horizons.sort_by(|a, b| a.partial_cmp(b).unwrap());
             for &h in &horizons {
-                let mut within: Vec<usize> =
-                    (0..n).filter(|&w| d[w] <= h).collect();
+                let mut within: Vec<usize> = (0..n).filter(|&w| d[w] <= h).collect();
                 within.sort_by(|&a, &b| ranks[a].partial_cmp(&ranks[b]).unwrap());
                 for &w in within.iter().take(k) {
                     assert!(

@@ -32,8 +32,16 @@ pub fn exact_closeness<A: Fn(f64) -> f64>(g: &Graph, a: u32, b: u32, alpha: &A) 
     let mut den = 0.0;
     for i in 0..g.node_count() {
         let (x, y) = (da[i], db[i]);
-        let hi = if x.max(y).is_finite() { alpha(x.max(y)) } else { 0.0 };
-        let lo = if x.min(y).is_finite() { alpha(x.min(y)) } else { 0.0 };
+        let hi = if x.max(y).is_finite() {
+            alpha(x.max(y))
+        } else {
+            0.0
+        };
+        let lo = if x.min(y).is_finite() {
+            alpha(x.min(y))
+        } else {
+            0.0
+        };
         num += hi;
         den += lo;
     }
@@ -88,7 +96,7 @@ impl<'a, A: Fn(f64) -> f64> ClosenessEstimator<'a, A> {
         for e in ads_a.entries().iter().chain(ads_b.entries()) {
             items.push((e.node, e.rank));
         }
-        items.sort_by(|x, y| x.0.cmp(&y.0));
+        items.sort_by_key(|x| x.0);
         items.dedup_by_key(|x| x.0);
 
         let mut num = 0.0;
@@ -115,7 +123,11 @@ impl<'a, A: Fn(f64) -> f64> ClosenessEstimator<'a, A> {
     /// Propagates estimator-construction errors.
     pub fn estimate(&self, a: u32, b: u32) -> monotone_core::Result<f64> {
         let (num, den) = self.estimate_sums(a, b)?;
-        Ok(if den > 0.0 { (num / den).clamp(0.0, 1.0) } else { 1.0 })
+        Ok(if den > 0.0 {
+            (num / den).clamp(0.0, 1.0)
+        } else {
+            1.0
+        })
     }
 
     fn item_outcome(
@@ -162,7 +174,9 @@ mod tests {
         let mut b = GraphBuilder::new(n);
         let mut state = seed;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64)
         };
         for u in 0..n as u32 {

@@ -49,7 +49,10 @@ pub fn dijkstra(g: &Graph, src: u32) -> Vec<f64> {
     let mut dist = vec![f64::INFINITY; g.node_count()];
     let mut heap = BinaryHeap::new();
     dist[src as usize] = 0.0;
-    heap.push(HeapItem { dist: 0.0, node: src });
+    heap.push(HeapItem {
+        dist: 0.0,
+        node: src,
+    });
     while let Some(HeapItem { dist: d, node: u }) = heap.pop() {
         if d > dist[u as usize] {
             continue;
@@ -73,7 +76,10 @@ pub fn dijkstra_pruned<V: FnMut(u32, f64) -> bool>(g: &Graph, src: u32, mut visi
     let mut dist = vec![f64::INFINITY; g.node_count()];
     let mut heap = BinaryHeap::new();
     dist[src as usize] = 0.0;
-    heap.push(HeapItem { dist: 0.0, node: src });
+    heap.push(HeapItem {
+        dist: 0.0,
+        node: src,
+    });
     while let Some(HeapItem { dist: d, node: u }) = heap.pop() {
         if d > dist[u as usize] {
             continue;
@@ -120,7 +126,9 @@ mod tests {
         let mut b = GraphBuilder::new(n);
         let mut state = 12345u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64)
         };
         for u in 0..n as u32 {

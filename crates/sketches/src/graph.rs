@@ -59,7 +59,10 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// A builder for a graph with `n` nodes (ids `0..n`).
     pub fn new(n: usize) -> GraphBuilder {
-        GraphBuilder { n, edges: Vec::new() }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Number of nodes.
@@ -73,8 +76,14 @@ impl GraphBuilder {
     ///
     /// Panics on out-of-range endpoints or a non-positive/non-finite weight.
     pub fn add_arc(&mut self, u: u32, v: u32, w: f64) -> &mut GraphBuilder {
-        assert!((u as usize) < self.n && (v as usize) < self.n, "endpoint out of range");
-        assert!(w.is_finite() && w > 0.0, "edge weight must be positive, got {w}");
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "endpoint out of range"
+        );
+        assert!(
+            w.is_finite() && w > 0.0,
+            "edge weight must be positive, got {w}"
+        );
         self.edges.push((u, v, w));
         self
     }

@@ -143,7 +143,9 @@ mod tests {
         let mut b = GraphBuilder::new(n);
         let mut state = seed;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64)
         };
         for u in 0..n as u32 {
@@ -168,7 +170,10 @@ mod tests {
         for v in 0..n {
             for (node, _dist, p) in hip_probabilities(&sketches[v], k) {
                 let rank = seeder.seed(node as u64);
-                assert!(rank < p + 1e-15, "entry {node} of {v}: rank {rank} >= p {p}");
+                assert!(
+                    rank < p + 1e-15,
+                    "entry {node} of {v}: rank {rank} >= p {p}"
+                );
             }
         }
     }

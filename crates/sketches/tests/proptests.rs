@@ -1,17 +1,20 @@
 //! Property-based tests of the graph/ADS substrate.
 
 use monotone_coord::seed::SeedHasher;
+use monotone_core::scheme::ThresholdFn;
 use monotone_sketches::ads::build_all_ads;
 use monotone_sketches::dijkstra::dijkstra;
 use monotone_sketches::graph::{Graph, GraphBuilder};
 use monotone_sketches::hip::{hip_probabilities, item_threshold};
-use monotone_core::scheme::ThresholdFn;
 use proptest::prelude::*;
 
 /// A connected random graph: a path backbone plus random extra edges.
 fn graph_strategy() -> impl Strategy<Value = Graph> {
-    (5usize..30, proptest::collection::vec((0u16..900, 0u16..900, 1u32..100), 0..60)).prop_map(
-        |(n, extras)| {
+    (
+        5usize..30,
+        proptest::collection::vec((0u16..900, 0u16..900, 1u32..100), 0..60),
+    )
+        .prop_map(|(n, extras)| {
             let mut b = GraphBuilder::new(n);
             for i in 0..(n - 1) as u32 {
                 b.add_undirected(i, i + 1, 0.5 + (i as f64 * 0.37) % 1.0);
@@ -23,12 +26,11 @@ fn graph_strategy() -> impl Strategy<Value = Graph> {
                 }
             }
             b.build()
-        },
-    )
+        })
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    #![proptest_config(ProptestConfig::with_cases(24).with_rng_seed(0x2014_0615_0003))]
 
     /// Dijkstra satisfies the triangle inequality over edges and starts
     /// at zero.

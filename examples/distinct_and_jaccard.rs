@@ -21,9 +21,8 @@ use monotone_sampling::core::func::RangePowPlus;
 fn main() -> Result<(), monotone_sampling::core::Error> {
     // Two overlapping activity logs: keys 0..1200 and 400..1600.
     let a = Instance::from_pairs((0..1200u64).map(|k| (k, 0.15 + 0.8 * ((k % 31) as f64 / 31.0))));
-    let b = Instance::from_pairs(
-        (400..1600u64).map(|k| (k, 0.15 + 0.8 * ((k % 23) as f64 / 23.0))),
-    );
+    let b =
+        Instance::from_pairs((400..1600u64).map(|k| (k, 0.15 + 0.8 * ((k % 23) as f64 / 23.0))));
     let data = Dataset::new(vec![a.clone(), b.clone()]);
 
     let true_distinct = data.union_keys().len() as f64;

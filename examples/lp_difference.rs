@@ -34,7 +34,10 @@ fn main() -> Result<(), monotone_sampling::core::Error> {
     let scale = scale_for_expected_size(data.instance(0), 100.0);
     println!("PPS scale for ~100 sampled items: {scale:.4}\n");
 
-    println!("{:>6} {:>12} {:>12} {:>14}", "salt", "L1 via L*", "L1 via U*", "sampled items");
+    println!(
+        "{:>6} {:>12} {:>12} {:>14}",
+        "salt", "L1 via L*", "L1 via U*", "sampled items"
+    );
     let mut sum_l = 0.0;
     let mut sum_u = 0.0;
     let trials = 10;

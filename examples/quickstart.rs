@@ -25,7 +25,10 @@ fn main() -> Result<(), monotone_sampling::core::Error> {
     // iff v_i >= u for a shared uniform seed u.
     let mep = Mep::new(f, TupleScheme::pps(&[1.0, 1.0]))?;
 
-    println!("{:<8} {:>10} {:>10} {:>10} {:>10}", "seed", "L*", "U*", "HT", "J");
+    println!(
+        "{:<8} {:>10} {:>10} {:>10} {:>10}",
+        "seed", "L*", "U*", "HT", "J"
+    );
     let (lstar, ustar, ht, j) = (
         LStar::new(),
         RgPlusUStar::new(1.0, 1.0),

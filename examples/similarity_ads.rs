@@ -24,11 +24,24 @@ fn main() -> Result<(), monotone_sampling::core::Error> {
     let sketches = build_all_ads(&g, k, &SeedHasher::new(7));
     let avg_size: f64 =
         sketches.iter().map(|s| s.len() as f64).sum::<f64>() / sketches.len() as f64;
-    println!("built {} sketches with k = {k}, average size {avg_size:.1}\n", sketches.len());
+    println!(
+        "built {} sketches with k = {k}, average size {avg_size:.1}\n",
+        sketches.len()
+    );
 
     let est = ClosenessEstimator::new(&sketches, k, alpha);
-    println!("{:>10} {:>12} {:>12} {:>10}", "pair", "estimate", "exact", "abs err");
-    for &(a, b) in &[(0u32, 1u32), (0, 2), (5, 9), (17, 250), (100, 101), (40, 350)] {
+    println!(
+        "{:>10} {:>12} {:>12} {:>10}",
+        "pair", "estimate", "exact", "abs err"
+    );
+    for &(a, b) in &[
+        (0u32, 1u32),
+        (0, 2),
+        (5, 9),
+        (17, 250),
+        (100, 101),
+        (40, 350),
+    ] {
         let s_est = est.estimate(a, b)?;
         let s_true = exact_closeness(&g, a, b, &alpha);
         println!(

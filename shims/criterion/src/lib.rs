@@ -1,0 +1,177 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! Implements the workspace's benchmark surface — [`Criterion`],
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — with a simple
+//! wall-clock measurement loop (brief warm-up, then timed batches) and a
+//! median-of-batches ns/iter report on stdout. No statistics engine, plots,
+//! or baselines; swap the workspace's `criterion` path dependency for the
+//! registry crate when network access is available.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock spent measuring each benchmark.
+const MEASURE_TARGET: Duration = Duration::from_millis(200);
+/// Number of timed batches the measurement is split into.
+const BATCHES: usize = 11;
+
+/// How batched setup output is amortized (accepted for API compatibility;
+/// the shim runs every batch with per-iteration setup outside the timer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small routine inputs: many iterations per setup batch.
+    SmallInput,
+    /// Large routine inputs: few iterations per setup batch.
+    LargeInput,
+    /// One setup call per iteration.
+    PerIteration,
+}
+
+/// Times one benchmark routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `routine`, called back-to-back in timed batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and calibration: find an iteration count per batch that
+        // lands near the per-batch time budget.
+        let once = time_one(&mut routine);
+        let budget = MEASURE_TARGET.as_secs_f64() / BATCHES as f64;
+        let per_batch = (budget / once.max(1e-9)).clamp(1.0, 1e7) as u64;
+        self.samples_ns.clear();
+        for _ in 0..BATCHES {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                black_box(routine());
+            }
+            let total = start.elapsed().as_secs_f64();
+            self.samples_ns.push(total * 1e9 / per_batch as f64);
+        }
+    }
+
+    /// Measures `routine` on fresh inputs from `setup`; setup time is kept
+    /// outside the timed region.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let input = setup();
+        let once = {
+            let start = Instant::now();
+            black_box(routine(input));
+            start.elapsed().as_secs_f64().max(1e-9)
+        };
+        let budget = MEASURE_TARGET.as_secs_f64() / BATCHES as f64;
+        let per_batch = (budget / once).clamp(1.0, 1e6) as u64;
+        self.samples_ns.clear();
+        for _ in 0..BATCHES {
+            let inputs: Vec<I> = (0..per_batch).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let total = start.elapsed().as_secs_f64();
+            self.samples_ns.push(total * 1e9 / per_batch as f64);
+        }
+    }
+
+    fn median_ns(&mut self) -> f64 {
+        if self.samples_ns.is_empty() {
+            return f64::NAN;
+        }
+        self.samples_ns
+            .sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        self.samples_ns[self.samples_ns.len() / 2]
+    }
+}
+
+fn time_one<O, F: FnMut() -> O>(routine: &mut F) -> f64 {
+    let start = Instant::now();
+    black_box(routine());
+    start.elapsed().as_secs_f64()
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(id, b.median_ns());
+        self
+    }
+
+    /// Opens a named group; benchmarks inside report as `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+fn report(id: &str, ns: f64) {
+    if ns >= 1e6 {
+        println!("{id:<40} {:>12.3} ms/iter", ns / 1e6);
+    } else if ns >= 1e3 {
+        println!("{id:<40} {:>12.3} µs/iter", ns / 1e3);
+    } else {
+        println!("{id:<40} {:>12.1} ns/iter", ns);
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(&format!("{}/{id}", self.name), b.median_ns());
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a single group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,268 @@
+//! The deterministic case runner: configuration, per-case RNG, and
+//! regression-seed persistence/replay.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use rand::{Rng, RngExt, SeedableRng, StdRng};
+
+/// Runner configuration. Construct with [`ProptestConfig::with_cases`] and
+/// optionally pin the generator with [`ProptestConfig::with_rng_seed`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum number of `prop_assume!` rejections tolerated globally.
+    pub max_global_rejects: u32,
+    /// Base seed for input generation. Combined with the test's name so
+    /// sibling tests draw distinct streams; override via the
+    /// `PROPTEST_RNG_SEED` environment variable for ad-hoc exploration.
+    pub rng_seed: u64,
+}
+
+/// The default base seed (digits of pi): fixed so every run of the suite
+/// generates the same inputs unless explicitly overridden.
+pub const DEFAULT_RNG_SEED: u64 = 0x243F_6A88_85A3_08D3;
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 4096,
+            rng_seed: DEFAULT_RNG_SEED,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+
+    /// Pins the base generation seed (deterministic input streams).
+    pub fn with_rng_seed(mut self, seed: u64) -> ProptestConfig {
+        self.rng_seed = seed;
+        self
+    }
+}
+
+/// The generator handed to strategies. Deterministic per case.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// A generator for one case, addressed by its 64-bit case seed.
+    pub fn from_case_seed(seed: u64) -> TestRng {
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.0.random()
+    }
+
+    /// Uniform draw from a non-empty range.
+    pub fn range<R: rand::SampleRange>(&mut self, range: R) -> R::Output {
+        self.0.random_range(range)
+    }
+
+    /// The next 64 random bits.
+    pub fn bits(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// `prop_assume!` precondition unmet: draw another case.
+    Reject(String),
+    /// `prop_assert!` failed: the property is violated.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection with the given reason.
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Result type of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// FNV-1a — stable name hashing so each test gets its own input stream.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// SplitMix64 finalizer — decorrelates sequential case indices.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Drives the cases of one property test.
+pub struct TestRunner {
+    config: ProptestConfig,
+    full_name: String,
+    fn_name: String,
+    regressions: PathBuf,
+}
+
+impl TestRunner {
+    /// Builds a runner for the named test. `manifest_dir` and `source_file`
+    /// locate the crate-local `proptest-regressions/` store.
+    pub fn new(
+        config: ProptestConfig,
+        full_name: &str,
+        fn_name: &str,
+        manifest_dir: &str,
+        source_file: &str,
+    ) -> TestRunner {
+        let stem = Path::new(source_file)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "unknown".to_string());
+        let regressions = Path::new(manifest_dir)
+            .join("proptest-regressions")
+            .join(format!("{stem}.txt"));
+        TestRunner {
+            config,
+            full_name: full_name.to_string(),
+            fn_name: fn_name.to_string(),
+            regressions,
+        }
+    }
+
+    /// Seeds recorded for this test in the regressions file (`cc <name>
+    /// <seed>` lines; `#` starts a comment).
+    fn regression_seeds(&self) -> Vec<u64> {
+        let Ok(text) = std::fs::read_to_string(&self.regressions) else {
+            return Vec::new();
+        };
+        text.lines()
+            .filter_map(|line| {
+                let line = line.split('#').next().unwrap_or("").trim();
+                let mut parts = line.split_whitespace();
+                match (parts.next(), parts.next(), parts.next()) {
+                    (Some("cc"), Some(name), Some(seed)) if name == self.fn_name => {
+                        seed.parse::<u64>().ok()
+                    }
+                    _ => None,
+                }
+            })
+            .collect()
+    }
+
+    fn persist_failure(&self, case_seed: u64, message: &str) {
+        if self.regression_seeds().contains(&case_seed) {
+            // Deterministic failures re-fail with the same seed on every
+            // run; don't accumulate duplicate entries.
+            return;
+        }
+        let Some(dir) = self.regressions.parent() else {
+            return;
+        };
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let entry = format!(
+            "cc {} {} # seeds the failing case: {}\n",
+            self.fn_name,
+            case_seed,
+            message.replace('\n', " ")
+        );
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.regressions)
+        {
+            let _ = f.write_all(entry.as_bytes());
+        }
+    }
+
+    fn base_seed(&self) -> u64 {
+        let seed = std::env::var("PROPTEST_RNG_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(self.config.rng_seed);
+        seed ^ fnv1a(self.full_name.as_bytes())
+    }
+
+    /// Runs regression seeds first, then `config.cases` fresh cases. Panics
+    /// (failing the enclosing `#[test]`) on the first violated property,
+    /// after persisting the case seed.
+    pub fn run(&mut self, case: &mut dyn FnMut(&mut TestRng) -> TestCaseResult) {
+        for seed in self.regression_seeds() {
+            self.run_one(seed, case, true);
+        }
+        let base = self.base_seed();
+        let mut rejects = 0u32;
+        let mut accepted = 0u32;
+        let mut draw = 0u64;
+        while accepted < self.config.cases {
+            let case_seed = mix(base.wrapping_add(draw));
+            draw += 1;
+            match self.run_one(case_seed, case, false) {
+                CaseOutcome::Passed => accepted += 1,
+                CaseOutcome::Rejected => {
+                    rejects += 1;
+                    assert!(
+                        rejects <= self.config.max_global_rejects,
+                        "{}: too many prop_assume! rejections ({rejects})",
+                        self.full_name
+                    );
+                }
+            }
+        }
+    }
+
+    fn run_one(
+        &self,
+        case_seed: u64,
+        case: &mut dyn FnMut(&mut TestRng) -> TestCaseResult,
+        is_regression: bool,
+    ) -> CaseOutcome {
+        let mut rng = TestRng::from_case_seed(case_seed);
+        match case(&mut rng) {
+            Ok(()) => CaseOutcome::Passed,
+            Err(TestCaseError::Reject(_)) => CaseOutcome::Rejected,
+            Err(TestCaseError::Fail(msg)) => {
+                if !is_regression {
+                    self.persist_failure(case_seed, &msg);
+                }
+                panic!(
+                    "{}: property violated at case seed {case_seed}{}: {msg}",
+                    self.full_name,
+                    if is_regression {
+                        " (regression replay)"
+                    } else {
+                        ""
+                    },
+                );
+            }
+        }
+    }
+}
+
+enum CaseOutcome {
+    Passed,
+    Rejected,
+}

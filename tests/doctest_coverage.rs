@@ -1,0 +1,86 @@
+//! Doctest coverage gate: every public module of `monotone-core` and
+//! `monotone-coord` must carry at least one *runnable* doctest (a code
+//! fence not marked `ignore`, `no_run`, or `text`), so `cargo test -q`
+//! exercises every module's documented entry point.
+
+use std::path::{Path, PathBuf};
+
+/// Recursively collects `.rs` files under `dir`.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries = std::fs::read_dir(dir).unwrap_or_else(|e| panic!("read {dir:?}: {e}"));
+    for entry in entries {
+        let path = entry.expect("dir entry").path();
+        if path.is_dir() {
+            rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// True if the source contains a doc code fence that rustdoc will run:
+/// an opener that is bare ```` ``` ```` or tagged `rust` (optionally with
+/// extra modifiers like `should_panic`, but not `ignore`/`no_run`/`text`).
+fn has_runnable_doctest(source: &str) -> bool {
+    // Track open/close state so only *opening* fences are classified —
+    // otherwise every block's bare ``` closer would count as runnable.
+    let mut inside_block = false;
+    for line in source.lines() {
+        let trimmed = line.trim_start();
+        let Some(rest) = trimmed
+            .strip_prefix("//!")
+            .or_else(|| trimmed.strip_prefix("///"))
+        else {
+            continue;
+        };
+        let Some(tag) = rest.trim_start().strip_prefix("```") else {
+            continue;
+        };
+        if inside_block {
+            inside_block = false;
+            continue;
+        }
+        inside_block = true;
+        // rustdoc only executes fences whose every tag is Rust-flavored:
+        // untagged, `rust`, or a run-preserving modifier. Anything else
+        // (```sh, ```json, ```ignore, ```no_run, ...) produces no doctest.
+        let runnable = tag.split([',', ' ']).filter(|t| !t.is_empty()).all(|t| {
+            matches!(t.trim(), "rust" | "should_panic") || t.trim().starts_with("edition")
+        });
+        if runnable {
+            return true;
+        }
+    }
+    false
+}
+
+#[test]
+fn every_public_module_in_core_and_coord_has_a_doctest() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut missing = Vec::new();
+    for crate_dir in ["crates/core/src", "crates/coord/src"] {
+        let mut files = Vec::new();
+        rust_files(&root.join(crate_dir), &mut files);
+        assert!(!files.is_empty(), "no sources under {crate_dir}");
+        for file in files {
+            let source = std::fs::read_to_string(&file).expect("read source");
+            if !has_runnable_doctest(&source) {
+                missing.push(file.strip_prefix(root).unwrap_or(&file).to_path_buf());
+            }
+        }
+    }
+    assert!(
+        missing.is_empty(),
+        "public modules without a runnable doctest: {missing:?}"
+    );
+}
+
+#[test]
+fn umbrella_quickstart_is_a_runnable_doctest() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let source = std::fs::read_to_string(root.join("src/lib.rs")).expect("read src/lib.rs");
+    assert!(
+        has_runnable_doctest(&source),
+        "src/lib.rs quickstart must stay a runnable doctest"
+    );
+}

@@ -37,8 +37,14 @@ fn pps_pipeline_unbiased_on_generated_data() {
     }
     mean_l /= trials as f64;
     mean_u /= trials as f64;
-    assert!((mean_l - truth).abs() < 0.08 * truth, "L*: {mean_l} vs {truth}");
-    assert!((mean_u - truth).abs() < 0.08 * truth, "U*: {mean_u} vs {truth}");
+    assert!(
+        (mean_l - truth).abs() < 0.08 * truth,
+        "L*: {mean_l} vs {truth}"
+    );
+    assert!(
+        (mean_u - truth).abs() < 0.08 * truth,
+        "U*: {mean_u} vs {truth}"
+    );
 }
 
 /// The win/loss pattern of Section 7: measured NRMSE of U* beats L* on
@@ -80,8 +86,14 @@ fn customization_pattern_on_generated_families() {
     };
     let (l_flow, u_flow) = run(&flow);
     let (l_stable, u_stable) = run(&stable);
-    assert!(u_flow < l_flow, "flow-like: U* {u_flow} should beat L* {l_flow}");
-    assert!(l_stable < u_stable, "stable-like: L* {l_stable} should beat U* {u_stable}");
+    assert!(
+        u_flow < l_flow,
+        "flow-like: U* {u_flow} should beat L* {l_flow}"
+    );
+    assert!(
+        l_stable < u_stable,
+        "stable-like: L* {l_stable} should beat U* {u_stable}"
+    );
 }
 
 /// Bottom-k with conditioned thresholds (footnote 1): per-item L* estimates
@@ -102,8 +114,10 @@ fn bottomk_conditioned_estimation_unbiased() {
         let sampler = BottomK::new(30, RankMethod::Priority, SeedHasher::new(salt));
         let samples = vec![sampler.sample_instance(&a), sampler.sample_instance(&b)];
         let mut total = 0.0;
-        let keys: std::collections::BTreeSet<u64> =
-            samples.iter().flat_map(|s| s.iter().map(|(k, _)| k)).collect();
+        let keys: std::collections::BTreeSet<u64> = samples
+            .iter()
+            .flat_map(|s| s.iter().map(|(k, _)| k))
+            .collect();
         for key in keys {
             let (scheme, outcome) = sampler.priority_item_problem(&samples, key).unwrap();
             let mep = Mep::new(f, scheme).unwrap();

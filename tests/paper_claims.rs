@@ -39,14 +39,26 @@ fn lstar_ratio_approaches_four_on_tight_family() {
 fn lstar_ratios_for_exponentiated_range() {
     let calc = VarianceCalc::new(1e-10, 3000);
     let mep1 = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0])).unwrap();
-    let r1 = calc.lstar_competitive_ratio(&mep1, &[0.8, 0.0]).unwrap().unwrap();
+    let r1 = calc
+        .lstar_competitive_ratio(&mep1, &[0.8, 0.0])
+        .unwrap()
+        .unwrap();
     assert!((r1 - 2.0).abs() < 0.03, "RG1+ ratio {r1}");
     let mep2 = Mep::new(RangePowPlus::new(2.0), TupleScheme::pps(&[1.0, 1.0])).unwrap();
-    let r2 = calc.lstar_competitive_ratio(&mep2, &[0.8, 0.0]).unwrap().unwrap();
+    let r2 = calc
+        .lstar_competitive_ratio(&mep2, &[0.8, 0.0])
+        .unwrap()
+        .unwrap();
     assert!((r2 - 2.5).abs() < 0.04, "RG2+ ratio {r2}");
     // Interior vectors have smaller ratios (v2 = 0 is the supremum).
-    let r_interior = calc.lstar_competitive_ratio(&mep1, &[0.8, 0.4]).unwrap().unwrap();
-    assert!(r_interior < r1 + 1e-9, "interior ratio {r_interior} vs sup {r1}");
+    let r_interior = calc
+        .lstar_competitive_ratio(&mep1, &[0.8, 0.4])
+        .unwrap()
+        .unwrap();
+    assert!(
+        r_interior < r1 + 1e-9,
+        "interior ratio {r_interior} vs sup {r1}"
+    );
 }
 
 /// Theorem 4.2: L* dominates HT (at most its variance on every data vector
@@ -89,7 +101,10 @@ fn lstar_monotone_j_not() {
         }
         prev_j = jv;
     }
-    assert!(j_increases > 0, "expected the J estimate to be non-monotone");
+    assert!(
+        j_increases > 0,
+        "expected the J estimate to be non-monotone"
+    );
 }
 
 /// Theorem 4.3 + Lemma 6.1 on a discrete domain: the order-optimal
@@ -104,14 +119,21 @@ fn discrete_order_optimality_matches_continuous_intuition() {
         }
     }
     let probs: Vec<(f64, f64)> = (0..5).map(|w| (w as f64, w as f64 * 0.2)).collect();
-    let mep = DiscreteMep::new(RangePowPlus::new(1.0), vectors, vec![probs.clone(), probs]).unwrap();
+    let mep =
+        DiscreteMep::new(RangePowPlus::new(1.0), vectors, vec![probs.clone(), probs]).unwrap();
     let asc = OrderOptimal::f_ascending(&mep);
     let desc = OrderOptimal::f_descending(&mep);
     // Exact unbiasedness everywhere for both.
     for v in mep.vectors().to_vec() {
         let f = (v[0] - v[1]).max(0.0);
-        assert!((asc.expected(&v).unwrap() - f).abs() < 1e-10, "asc at {v:?}");
-        assert!((desc.expected(&v).unwrap() - f).abs() < 1e-10, "desc at {v:?}");
+        assert!(
+            (asc.expected(&v).unwrap() - f).abs() < 1e-10,
+            "asc at {v:?}"
+        );
+        assert!(
+            (desc.expected(&v).unwrap() - f).abs() < 1e-10,
+            "desc at {v:?}"
+        );
         // And agreement with the exact interval-sum L* for the asc order.
         for k in 0..mep.interval_count() {
             let out = mep.outcome_at_interval(&v, k);
@@ -144,7 +166,10 @@ fn customization_tradeoff() {
     // The relative penalty of U* on similar data exceeds L*'s on dissimilar.
     let l_penalty = l_dis / u_dis;
     let u_penalty = u_sim / l_sim;
-    assert!(u_penalty > l_penalty, "U* penalty {u_penalty} vs L* penalty {l_penalty}");
+    assert!(
+        u_penalty > l_penalty,
+        "U* penalty {u_penalty} vs L* penalty {l_penalty}"
+    );
 }
 
 /// The generic (quadrature) L* path agrees with the closed forms on random

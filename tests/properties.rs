@@ -1,6 +1,7 @@
 //! Property-based tests (proptest) of the crate-spanning invariants listed
 //! in DESIGN.md §7.
 
+use monotone_sampling::coord::seed::SeedHasher;
 use monotone_sampling::core::estimate::{
     DyadicJ, HorvitzThompson, LStar, MonotoneEstimator, RgPlusLStar, RgPlusUStar,
 };
@@ -8,7 +9,6 @@ use monotone_sampling::core::func::{ItemFn, RangePow, RangePowPlus, TupleMax};
 use monotone_sampling::core::problem::Mep;
 use monotone_sampling::core::quad::{integrate_with_breakpoints, QuadConfig};
 use monotone_sampling::core::scheme::TupleScheme;
-use monotone_sampling::coord::seed::SeedHasher;
 use proptest::prelude::*;
 
 fn value() -> impl Strategy<Value = f64> {
@@ -20,7 +20,7 @@ fn seed() -> impl Strategy<Value = f64> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![proptest_config(ProptestConfig::with_cases(64).with_rng_seed(0x2014_0615_0005))]
 
     /// Monotone sampling: smaller seeds give at least as much information
     /// (known entries stay known, caps shrink).
