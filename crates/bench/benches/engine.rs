@@ -1,0 +1,194 @@
+//! Batched engine vs naive per-call estimation on a 10k-pair RG1+ workload.
+//!
+//! Two naive baselines, both the per-pair pattern the experiment binaries
+//! used before the engine existed (sampler + MEP + `query::estimate_sum`
+//! per pair, datasets pre-built outside the timer):
+//!
+//! * **closed-form** — `RgPlusLStar` per call, exactly the estimator the
+//!   pre-engine `exp_error_scaling`/`exp_coordination_gain` loops used;
+//!   this is the honest baseline the ≥ 2× acceptance gate runs against;
+//! * **generic** — the quadrature-backed `LStar`, what a caller who does
+//!   not know the closed form pays (and what the engine's automatic
+//!   dispatch saves them from).
+//!
+//! The batched path runs the same workload through `Engine::run` pinned to
+//! ONE worker, so the recorded speedups are batching gains only (per-batch
+//! setup, single seed hash per item, no per-pair BTreeMap sample
+//! materialization, no per-item outcome allocation) — thread count never
+//! inflates them; the machine-parallel rate is reported separately.
+//!
+//! Besides the criterion report, the main measurement writes
+//! `results/BENCH_engine.json` (pairs/sec for every path + speedups) so CI
+//! accumulates a machine-readable perf trajectory.
+
+use criterion::{black_box, Criterion};
+use monotone_bench::results_dir;
+use monotone_coord::instance::{Dataset, Instance};
+use monotone_coord::pps::CoordPps;
+use monotone_coord::query::estimate_sum;
+use monotone_coord::seed::SeedHasher;
+use monotone_core::estimate::{LStar, RgPlusLStar};
+use monotone_core::func::RangePowPlus;
+use monotone_core::quad::QuadConfig;
+use monotone_engine::{Engine, EngineQuery, PairJob};
+use std::io::Write as _;
+use std::time::Instant;
+
+const ITEMS_PER_INSTANCE: u64 = 12;
+const INSTANCE_POOL: usize = 32;
+
+fn instance_pool() -> Vec<Instance> {
+    (0..INSTANCE_POOL as u64)
+        .map(|v| {
+            Instance::from_pairs(
+                (0..ITEMS_PER_INSTANCE)
+                    .map(move |k| (k, 0.05 + 0.9 * (((k * 17 + v * 29 + 3) % 97) as f64 / 97.0))),
+            )
+        })
+        .collect()
+}
+
+fn jobs_of(pool: &[Instance], pairs: usize) -> Vec<PairJob<'_>> {
+    (0..pairs)
+        .map(|i| {
+            PairJob::new(
+                &pool[i % INSTANCE_POOL],
+                &pool[(i * 7 + 1) % INSTANCE_POOL],
+                i as u64,
+            )
+        })
+        .collect()
+}
+
+/// `Dataset`s for the naive loops, prepared outside the timed region
+/// (exactly as the pre-engine experiment loops built them once and
+/// re-sampled per salt), so the comparison measures estimation cost only.
+fn naive_datasets(jobs: &[PairJob<'_>]) -> Vec<Dataset> {
+    jobs.iter()
+        .map(|job| Dataset::new(vec![job.a.clone(), job.b.clone()]))
+        .collect()
+}
+
+/// The pre-engine hot path exactly: per pair, one sampler, materialized
+/// samples, and the closed-form `RgPlusLStar` through `estimate_sum`.
+fn naive_closed_form(jobs: &[PairJob<'_>], datasets: &[Dataset]) -> f64 {
+    let f = RangePowPlus::new(1.0);
+    let est = RgPlusLStar::new(1, 1.0);
+    let mut total = 0.0;
+    for (job, data) in jobs.iter().zip(datasets) {
+        let sampler = CoordPps::uniform_scale(2, 1.0, SeedHasher::new(job.salt));
+        let samples = sampler.sample_all(data);
+        total += estimate_sum(f, &est, &sampler, &samples, None).expect("estimate");
+    }
+    total
+}
+
+/// The same loop with the quadrature-backed generic L\* — the cost of not
+/// knowing the closed form.
+fn naive_generic(jobs: &[PairJob<'_>], datasets: &[Dataset]) -> f64 {
+    let f = RangePowPlus::new(1.0);
+    let est = LStar::with_quad(QuadConfig::fast());
+    let mut total = 0.0;
+    for (job, data) in jobs.iter().zip(datasets) {
+        let sampler = CoordPps::uniform_scale(2, 1.0, SeedHasher::new(job.salt));
+        let samples = sampler.sample_all(data);
+        total += estimate_sum(f, &est, &sampler, &samples, None).expect("estimate");
+    }
+    total
+}
+
+fn batched(engine: &Engine, jobs: &[PairJob<'_>], query: &EngineQuery) -> f64 {
+    let batch = engine.run(jobs, query).expect("engine batch");
+    batch.pairs.iter().map(|p| p.estimates[0]).sum()
+}
+
+fn main() {
+    let pool = instance_pool();
+    // The gating comparison runs the engine on ONE worker so the recorded
+    // speedup is purely batching + closed-form dispatch + allocation
+    // avoidance, not thread count; the machine-parallel rate is reported
+    // separately.
+    let engine_1t = Engine::with_threads(1);
+    let engine_par = Engine::new();
+    let query = EngineQuery::rg_plus(1.0, 1.0).with_quad(QuadConfig::fast());
+
+    // Criterion micro-comparison on a small batch.
+    let small = jobs_of(&pool, 200);
+    let small_data = naive_datasets(&small);
+    let mut c = Criterion::default();
+    c.bench_function("engine/batched_200_pairs_1thread", |b| {
+        b.iter(|| black_box(batched(&engine_1t, &small, &query)))
+    });
+    c.bench_function("engine/naive_closed_200_pairs", |b| {
+        b.iter(|| black_box(naive_closed_form(&small, &small_data)))
+    });
+    c.bench_function("engine/naive_generic_200_pairs", |b| {
+        b.iter(|| black_box(naive_generic(&small, &small_data)))
+    });
+
+    // The acceptance workload: 10k pairs, single timed pass each, with a
+    // cross-check that both paths compute the same numbers.
+    let pairs: usize = std::env::var("BENCH_ENGINE_PAIRS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10_000);
+    let jobs = jobs_of(&pool, pairs);
+    let datasets = naive_datasets(&jobs);
+
+    let start = Instant::now();
+    let total_batched = batched(&engine_1t, &jobs, &query);
+    let batched_secs = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let total_parallel = batched(&engine_par, &jobs, &query);
+    let parallel_secs = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let total_closed = naive_closed_form(&jobs, &datasets);
+    let closed_secs = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let total_generic = naive_generic(&jobs, &datasets);
+    let generic_secs = start.elapsed().as_secs_f64();
+
+    for total in [total_batched, total_parallel, total_generic] {
+        let rel = (total - total_closed).abs() / total_closed.abs().max(1e-12);
+        assert!(
+            rel < 1e-6,
+            "paths diverged: {total} vs closed-form {total_closed}"
+        );
+    }
+
+    let closed_rate = pairs as f64 / closed_secs;
+    let generic_rate = pairs as f64 / generic_secs;
+    let batched_rate = pairs as f64 / batched_secs;
+    let parallel_rate = pairs as f64 / parallel_secs;
+    let speedup = closed_secs / batched_secs;
+    let speedup_generic = generic_secs / batched_secs;
+    println!("\nengine 10k-pair RG1+ workload:");
+    println!("  naive closed-form     {closed_secs:>10.4}s  ({closed_rate:>12.0} pairs/s)");
+    println!("  naive generic quad    {generic_secs:>10.4}s  ({generic_rate:>12.0} pairs/s)");
+    println!("  batched, 1 thread     {batched_secs:>10.4}s  ({batched_rate:>12.0} pairs/s)");
+    println!(
+        "  batched, {} thread(s)  {parallel_secs:>10.4}s  ({parallel_rate:>12.0} pairs/s)",
+        engine_par.threads()
+    );
+    println!("  speedup vs closed     {speedup:>10.2}x  (the acceptance gate)");
+    println!("  speedup vs generic    {speedup_generic:>10.2}x");
+
+    let path = results_dir().join("BENCH_engine.json");
+    let mut out = std::fs::File::create(&path).expect("create BENCH_engine.json");
+    writeln!(
+        out,
+        "{{\n  \"bench\": \"engine_batched_vs_per_call\",\n  \"workload\": \"rg1plus_sum\",\n  \"pairs\": {pairs},\n  \"items_per_pair\": {ITEMS_PER_INSTANCE},\n  \"naive_closed_secs\": {closed_secs:.6},\n  \"naive_closed_pairs_per_sec\": {closed_rate:.1},\n  \"naive_generic_secs\": {generic_secs:.6},\n  \"naive_generic_pairs_per_sec\": {generic_rate:.1},\n  \"batched_1thread_secs\": {batched_secs:.6},\n  \"batched_1thread_pairs_per_sec\": {batched_rate:.1},\n  \"parallel_threads\": {},\n  \"parallel_secs\": {parallel_secs:.6},\n  \"parallel_pairs_per_sec\": {parallel_rate:.1},\n  \"speedup_1thread_vs_closed\": {speedup:.2},\n  \"speedup_1thread_vs_generic\": {speedup_generic:.2}\n}}",
+        engine_par.threads()
+    )
+    .expect("write BENCH_engine.json");
+    println!("wrote {}", path.display());
+    // The acceptance floor is a hard gate: fail the smoke run (after the
+    // JSON artifact is written) so CI catches hot-path regressions.
+    if speedup < 2.0 {
+        eprintln!("FAIL: batched speedup {speedup:.2}x below the 2x floor");
+        std::process::exit(1);
+    }
+}

@@ -11,7 +11,11 @@ use monotone_core::scheme::TupleScheme;
 use std::hint::black_box;
 
 fn bench_estimators(c: &mut Criterion) {
-    let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+    let mep = Mep::new(
+        RangePowPlus::new(1.0),
+        TupleScheme::pps(&[1.0, 1.0]).unwrap(),
+    )
+    .unwrap();
     let outcome = mep.scheme().sample(&[0.6, 0.2], 0.35).unwrap();
 
     let mut g = c.benchmark_group("estimate_rg1plus");

@@ -9,7 +9,11 @@ use monotone_core::variance::VarianceCalc;
 use std::hint::black_box;
 
 fn bench_lb_and_hull(c: &mut Criterion) {
-    let mep = Mep::new(RangePowPlus::new(2.0), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+    let mep = Mep::new(
+        RangePowPlus::new(2.0),
+        TupleScheme::pps(&[1.0, 1.0]).unwrap(),
+    )
+    .unwrap();
     let v = [0.6, 0.2];
     let lb = mep.data_lower_bound(&v).unwrap();
 
@@ -30,7 +34,11 @@ fn bench_lb_and_hull(c: &mut Criterion) {
         b.iter(|| black_box(calc.lstar_stats(&mep, &v).unwrap()))
     });
 
-    let mep3 = Mep::new(RangePow::new(1.0, 3), TupleScheme::pps(&[1.0, 1.0, 1.0])).unwrap();
+    let mep3 = Mep::new(
+        RangePow::new(1.0, 3),
+        TupleScheme::pps(&[1.0, 1.0, 1.0]).unwrap(),
+    )
+    .unwrap();
     let lb3 = mep3.data_lower_bound(&[0.7, 0.2, 0.4]).unwrap();
     c.bench_function("lb_eval_r3_range", |b| {
         b.iter(|| black_box(lb3.eval(black_box(0.3))))

@@ -6,17 +6,18 @@
 //! probabilities, same expected sample sizes) and compares the NRMSE of L1
 //! sum estimation from *coordinated* samples (L\* and HT estimators)
 //! against *independently seeded* samples (product-form HT), across a drift
-//! sweep from near-identical to strongly differing instance pairs.
+//! sweep from near-identical to strongly differing instance pairs. The
+//! coordinated side runs as one engine batch per drift level (64 salts ×
+//! {L\*, HT} in a single pass over each pair).
 
 use monotone_bench::{fnum, stats::nrmse, table::Table, write_csv};
 use monotone_coord::independent::IndependentPps;
 use monotone_coord::instance::{Dataset, Instance};
-use monotone_coord::pps::CoordPps;
-use monotone_coord::query::{estimate_sum, exact_sum, weighted_jaccard};
+use monotone_coord::query::weighted_jaccard;
 use monotone_coord::seed::SeedHasher;
-use monotone_core::estimate::{HorvitzThompson, RgPlusLStar};
 use monotone_core::func::RangePowPlus;
 use monotone_datagen::zipf::lognormal_factor;
+use monotone_engine::{Engine, EngineQuery, EstimatorKind, PairJob};
 use rand::SeedableRng;
 
 fn main() {
@@ -24,6 +25,9 @@ fn main() {
     let scale = 2.0; // E|S| ≈ n/scale · E[w] — a few hundred items
     let f = RangePowPlus::new(1.0);
     let trials = 64u64;
+    let engine = Engine::new();
+    let query = EngineQuery::rg_plus(1.0, scale)
+        .with_estimators(&[EstimatorKind::LStar, EstimatorKind::HorvitzThompson]);
 
     let mut t = Table::new(
         "E15: NRMSE of the L1+ sum estimate — coordinated vs independent samples",
@@ -45,29 +49,24 @@ fn main() {
                 .map(|(k, w)| (k, (w * lognormal_factor(&mut rng, sigma)).clamp(0.01, 1.0))),
         );
         let jac = weighted_jaccard(&a, &b);
-        let data = Dataset::new(vec![a, b]);
-        let truth = exact_sum(&f, &data, None);
 
-        let mut coord_l = Vec::new();
-        let mut coord_ht = Vec::new();
-        let mut indep_ht = Vec::new();
-        for salt in 0..trials {
-            let cs = CoordPps::uniform_scale(2, scale, SeedHasher::new(salt));
-            let samples = cs.sample_all(&data);
-            coord_l.push(
-                estimate_sum(f, &RgPlusLStar::new(1, scale), &cs, &samples, None).expect("L*"),
-            );
-            coord_ht
-                .push(estimate_sum(f, &HorvitzThompson::new(), &cs, &samples, None).expect("HT"));
-            let is = IndependentPps::uniform_scale(2, scale, SeedHasher::new(salt));
-            let isamples = is.sample_all(&data);
-            indep_ht.push(is.ht_sum_estimate(&f, &isamples, None));
-        }
-        let (el, eh, ei) = (
-            nrmse(&coord_l, truth),
-            nrmse(&coord_ht, truth),
-            nrmse(&indep_ht, truth),
-        );
+        // Coordinated estimation: one batch over all randomizations.
+        let jobs: Vec<PairJob> = (0..trials).map(|salt| PairJob::new(&a, &b, salt)).collect();
+        let batch = engine.run(&jobs, &query).expect("engine batch");
+        let (el, eh) = (batch.summaries[0].nrmse, batch.summaries[1].nrmse);
+        let truth = batch.summaries[0].mean_truth;
+
+        // Independent sampling baseline (the contrast case stays per-call:
+        // it is the design the engine exists to beat).
+        let data = Dataset::new(vec![a, b]);
+        let indep_ht: Vec<f64> =
+            engine.map_chunked(&(0..trials).collect::<Vec<u64>>(), |_, &salt| {
+                let is = IndependentPps::uniform_scale(2, scale, SeedHasher::new(salt));
+                let isamples = is.sample_all(&data);
+                is.ht_sum_estimate(&f, &isamples, None)
+            });
+        let ei = nrmse(&indep_ht, truth);
+
         t.row(vec![
             format!("{sigma}"),
             fnum(jac),

@@ -4,23 +4,20 @@
 //!
 //! Fixes a per-item sampling scheme and sweeps the query-domain size,
 //! reporting the NRMSE of the L\* sum estimate and the fitted scaling
-//! exponent (expected ≈ −0.5).
+//! exponent (expected ≈ −0.5). All 64 randomizations of each domain size
+//! run as one batch through the estimation engine (closed-form L\*
+//! dispatch, one seed hash per item, worker-pool parallelism).
 
-use monotone_bench::{fnum, stats::nrmse, table::Table, write_csv};
-use monotone_coord::instance::{Dataset, Instance};
-use monotone_coord::pps::CoordPps;
-use monotone_coord::query::{estimate_sum, exact_sum};
-use monotone_coord::seed::SeedHasher;
-use monotone_core::estimate::RgPlusLStar;
-use monotone_core::func::RangePowPlus;
+use monotone_bench::{fnum, table::Table, write_csv};
+use monotone_coord::instance::Instance;
+use monotone_engine::{Engine, EngineQuery, PairJob};
 
 fn main() {
     let n = 16_384u64;
     let a = Instance::from_pairs((0..n).map(|k| (k, 0.1 + 0.8 * ((k * 13 % 101) as f64 / 101.0))));
     let b = Instance::from_pairs((0..n).map(|k| (k, 0.1 + 0.8 * ((k * 29 % 101) as f64 / 101.0))));
-    let data = Dataset::new(vec![a, b]);
-    let f = RangePowPlus::new(1.0);
-    let est = RgPlusLStar::new(1, 1.0);
+    let engine = Engine::new();
+    let query = EngineQuery::rg_plus(1.0, 1.0);
 
     let mut t = Table::new(
         "E13: NRMSE of the L* sum estimate vs domain size |D|",
@@ -30,15 +27,11 @@ fn main() {
     let mut points = Vec::new();
     for &size in &[64u64, 256, 1024, 4096, 16384] {
         let domain: Vec<u64> = (0..size).collect();
-        let truth = exact_sum(&f, &data, Some(&domain));
-        let mut estimates = Vec::new();
-        for salt in 0..64u64 {
-            let sampler = CoordPps::uniform_scale(2, 1.0, SeedHasher::new(salt));
-            let samples = sampler.sample_all(&data);
-            estimates
-                .push(estimate_sum(f, &est, &sampler, &samples, Some(&domain)).expect("estimate"));
-        }
-        let e = nrmse(&estimates, truth);
+        let jobs: Vec<PairJob> = (0..64u64)
+            .map(|salt| PairJob::new(&a, &b, salt).with_domain(&domain))
+            .collect();
+        let batch = engine.run(&jobs, &query).expect("engine batch");
+        let e = batch.summaries[0].nrmse;
         t.row(vec![
             format!("{size}"),
             fnum(e),

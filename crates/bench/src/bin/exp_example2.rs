@@ -10,7 +10,7 @@ use monotone_core::scheme::{EntryState, TupleScheme};
 
 fn main() {
     let data = Dataset::example1();
-    let scheme = TupleScheme::pps(&[1.0, 1.0, 1.0]);
+    let scheme = TupleScheme::pps(&[1.0, 1.0, 1.0]).unwrap();
     let names = ["a", "b", "c", "d", "e", "f", "g", "h"];
     let seeds = [0.32, 0.21, 0.04, 0.23, 0.84, 0.70, 0.15, 0.64];
     // The outcomes printed in the paper.

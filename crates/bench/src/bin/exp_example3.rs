@@ -13,7 +13,8 @@ use monotone_core::scheme::TupleScheme;
 
 fn main() {
     for &p in &[0.5, 1.0, 2.0] {
-        let mep = Mep::new(RangePowPlus::new(p), TupleScheme::pps(&[1.0, 1.0])).expect("mep");
+        let mep =
+            Mep::new(RangePowPlus::new(p), TupleScheme::pps(&[1.0, 1.0]).unwrap()).expect("mep");
         let mut rows = Vec::new();
         let mut t = Table::new(
             &format!("E3 panel p={p}: LB and hull at probe points"),

@@ -15,7 +15,8 @@ use monotone_core::scheme::TupleScheme;
 
 fn main() {
     for &p in &[0.5, 1.0, 2.0] {
-        let mep = Mep::new(RangePowPlus::new(p), TupleScheme::pps(&[1.0, 1.0])).expect("mep");
+        let mep =
+            Mep::new(RangePowPlus::new(p), TupleScheme::pps(&[1.0, 1.0]).unwrap()).expect("mep");
         let lstar = LStar::new();
         let ustar_closed = RgPlusUStar::new(p, 1.0);
         let ustar_generic = UStar::with_steps(128);

@@ -19,7 +19,8 @@ fn main() {
     let j = DyadicJ::new();
     let mut csv = Vec::new();
     for &p in &[1.0, 2.0] {
-        let mep = Mep::new(RangePowPlus::new(p), TupleScheme::pps(&[1.0, 1.0])).expect("mep");
+        let mep =
+            Mep::new(RangePowPlus::new(p), TupleScheme::pps(&[1.0, 1.0]).unwrap()).expect("mep");
         let mut t = Table::new(
             &format!("E8: variance on RG{p}+ (PPS 1)"),
             &[

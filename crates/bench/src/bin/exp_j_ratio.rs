@@ -25,7 +25,8 @@ fn main() {
     let mut sup_l: f64 = 0.0;
 
     for &p in &[0.5, 1.0, 2.0] {
-        let mep = Mep::new(RangePowPlus::new(p), TupleScheme::pps(&[1.0, 1.0])).expect("mep");
+        let mep =
+            Mep::new(RangePowPlus::new(p), TupleScheme::pps(&[1.0, 1.0]).unwrap()).expect("mep");
         for &v in &[[0.9, 0.0], [0.9, 0.45], [0.9, 0.8], [0.3, 0.1]] {
             let rj = calc
                 .competitive_ratio(&mep, &j, &v)
@@ -57,7 +58,7 @@ fn main() {
     }
     for &p in &[0.0, 0.2, 0.35] {
         let fam = PowerGapFamily::new(p);
-        let mep = Mep::new(fam, TupleScheme::pps(&[1.0])).expect("mep");
+        let mep = Mep::new(fam, TupleScheme::pps(&[1.0]).unwrap()).expect("mep");
         let rj = calc
             .competitive_ratio(&mep, &j, &[0.0])
             .expect("j")

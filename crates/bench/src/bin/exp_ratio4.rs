@@ -26,7 +26,7 @@ fn main() {
         let closed = fam.ratio_at_zero();
         let numeric_valid = p <= 0.41;
         let numeric = if p < 0.48 {
-            let mep = Mep::new(fam, TupleScheme::pps(&[1.0])).expect("mep");
+            let mep = Mep::new(fam, TupleScheme::pps(&[1.0]).unwrap()).expect("mep");
             calc.lstar_competitive_ratio(&mep, &[0.0])
                 .expect("ratio")
                 .unwrap_or(f64::NAN)

@@ -12,7 +12,7 @@ use monotone_core::scheme::TupleScheme;
 use monotone_core::variance::VarianceCalc;
 
 fn sweep<F: monotone_core::func::ItemFn>(name: &str, f: F, csv: &mut Vec<Vec<String>>) -> f64 {
-    let mep = Mep::new(f, TupleScheme::pps(&[1.0, 1.0])).expect("mep");
+    let mep = Mep::new(f, TupleScheme::pps(&[1.0, 1.0]).unwrap()).expect("mep");
     let calc = VarianceCalc::new(1e-10, 3000);
     let mut t = Table::new(
         &format!("E7: L* ratio sweep for {name}, v = (1, v2)"),

@@ -5,11 +5,13 @@
 //! social-network stand-in), estimates closeness similarity
 //! `sim(a,b) = Σ α(max d) / Σ α(min d)` with per-item L\* estimates under
 //! HIP thresholds, and reports the error against exact Dijkstra truth as
-//! the sketch parameter k grows.
+//! the sketch parameter k grows. The per-randomization sketch builds and
+//! pair estimates are driven through the engine's chunked worker pool.
 
 use monotone_bench::{fnum, stats::mean, table::Table, write_csv};
 use monotone_coord::seed::SeedHasher;
 use monotone_datagen::graphs::{grid, preferential_attachment};
+use monotone_engine::Engine;
 use monotone_sketches::ads::build_all_ads;
 use monotone_sketches::closeness::{exact_closeness, ClosenessEstimator};
 use monotone_sketches::graph::Graph;
@@ -40,20 +42,28 @@ fn run(name: &str, g: &Graph, pairs: &[(u32, u32)], csv: &mut Vec<Vec<String>>) 
         ),
         &["k", "mean abs error", "mean sketch size"],
     );
+    let engine = Engine::new();
+    let salts: Vec<u64> = (0..3).collect();
     for &k in &[4usize, 8, 16, 32, 64] {
-        let mut errs = Vec::new();
-        let mut sizes = Vec::new();
-        for salt in 0..3u64 {
+        // One chunked-pool task per randomization: build the sketch set,
+        // estimate every pair against it.
+        let per_salt = engine.map_chunked(&salts, |_, &salt| {
             let seeder = SeedHasher::new(97 + salt);
             let sketches = build_all_ads(g, k, &seeder);
-            sizes
-                .push(sketches.iter().map(|s| s.len() as f64).sum::<f64>() / sketches.len() as f64);
+            let size = sketches.iter().map(|s| s.len() as f64).sum::<f64>() / sketches.len() as f64;
             let est = ClosenessEstimator::new(&sketches, k, alpha);
-            for (i, &(a, b)) in pairs.iter().enumerate() {
-                let s = est.estimate(a, b).expect("estimate");
-                errs.push((s - truths[i]).abs());
-            }
-        }
+            let errs: Vec<f64> = pairs
+                .iter()
+                .enumerate()
+                .map(|(i, &(a, b))| (est.estimate(a, b).expect("estimate") - truths[i]).abs())
+                .collect();
+            (errs, size)
+        });
+        let errs: Vec<f64> = per_salt
+            .iter()
+            .flat_map(|(e, _)| e.iter().copied())
+            .collect();
+        let sizes: Vec<f64> = per_salt.iter().map(|&(_, s)| s).collect();
         let e = mean(&errs);
         let sz = mean(&sizes);
         t.row(vec![format!("{k}"), fnum(e), fnum(sz)]);

@@ -37,7 +37,37 @@ pub enum RankMethod {
 }
 
 impl RankMethod {
-    fn rank(&self, u: f64, w: f64) -> f64 {
+    /// The rank of an item with shared seed `u ∈ (0, 1]` and weight `w`.
+    ///
+    /// The rank may be `+∞`: exponential ranks map a seed of exactly `1.0`
+    /// (which [`SeedHasher::seed`] emits with probability `2⁻⁵³`) to an
+    /// infinite rank, meaning the item sorts after every finite rank and is
+    /// never retained. Callers holding weights from an [`Instance`] (always
+    /// positive and finite) can rely on ranks never being NaN.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`monotone_core::Error::InvalidValue`] when `w` is zero,
+    /// negative, or non-finite and the method divides by the weight
+    /// ([`Priority`](RankMethod::Priority) /
+    /// [`Exponential`](RankMethod::Exponential)) — such weights would
+    /// silently produce `inf`/`NaN` ranks and poison threshold selection —
+    /// and [`monotone_core::Error::InvalidSeed`] when `u` is outside
+    /// `(0, 1]`. [`Uniform`](RankMethod::Uniform) ignores the weight
+    /// entirely and accepts any.
+    pub fn rank(&self, u: f64, w: f64) -> monotone_core::Result<f64> {
+        if !(u > 0.0 && u <= 1.0) {
+            return Err(monotone_core::Error::InvalidSeed(u));
+        }
+        if *self != RankMethod::Uniform && !(w > 0.0 && w.is_finite()) {
+            return Err(monotone_core::Error::InvalidValue(w));
+        }
+        Ok(self.rank_unchecked(u, w))
+    }
+
+    /// [`rank`](RankMethod::rank) without validation, for inputs already
+    /// guaranteed valid (instance weights, hashed seeds).
+    fn rank_unchecked(&self, u: f64, w: f64) -> f64 {
         match self {
             RankMethod::Priority => u / w,
             RankMethod::Exponential => -(-u).ln_1p() / w, // −ln(1−u)/w
@@ -82,7 +112,9 @@ impl BottomKSample {
         self.get(key).is_some()
     }
 
-    /// Number of retained items (`min(k, instance size)`).
+    /// Number of retained items: at most `min(k, instance size)`, and
+    /// strictly fewer when items carried an infinite rank (exponential
+    /// ranks at a shared seed of exactly `1.0` are never retained).
     pub fn len(&self) -> usize {
         self.entries.len()
     }
@@ -165,18 +197,30 @@ impl BottomK {
     }
 
     /// Samples one instance: the `k` smallest-rank items.
+    ///
+    /// Items with an infinite rank (exponential ranks at a shared seed of
+    /// exactly `1.0`) are never retained, even when the instance has fewer
+    /// than `k` items: an infinite rank is below no threshold, so retaining
+    /// such an item would break the membership rule
+    /// `contains(key) ⟺ rank < conditioned_rank_threshold(key)` and hand
+    /// estimators an outcome claiming a sample the scheme says is
+    /// impossible. An infinite `(k+1)`-th rank likewise never becomes a
+    /// conditioned threshold value (it is equivalent to "fewer than `k`
+    /// others exist").
     pub fn sample_instance(&self, inst: &Instance) -> BottomKSample {
         let mut ranked: Vec<(f64, u64, f64)> = inst
             .iter()
-            .map(|(key, w)| (self.method.rank(self.seeder.seed(key), w), key, w))
+            .map(|(key, w)| (self.method.rank_unchecked(self.seeder.seed(key), w), key, w))
             .collect();
-        ranked.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite ranks"));
-        let next_rank = if ranked.len() > self.k {
-            Some(ranked[self.k].0)
-        } else {
-            None
-        };
+        // total_cmp: never panics, and orders +∞ (and any NaN from corrupted
+        // input) last so the retained prefix is well-defined.
+        ranked.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let next_rank = ranked
+            .get(self.k)
+            .map(|&(r, _, _)| r)
+            .filter(|r| r.is_finite());
         ranked.truncate(self.k);
+        ranked.retain(|&(r, _, _)| r.is_finite());
         BottomKSample {
             k: self.k,
             method: self.method,
@@ -207,13 +251,14 @@ impl BottomK {
         for s in samples {
             let tau = s.conditioned_rank_threshold(key);
             // Included iff u/w < tau ⟺ w > u/tau: linear threshold with
-            // scale 1/tau (≈0 when tau = ∞: always included).
+            // scale 1/tau (≈0 when tau = ∞: always included). A subnormal
+            // tau yields scale = ∞, the "never included" threshold.
             let scale = if tau.is_finite() {
                 1.0 / tau
             } else {
                 f64::MIN_POSITIVE
             };
-            thresholds.push(LinearThreshold::new(scale));
+            thresholds.push(LinearThreshold::new(scale)?);
             entries.push(match s.get(key) {
                 Some(w) => EntryState::Known(w),
                 None => EntryState::Capped,
@@ -294,7 +339,11 @@ impl ExpThreshold {
 impl ThresholdFn for ExpThreshold {
     fn cap(&self, u: f64) -> f64 {
         if self.tau_rank.is_infinite() {
-            return 0.0;
+            // "Always included" — except at u = 1.0 exactly, where the
+            // exponential rank is +∞ for every weight and the strict rule
+            // `rank < τ_rank` excludes the item (∞ < ∞ is false). The naive
+            // −ln(1−u)/τ_rank would be ∞/∞ = NaN here.
+            return if u >= 1.0 { f64::INFINITY } else { 0.0 };
         }
         -(-u).ln_1p() / self.tau_rank
     }
@@ -326,7 +375,9 @@ mod tests {
         let max_in = s.entries.last().unwrap().0;
         for (key, w) in inst.iter() {
             if !s.contains(key) {
-                let r = RankMethod::Priority.rank(sampler.seeder().seed(key), w);
+                let r = RankMethod::Priority
+                    .rank(sampler.seeder().seed(key), w)
+                    .unwrap();
                 assert!(r >= max_in, "missed a smaller rank: {r} < {max_in}");
             }
         }
@@ -344,7 +395,7 @@ mod tests {
             let sampler = BottomK::new(10, method, SeedHasher::new(7));
             let s = sampler.sample_instance(&inst);
             for (key, w) in inst.iter() {
-                let r = method.rank(sampler.seeder().seed(key), w);
+                let r = method.rank(sampler.seeder().seed(key), w).unwrap();
                 let tau = s.conditioned_rank_threshold(key);
                 assert_eq!(
                     s.contains(key),
@@ -420,6 +471,106 @@ mod tests {
         let t = ExpThreshold::new(f64::INFINITY);
         assert_eq!(t.cap(0.99), 0.0);
         assert_eq!(t.inclusion_prob(0.0), 1.0);
+    }
+
+    #[test]
+    fn rank_rejects_degenerate_weights() {
+        // Zero/negative/non-finite weights would silently become inf/NaN
+        // ranks; the checked entry point turns them into typed errors.
+        for method in [RankMethod::Priority, RankMethod::Exponential] {
+            for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+                assert!(
+                    matches!(
+                        method.rank(0.5, bad),
+                        Err(monotone_core::Error::InvalidValue(_))
+                    ),
+                    "{method:?} accepted weight {bad}"
+                );
+            }
+        }
+        // Uniform reservoir ranks ignore the weight: any weight is fine,
+        // but seeds are still validated.
+        assert_eq!(RankMethod::Uniform.rank(0.5, 0.0).unwrap(), 0.5);
+        for method in [
+            RankMethod::Priority,
+            RankMethod::Exponential,
+            RankMethod::Uniform,
+        ] {
+            assert!(matches!(
+                method.rank(0.0, 1.0),
+                Err(monotone_core::Error::InvalidSeed(_))
+            ));
+        }
+    }
+
+    /// Regression (seed == 1.0): the hash seed can be exactly 1.0, which
+    /// exponential ranks map to +∞. End to end, such an item must never be
+    /// retained, the membership rule must stay consistent, and the
+    /// conditioned item problem must agree with the sample.
+    #[test]
+    fn exponential_seed_one_item_is_never_sampled() {
+        let seeder = SeedHasher::new(77);
+        let poisoned = seeder.key_for_raw(u64::MAX);
+        assert_eq!(seeder.seed(poisoned), 1.0);
+
+        // Fewer items than k: pre-fix the infinite-rank item was retained.
+        let mut inst = Instance::from_pairs([(1u64, 0.8), (2, 1.4)]);
+        inst.set(poisoned, 2.5);
+        let sampler = BottomK::new(4, RankMethod::Exponential, seeder);
+        let s = sampler.sample_instance(&inst);
+        assert!(
+            !s.contains(poisoned),
+            "infinite-rank item must not be in the sample"
+        );
+        assert_eq!(s.len(), 2);
+        for (key, w) in inst.iter() {
+            let rank = RankMethod::Exponential.rank_unchecked(seeder.seed(key), w);
+            let tau = s.conditioned_rank_threshold(key);
+            assert_eq!(s.contains(key), rank < tau, "membership rule at key {key}");
+        }
+
+        // The conditioned monotone problem for the poisoned item: capped in
+        // every instance (cap(1.0) = ∞), with finite, zero estimates.
+        let samples = vec![s.clone(), sampler.sample_instance(&inst)];
+        let (scheme, outcome) = sampler
+            .exponential_item_problem(&samples, poisoned)
+            .unwrap();
+        assert_eq!(outcome.seed(), 1.0);
+        for i in 0..2 {
+            assert_eq!(outcome.known(i), None, "instance {i} must be capped");
+            assert!(scheme.thresholds()[i].cap(1.0).is_infinite());
+        }
+        let mep =
+            monotone_core::problem::Mep::new(monotone_core::func::RangePowPlus::new(1.0), scheme)
+                .unwrap();
+        let est = monotone_core::estimate::LStar::new();
+        let e = monotone_core::estimate::MonotoneEstimator::estimate(&est, &mep, &outcome);
+        assert_eq!(e, 0.0, "all-capped outcome must estimate 0, got {e}");
+    }
+
+    /// Regression (seed == 1.0): when the infinite rank is the (k+1)-th, it
+    /// must not become a finite-looking conditioned threshold, and sorting
+    /// must not panic.
+    #[test]
+    fn infinite_next_rank_does_not_poison_thresholds() {
+        let seeder = SeedHasher::new(5);
+        let poisoned = seeder.key_for_raw(u64::MAX);
+        // k items with finite ranks plus the infinite-rank item.
+        let mut inst = Instance::from_pairs((0..3u64).map(|k| (k, 1.0 + k as f64)));
+        inst.set(poisoned, 9.0);
+        let sampler = BottomK::new(3, RankMethod::Exponential, seeder);
+        let s = sampler.sample_instance(&inst);
+        assert_eq!(s.len(), 3);
+        assert!(!s.contains(poisoned));
+        // Retained items condition on the others' k-th smallest rank, which
+        // is infinite here — "always included", never a poisoned finite
+        // value; and the threshold for the poisoned item stays consistent.
+        for (key, w) in inst.iter() {
+            let rank = RankMethod::Exponential.rank_unchecked(seeder.seed(key), w);
+            let tau = s.conditioned_rank_threshold(key);
+            assert!(tau > 0.0);
+            assert_eq!(s.contains(key), rank < tau, "membership rule at key {key}");
+        }
     }
 
     #[test]

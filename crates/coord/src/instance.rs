@@ -87,6 +87,59 @@ impl Instance {
     }
 }
 
+/// Iterates the union of two instances' keys in ascending order, yielding
+/// `(key, w_a, w_b)` with weight `0.0` where an item is inactive.
+///
+/// A single merge pass over the two sorted maps, replacing the
+/// collect-sort-dedup-then-lookup pattern in per-pair query loops — the
+/// batch engine's way of visiting every item of an instance pair exactly
+/// once.
+///
+/// # Examples
+///
+/// ```
+/// use monotone_coord::instance::{merged_weights, Instance};
+///
+/// let a = Instance::from_pairs([(1u64, 0.9), (3, 0.4)]);
+/// let b = Instance::from_pairs([(1u64, 0.7), (2, 0.5)]);
+/// let merged: Vec<_> = merged_weights(&a, &b).collect();
+/// assert_eq!(
+///     merged,
+///     vec![(1, 0.9, 0.7), (2, 0.0, 0.5), (3, 0.4, 0.0)]
+/// );
+/// ```
+pub fn merged_weights<'a>(
+    a: &'a Instance,
+    b: &'a Instance,
+) -> impl Iterator<Item = (u64, f64, f64)> + 'a {
+    let mut ia = a.iter().peekable();
+    let mut ib = b.iter().peekable();
+    std::iter::from_fn(move || match (ia.peek().copied(), ib.peek().copied()) {
+        (Some((ka, wa)), Some((kb, wb))) => {
+            if ka < kb {
+                ia.next();
+                Some((ka, wa, 0.0))
+            } else if kb < ka {
+                ib.next();
+                Some((kb, 0.0, wb))
+            } else {
+                ia.next();
+                ib.next();
+                Some((ka, wa, wb))
+            }
+        }
+        (Some((ka, wa)), None) => {
+            ia.next();
+            Some((ka, wa, 0.0))
+        }
+        (None, Some((kb, wb))) => {
+            ib.next();
+            Some((kb, 0.0, wb))
+        }
+        (None, None) => None,
+    })
+}
+
 impl FromIterator<(u64, f64)> for Instance {
     fn from_iter<I: IntoIterator<Item = (u64, f64)>>(iter: I) -> Instance {
         Instance::from_pairs(iter)
@@ -207,6 +260,27 @@ mod tests {
             Instance::from_pairs([(2, 1.0), (3, 1.0)]),
         ]);
         assert_eq!(d.union_keys(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn merged_weights_covers_union() {
+        let a = Instance::from_pairs(
+            (0..50u64)
+                .filter(|k| k % 2 == 0)
+                .map(|k| (k, 1.0 + k as f64)),
+        );
+        let b = Instance::from_pairs(
+            (0..50u64)
+                .filter(|k| k % 3 == 0)
+                .map(|k| (k, 2.0 + k as f64)),
+        );
+        let merged: Vec<_> = merged_weights(&a, &b).collect();
+        let d = Dataset::new(vec![a.clone(), b.clone()]);
+        let keys = d.union_keys();
+        assert_eq!(merged.len(), keys.len());
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(merged[i], (k, a.weight(k), b.weight(k)));
+        }
     }
 
     #[test]

@@ -145,7 +145,7 @@ impl CoordPps {
     /// The coordinated-sampling scheme restricted to a single item: one
     /// [`LinearThreshold`] per instance.
     pub fn item_scheme(&self) -> TupleScheme<LinearThreshold> {
-        TupleScheme::pps(&self.scales)
+        TupleScheme::pps(&self.scales).expect("scales validated at construction")
     }
 
     /// Samples instance `i` (coordinated: the item's shared seed decides).

@@ -56,6 +56,25 @@ impl SeedHasher {
         );
         (((x >> 11) + 1) as f64) * (1.0 / 9007199254740992.0)
     }
+
+    /// The key whose internal hash equals `raw`, i.e. whose seed is exactly
+    /// `((raw >> 11) + 1) / 2^53`. SplitMix64 is a bijection, so every raw
+    /// hash — including the all-ones word that maps to a seed of exactly
+    /// `1.0`, and `0` which maps to the smallest seed `2^-53` — has a
+    /// preimage under every salt. Used to pin seed edge cases in tests.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use monotone_coord::seed::SeedHasher;
+    ///
+    /// let h = SeedHasher::new(42);
+    /// assert_eq!(h.seed(h.key_for_raw(u64::MAX)), 1.0);
+    /// assert_eq!(h.seed(h.key_for_raw(0)), 1.0 / 9007199254740992.0);
+    /// ```
+    pub fn key_for_raw(&self, raw: u64) -> u64 {
+        inv_splitmix64(raw) ^ self.salt.rotate_left(17) ^ 0x9e37_79b9_7f4a_7c15
+    }
 }
 
 /// SplitMix64 finalizer: a high-quality 64-bit mixer.
@@ -64,6 +83,17 @@ pub fn splitmix64(mut x: u64) -> u64 {
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     x ^ (x >> 31)
+}
+
+/// Inverse of [`splitmix64`]: each xorshift and odd multiplication is a
+/// bijection on `u64`, undone here in reverse order.
+pub fn inv_splitmix64(mut x: u64) -> u64 {
+    x = x ^ (x >> 31) ^ (x >> 62);
+    x = x.wrapping_mul(0x3196_42b2_d24d_8ec3); // 0x94d049bb133111eb⁻¹ mod 2⁶⁴
+    x = x ^ (x >> 27) ^ (x >> 54);
+    x = x.wrapping_mul(0x96de_1b17_3f11_9089); // 0xbf58476d1ce4e5b9⁻¹ mod 2⁶⁴
+    x = x ^ (x >> 30) ^ (x >> 60);
+    x.wrapping_sub(0x9e37_79b9_7f4a_7c15)
 }
 
 #[cfg(test)]
@@ -103,6 +133,27 @@ mod tests {
         let a = h.seed_independent(5, 0);
         let b = h.seed_independent(5, 1);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn inv_splitmix_roundtrips() {
+        for x in (0..10_000u64).chain([u64::MAX, u64::MAX - 1, 1 << 63]) {
+            assert_eq!(inv_splitmix64(splitmix64(x)), x);
+            assert_eq!(splitmix64(inv_splitmix64(x)), x);
+        }
+    }
+
+    #[test]
+    fn key_for_raw_hits_exact_seed_extremes() {
+        // The hash can emit a seed of exactly 1.0 (top 53 bits all ones);
+        // key_for_raw constructs a witness key for any salt.
+        for salt in [0u64, 1, 42, u64::MAX] {
+            let h = SeedHasher::new(salt);
+            assert_eq!(h.seed(h.key_for_raw(u64::MAX)), 1.0);
+            assert_eq!(h.seed(h.key_for_raw(0)), 2f64.powi(-53));
+            // Bottom 11 bits of the raw hash don't affect the seed.
+            assert_eq!(h.seed(h.key_for_raw((1 << 11) - 1)), 2f64.powi(-53));
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! use monotone_core::scheme::TupleScheme;
 //!
 //! // Seeds live in (0, 1]; a zero seed is rejected with a typed error.
-//! let scheme = TupleScheme::pps(&[1.0, 1.0]);
+//! let scheme = TupleScheme::pps(&[1.0, 1.0]).unwrap();
 //! let err = scheme.sample(&[0.5, 0.5], 0.0).unwrap_err();
 //! assert_eq!(err, monotone_core::Error::InvalidSeed(0.0));
 //! assert!(err.to_string().contains("(0, 1]"));
@@ -29,6 +29,9 @@ pub enum Error {
     },
     /// A data value was negative or non-finite.
     InvalidValue(f64),
+    /// A threshold scale was zero, negative, or NaN (`+∞` is permitted and
+    /// means the entry is never sampled).
+    InvalidScale(f64),
     /// A probability was outside `[0, 1]` or non-finite.
     InvalidProbability(f64),
     /// A threshold function was not monotone non-decreasing.
@@ -53,6 +56,9 @@ impl fmt::Display for Error {
             }
             Error::InvalidValue(v) => {
                 write!(f, "data value {v} is not a finite nonnegative number")
+            }
+            Error::InvalidScale(s) => {
+                write!(f, "threshold scale {s} is not positive (or is NaN)")
             }
             Error::InvalidProbability(p) => write!(f, "probability {p} is not in [0, 1]"),
             Error::NonMonotoneThreshold => write!(f, "threshold function is not non-decreasing"),
@@ -128,6 +134,7 @@ mod tests {
                 got: 3,
             },
             Error::InvalidValue(-1.0),
+            Error::InvalidScale(0.0),
             Error::InvalidProbability(2.0),
             Error::NonMonotoneThreshold,
             Error::InvalidDomain("empty".to_owned()),

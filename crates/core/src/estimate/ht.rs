@@ -24,7 +24,7 @@ use crate::scheme::{Outcome, ThresholdFn};
 /// use monotone_core::problem::Mep;
 /// use monotone_core::scheme::TupleScheme;
 ///
-/// let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+/// let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0]).unwrap()).unwrap();
 /// // Both entries sampled at u = 0.1: f = 0.4 revealed; reveal prob = v2 = 0.2.
 /// let outcome = mep.scheme().sample(&[0.6, 0.2], 0.1).unwrap();
 /// let ht = HorvitzThompson::new();
@@ -204,7 +204,7 @@ mod tests {
     use crate::scheme::TupleScheme;
 
     fn mep_p(p: f64) -> Mep<RangePowPlus, crate::scheme::LinearThreshold> {
-        Mep::new(RangePowPlus::new(p), TupleScheme::pps(&[1.0, 1.0])).unwrap()
+        Mep::new(RangePowPlus::new(p), TupleScheme::pps(&[1.0, 1.0]).unwrap()).unwrap()
     }
 
     #[test]

@@ -32,7 +32,7 @@ use crate::scheme::{Outcome, ThresholdFn};
 /// use monotone_core::problem::Mep;
 /// use monotone_core::scheme::TupleScheme;
 ///
-/// let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+/// let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0]).unwrap()).unwrap();
 /// let outcome = mep.scheme().sample(&[0.6, 0.0], 0.2).unwrap();
 /// // u = 0.2 ∈ (0.125, 0.25]: estimate (f̄(0.25) − f̄(0.5)) / 0.125 + f̄(1).
 /// let est = DyadicJ::new().estimate(&mep, &outcome);
@@ -74,7 +74,7 @@ mod tests {
     use crate::scheme::TupleScheme;
 
     fn mep_p(p: f64) -> Mep<RangePowPlus, crate::scheme::LinearThreshold> {
-        Mep::new(RangePowPlus::new(p), TupleScheme::pps(&[1.0, 1.0])).unwrap()
+        Mep::new(RangePowPlus::new(p), TupleScheme::pps(&[1.0, 1.0]).unwrap()).unwrap()
     }
 
     #[test]

@@ -5,9 +5,11 @@
 //! whenever a finite-variance unbiased nonnegative estimator exists, and it
 //! dominates the Horvitz-Thompson estimator.
 
+use std::cell::RefCell;
+
 use super::MonotoneEstimator;
 use crate::func::{ItemFn, RangePowPlus};
-use crate::problem::Mep;
+use crate::problem::{LbScratch, Mep};
 use crate::quad::{integrate_with_breakpoints, QuadConfig};
 use crate::scheme::{LinearThreshold, Outcome, ThresholdFn};
 
@@ -22,7 +24,7 @@ use crate::scheme::{LinearThreshold, Outcome, ThresholdFn};
 /// use monotone_core::problem::Mep;
 /// use monotone_core::scheme::TupleScheme;
 ///
-/// let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+/// let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0]).unwrap()).unwrap();
 /// // Data (0.6, 0): at seed u = 0.3 only the first entry is sampled and the
 /// // L* estimate is ln(v1/u) = ln 2.
 /// let outcome = mep.scheme().sample(&[0.6, 0.0], 0.3).unwrap();
@@ -52,6 +54,40 @@ impl LStar {
     pub fn quad(&self) -> &QuadConfig {
         &self.quad
     }
+
+    /// [`MonotoneEstimator::estimate`] with a caller-owned [`LbScratch`],
+    /// so batch loops estimating many outcomes pay zero allocations for
+    /// the lower-bound work vectors.
+    pub fn estimate_with<F: ItemFn, T: ThresholdFn>(
+        &self,
+        mep: &Mep<F, T>,
+        outcome: &Outcome,
+        scratch: &mut LbScratch,
+    ) -> f64 {
+        let lb = mep.lower_bound(outcome);
+        let rho = outcome.seed();
+        let f_rho = lb.eval_with(rho, scratch);
+        if f_rho <= 0.0 {
+            // f̄ is nonnegative and non-increasing in u, so the whole
+            // integrand vanishes.
+            return 0.0;
+        }
+        let bps = lb.breakpoints();
+        // Eq. (31) in the difference form
+        // `f̂ᴸ = f̄(ρ) + ∫_ρ¹ (f̄(ρ) − f̄(u))/u² du`, which never forms the
+        // overflow-prone `f̄(ρ)/ρ` head term (it cancels algebraically
+        // against the tail for large values over small seeds). The scratch
+        // is reused across every quadrature node.
+        let scratch = RefCell::new(scratch);
+        let tail = integrate_with_breakpoints(
+            |u| (f_rho - lb.eval_with(u, &mut scratch.borrow_mut())).max(0.0) / (u * u),
+            rho,
+            1.0,
+            &bps,
+            &self.quad,
+        );
+        f_rho + tail
+    }
 }
 
 impl Default for LStar {
@@ -62,17 +98,7 @@ impl Default for LStar {
 
 impl<F: ItemFn, T: ThresholdFn> MonotoneEstimator<F, T> for LStar {
     fn estimate(&self, mep: &Mep<F, T>, outcome: &Outcome) -> f64 {
-        let lb = mep.lower_bound(outcome);
-        let rho = outcome.seed();
-        let f_rho = lb.at_seed();
-        if f_rho <= 0.0 {
-            // f̄ is nonnegative and non-increasing in u, so the whole
-            // integrand vanishes.
-            return 0.0;
-        }
-        let bps = lb.breakpoints();
-        let tail = integrate_with_breakpoints(|u| lb.eval(u) / (u * u), rho, 1.0, &bps, &self.quad);
-        (f_rho / rho - tail).max(0.0)
+        self.estimate_with(mep, outcome, &mut LbScratch::new())
     }
 
     fn name(&self) -> &'static str {
@@ -121,38 +147,53 @@ impl RgPlusLStar {
         }
     }
 
-    /// Antiderivative of `(w1 − x)^p / x²`.
-    fn anti(&self, w1: f64, x: f64) -> f64 {
-        if self.p == 1 {
-            -w1 / x - x.ln()
-        } else {
-            -w1 * w1 / x - 2.0 * w1 * x.ln() + x
-        }
-    }
-
     /// The estimate on the normalized scale: entry 1 known as `w1`, entry 2
     /// known as `β` or hidden (`β = 0`), seed `ρ`.
+    ///
+    /// Evaluated in the algebraically reduced form (all `1/ρ` head terms
+    /// cancelled symbolically): with `b = max(β, ρ)` and `c = min(w1, 1)`,
+    ///
+    /// * `p = 1`: `w1/c − 1 + ln(c/b)`;
+    /// * `p = 2`: `w1²/c − 2·w1 + 2b − c + 2·w1·ln(c/b)`;
+    ///
+    /// and `(w1 − b)^p` outright when `b >= 1` (both entries certain). The
+    /// naive head/flat/decline decomposition forms `pow(w1 − b)/ρ`, which
+    /// overflows to `∞ − ∞ = NaN` for large weights over small seeds; the
+    /// reduced form stays finite whenever `f(v)` is representable.
     fn kernel(&self, w1: f64, beta: f64, rho: f64) -> f64 {
-        let m = beta.max(rho);
-        if w1 <= m {
+        let b = beta.max(rho);
+        if w1 <= b {
             return 0.0; // f̄(ρ) = 0 forces a zero estimate
         }
-        let head = self.pow(w1 - m) / rho;
-        // Flat part of f̄ on [ρ, min(β, 1)] where the known w2 binds.
-        let beta_top = beta.min(1.0);
-        let flat = if beta > rho {
-            self.pow(w1 - beta) * (1.0 / rho - 1.0 / beta_top)
+        if b >= 1.0 {
+            // Entry 2 (or the seed) pins the range on the whole path.
+            return self.pow(w1 - b);
+        }
+        let c = w1.min(1.0); // c > b here since w1 > b
+        let est = if self.p == 1 {
+            w1 / c - 1.0 + (c / b).ln()
         } else {
-            0.0
+            w1 * w1 / c - 2.0 * w1 + 2.0 * b - c + 2.0 * w1 * (c / b).ln()
         };
-        // Declining part on [m, min(w1, 1)] where the cap u binds.
-        let c = w1.min(1.0);
-        let decline = if c > m {
-            self.anti(w1, c) - self.anti(w1, m)
+        est.max(0.0)
+    }
+
+    /// The estimate from raw sampled values: entry states of the outcome
+    /// (`None` = capped) plus the shared seed. This is the allocation-free
+    /// hot path the batch engine dispatches to; the
+    /// [`MonotoneEstimator::estimate`] impl delegates here.
+    pub fn estimate_values(&self, v1: Option<f64>, v2: Option<f64>, u: f64) -> f64 {
+        let Some(v1) = v1 else {
+            return 0.0;
+        };
+        let w1 = v1 / self.scale;
+        let beta = v2.map_or(0.0, |v2| v2 / self.scale);
+        let factor = if self.p == 1 {
+            self.scale
         } else {
-            0.0
+            self.scale * self.scale
         };
-        (head - flat - decline).max(0.0)
+        factor * self.kernel(w1, beta, u)
     }
 }
 
@@ -166,18 +207,7 @@ impl MonotoneEstimator<RangePowPlus, LinearThreshold> for RgPlusLStar {
                 .all(|t| (t.scale() - self.scale).abs() < 1e-12),
             "scale mismatch"
         );
-        let u = outcome.seed();
-        let Some(v1) = outcome.known(0) else {
-            return 0.0;
-        };
-        let w1 = v1 / self.scale;
-        let beta = outcome.known(1).map_or(0.0, |v2| v2 / self.scale);
-        let factor = if self.p == 1 {
-            self.scale
-        } else {
-            self.scale * self.scale
-        };
-        factor * self.kernel(w1, beta, u)
+        self.estimate_values(outcome.known(0), outcome.known(1), outcome.seed())
     }
 
     fn name(&self) -> &'static str {
@@ -192,7 +222,7 @@ mod tests {
     use crate::scheme::TupleScheme;
 
     fn mep_p(p: f64) -> Mep<RangePowPlus, LinearThreshold> {
-        Mep::new(RangePowPlus::new(p), TupleScheme::pps(&[1.0, 1.0])).unwrap()
+        Mep::new(RangePowPlus::new(p), TupleScheme::pps(&[1.0, 1.0]).unwrap()).unwrap()
     }
 
     #[test]
@@ -237,7 +267,11 @@ mod tests {
     fn closed_form_respects_scale() {
         // Scale τ* = 2: values are halved relative to the unit problem and
         // the estimate doubles (p = 1 homogeneity).
-        let mep2 = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[2.0, 2.0])).unwrap();
+        let mep2 = Mep::new(
+            RangePowPlus::new(1.0),
+            TupleScheme::pps(&[2.0, 2.0]).unwrap(),
+        )
+        .unwrap();
         let closed = RgPlusLStar::new(1, 2.0);
         let generic = LStar::new();
         for k in 1..=20 {
@@ -254,7 +288,11 @@ mod tests {
         // Weights above the PPS scale have inclusion probability 1; the
         // closed form must match the generic quadrature path there.
         let scale = 0.5;
-        let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[scale, scale])).unwrap();
+        let mep = Mep::new(
+            RangePowPlus::new(1.0),
+            TupleScheme::pps(&[scale, scale]).unwrap(),
+        )
+        .unwrap();
         let closed = RgPlusLStar::new(1, scale);
         let generic = LStar::new();
         for &v in &[[0.9, 0.2], [0.9, 0.6], [0.45, 0.2], [0.9, 0.0], [0.7, 0.65]] {
@@ -275,7 +313,11 @@ mod tests {
     fn closed_form_unbiased_with_truncation_p2() {
         use crate::quad::{integrate_with_breakpoints, QuadConfig};
         let scale = 0.4;
-        let mep = Mep::new(RangePowPlus::new(2.0), TupleScheme::pps(&[scale, scale])).unwrap();
+        let mep = Mep::new(
+            RangePowPlus::new(2.0),
+            TupleScheme::pps(&[scale, scale]).unwrap(),
+        )
+        .unwrap();
         let closed = RgPlusLStar::new(2, scale);
         for &v in &[[0.9, 0.3], [0.9, 0.0], [0.9, 0.5], [0.3, 0.1]] {
             let cfg = QuadConfig::default();
@@ -360,7 +402,11 @@ mod tests {
     fn generic_works_for_symmetric_range_r3() {
         // Sanity: unbiasedness of generic L* for RG1 over 3 instances.
         use crate::quad::{integrate_with_breakpoints, QuadConfig};
-        let mep = Mep::new(RangePow::new(1.0, 3), TupleScheme::pps(&[1.0, 1.0, 1.0])).unwrap();
+        let mep = Mep::new(
+            RangePow::new(1.0, 3),
+            TupleScheme::pps(&[1.0, 1.0, 1.0]).unwrap(),
+        )
+        .unwrap();
         let est = LStar::with_quad(QuadConfig::fast());
         let v = [0.7, 0.2, 0.4];
         let cfg = QuadConfig::fast();
@@ -381,7 +427,7 @@ mod tests {
     #[test]
     fn generic_works_for_tuple_max() {
         use crate::quad::{integrate_with_breakpoints, QuadConfig};
-        let mep = Mep::new(TupleMax::new(2), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+        let mep = Mep::new(TupleMax::new(2), TupleScheme::pps(&[1.0, 1.0]).unwrap()).unwrap();
         let est = LStar::new();
         let v = [0.5, 0.3];
         let cfg = QuadConfig::default();

@@ -25,7 +25,7 @@
 //! use monotone_core::scheme::TupleScheme;
 //!
 //! # fn main() -> Result<(), monotone_core::Error> {
-//! let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0]))?;
+//! let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0]).unwrap())?;
 //! let outcome = mep.scheme().sample(&[0.6, 0.2], 0.1)?;
 //! // Both entries are revealed at this seed, so HT and L* agree on sign.
 //! let lstar = LStar::new().estimate(&mep, &outcome);

@@ -89,7 +89,7 @@ pub(crate) fn sup_inf_slope<F: ItemFn>(
 /// use monotone_core::problem::Mep;
 /// use monotone_core::scheme::TupleScheme;
 ///
-/// let mep = Mep::new(RangePowPlus::new(2.0), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+/// let mep = Mep::new(RangePowPlus::new(2.0), TupleScheme::pps(&[1.0, 1.0]).unwrap()).unwrap();
 /// // Example 4 (p = 2 ≥ 1): for u ∈ (v2, v1] the U* estimate is p·(v1-u)^(p-1).
 /// let outcome = mep.scheme().sample(&[0.6, 0.2], 0.4).unwrap();
 /// let est = UStar::new().estimate(&mep, &outcome);
@@ -338,19 +338,18 @@ impl RgPlusUStar {
             (w1 - a).max(0.0).powf(self.p) / (1.0 - a)
         }
     }
-}
 
-impl MonotoneEstimator<RangePowPlus, LinearThreshold> for RgPlusUStar {
-    fn estimate(&self, mep: &Mep<RangePowPlus, LinearThreshold>, outcome: &Outcome) -> f64 {
-        debug_assert_eq!(mep.f().p(), self.p, "exponent mismatch");
-        let u = outcome.seed();
+    /// The estimate from raw sampled values (`None` = capped entry) plus the
+    /// shared seed — the allocation-free hot path for the batch engine; the
+    /// [`MonotoneEstimator::estimate`] impl delegates here.
+    pub fn estimate_values(&self, v1: Option<f64>, v2: Option<f64>, u: f64) -> f64 {
         let p = self.p;
-        let Some(v1) = outcome.known(0) else {
+        let Some(v1) = v1 else {
             return 0.0;
         };
         let w1 = v1 / self.scale;
         let factor = self.scale.powf(p);
-        match outcome.known(1) {
+        match v2 {
             None => {
                 if p >= 1.0 {
                     let a = self.tangency(w1);
@@ -393,6 +392,13 @@ impl MonotoneEstimator<RangePowPlus, LinearThreshold> for RgPlusUStar {
             }
         }
     }
+}
+
+impl MonotoneEstimator<RangePowPlus, LinearThreshold> for RgPlusUStar {
+    fn estimate(&self, mep: &Mep<RangePowPlus, LinearThreshold>, outcome: &Outcome) -> f64 {
+        debug_assert_eq!(mep.f().p(), self.p, "exponent mismatch");
+        self.estimate_values(outcome.known(0), outcome.known(1), outcome.seed())
+    }
 
     fn name(&self) -> &'static str {
         "U* (closed form)"
@@ -407,7 +413,7 @@ mod tests {
     use crate::scheme::TupleScheme;
 
     fn mep_p(p: f64) -> Mep<RangePowPlus, LinearThreshold> {
-        Mep::new(RangePowPlus::new(p), TupleScheme::pps(&[1.0, 1.0])).unwrap()
+        Mep::new(RangePowPlus::new(p), TupleScheme::pps(&[1.0, 1.0]).unwrap()).unwrap()
     }
 
     #[test]
@@ -493,7 +499,11 @@ mod tests {
         // extended tangent/chord forms must stay unbiased and nonnegative.
         let scale = 0.5;
         for &p in &[0.5, 1.0, 2.0, 3.0] {
-            let mep = Mep::new(RangePowPlus::new(p), TupleScheme::pps(&[scale, scale])).unwrap();
+            let mep = Mep::new(
+                RangePowPlus::new(p),
+                TupleScheme::pps(&[scale, scale]).unwrap(),
+            )
+            .unwrap();
             let est = RgPlusUStar::new(p, scale);
             for &v in &[[0.9, 0.2], [0.9, 0.6], [0.9, 0.0], [1.8, 0.3], [0.8, 0.7]] {
                 let cfg = QuadConfig::default();
@@ -521,7 +531,11 @@ mod tests {
     #[test]
     fn truncated_closed_form_matches_generic() {
         let scale = 0.5;
-        let mep = Mep::new(RangePowPlus::new(2.0), TupleScheme::pps(&[scale, scale])).unwrap();
+        let mep = Mep::new(
+            RangePowPlus::new(2.0),
+            TupleScheme::pps(&[scale, scale]).unwrap(),
+        )
+        .unwrap();
         let closed = RgPlusUStar::new(2.0, scale);
         let generic = UStar::with_steps(256);
         for &v in &[[0.9, 0.2], [0.9, 0.0]] {

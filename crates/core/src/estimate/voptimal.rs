@@ -24,7 +24,7 @@ use crate::scheme::ThresholdFn;
 /// use monotone_core::problem::Mep;
 /// use monotone_core::scheme::TupleScheme;
 ///
-/// let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+/// let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0]).unwrap()).unwrap();
 /// let vopt = VOptimal::new();
 /// // For v = (0.6, 0): f̄ = max(0, 0.6-u) is convex, so the v-optimal
 /// // estimate is 1 on (0, 0.6] and E[f̂²] = 0.6.
@@ -135,7 +135,11 @@ mod tests {
     #[test]
     fn rg1plus_at_v2_zero_is_unit_indicator() {
         // f̄(u) = (0.6-u)+ is convex; v-optimal estimate is 1 on (0, 0.6].
-        let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+        let mep = Mep::new(
+            RangePowPlus::new(1.0),
+            TupleScheme::pps(&[1.0, 1.0]).unwrap(),
+        )
+        .unwrap();
         let vopt = VOptimal::new();
         let v = [0.6, 0.0];
         assert!((vopt.estimate_for_data(&mep, &v, 0.3).unwrap() - 1.0).abs() < 1e-6);
@@ -145,7 +149,11 @@ mod tests {
     #[test]
     fn rg2plus_esq_closed_form() {
         // p=2, v=(v1, 0): opt estimate 2(v1-u); E[f̂²] = ∫ 4(v1-u)² = 4 v1³/3.
-        let mep = Mep::new(RangePowPlus::new(2.0), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+        let mep = Mep::new(
+            RangePowPlus::new(2.0),
+            TupleScheme::pps(&[1.0, 1.0]).unwrap(),
+        )
+        .unwrap();
         let vopt = VOptimal::with_resolution(1e-9, 4000);
         let esq = vopt.esq(&mep, &[0.6, 0.0]).unwrap();
         let expect = 4.0 * 0.6f64.powi(3) / 3.0;
@@ -160,7 +168,7 @@ mod tests {
         // PowerGapFamily: E[(f̂⁽⁰⁾)²] = 1/(1-2p) for p not too close to 0.5.
         for &p in &[0.0, 0.2, 0.35] {
             let fam = PowerGapFamily::new(p);
-            let mep = Mep::new(fam, TupleScheme::pps(&[1.0])).unwrap();
+            let mep = Mep::new(fam, TupleScheme::pps(&[1.0]).unwrap()).unwrap();
             let vopt = VOptimal::with_resolution(1e-12, 6000);
             let esq = vopt.esq(&mep, &[0.0]).unwrap();
             let expect = fam.esq_vopt_at_zero();
@@ -176,7 +184,11 @@ mod tests {
         // Example 3's key observation: for u ∈ (0.2, 0.6] the outcomes of
         // (0.6, 0.2) and (0.6, 0) coincide but their v-optimal estimates
         // differ — no estimator minimizes variance for both.
-        let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+        let mep = Mep::new(
+            RangePowPlus::new(1.0),
+            TupleScheme::pps(&[1.0, 1.0]).unwrap(),
+        )
+        .unwrap();
         let vopt = VOptimal::new();
         let e_a = vopt.estimate_for_data(&mep, &[0.6, 0.2], 0.4).unwrap();
         let e_b = vopt.estimate_for_data(&mep, &[0.6, 0.0], 0.4).unwrap();
@@ -189,7 +201,11 @@ mod tests {
 
     #[test]
     fn min_variance_nonnegative() {
-        let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+        let mep = Mep::new(
+            RangePowPlus::new(1.0),
+            TupleScheme::pps(&[1.0, 1.0]).unwrap(),
+        )
+        .unwrap();
         let vopt = VOptimal::new();
         for &v in &[[0.6, 0.2], [0.6, 0.0], [0.9, 0.89]] {
             let var = vopt.min_variance(&mep, &v).unwrap();

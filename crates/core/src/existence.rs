@@ -22,7 +22,7 @@
 //!
 //! # fn main() -> Result<(), monotone_core::Error> {
 //! // RG1+ under PPS is estimable with finite variance everywhere.
-//! let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0]))?;
+//! let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0]).unwrap())?;
 //! let verdict = ExistenceCheck::default().check(&mep, &[0.6, 0.2])?;
 //! assert!(verdict.estimable && verdict.finite_variance);
 //! # Ok(())
@@ -128,7 +128,11 @@ mod tests {
 
     #[test]
     fn rg1plus_is_estimable_everywhere() {
-        let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+        let mep = Mep::new(
+            RangePowPlus::new(1.0),
+            TupleScheme::pps(&[1.0, 1.0]).unwrap(),
+        )
+        .unwrap();
         let chk = ExistenceCheck::default();
         for &v in &[[0.6, 0.2], [0.6, 0.0], [0.2, 0.8]] {
             let e = chk.check(&mep, &v).unwrap();
@@ -142,14 +146,18 @@ mod tests {
         // RG1+ at (0.6, 0): the gap f(v) − f̄(u) = u has slope 1 — a bounded
         // estimator exists (indeed U* is bounded there) even though the L*
         // estimate ln(v1/u) is unbounded.
-        let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+        let mep = Mep::new(
+            RangePowPlus::new(1.0),
+            TupleScheme::pps(&[1.0, 1.0]).unwrap(),
+        )
+        .unwrap();
         let chk = ExistenceCheck::default();
         let e = chk.check(&mep, &[0.6, 0.0]).unwrap();
         assert!(e.bounded, "{e:?}");
         // f(v) = 1 − √v at v = 0: gap √u, slope u^{-1/2} → ∞ — condition
         // (11) fails and no bounded estimator exists.
         let f = ScalarDecreasing::new(|v: f64| 1.0 - v.min(1.0).sqrt());
-        let mep_sqrt = Mep::new(f, TupleScheme::pps(&[1.0])).unwrap();
+        let mep_sqrt = Mep::new(f, TupleScheme::pps(&[1.0]).unwrap()).unwrap();
         let e = chk.check(&mep_sqrt, &[0.0]).unwrap();
         assert!(e.estimable, "{e:?}");
         assert!(!e.bounded, "{e:?}");
@@ -201,13 +209,13 @@ mod tests {
         // The scalar family f(v) = (1 − v^{1-p})/(1-p): finite variance for
         // p < 0.5 at v = 0; the diagnostic should pass comfortably at p=0.2.
         let fam = ScalarDecreasing::new(|v: f64| (1.0 - v.min(1.0).powf(0.8)) / 0.8);
-        let mep = Mep::new(fam, TupleScheme::pps(&[1.0])).unwrap();
+        let mep = Mep::new(fam, TupleScheme::pps(&[1.0]).unwrap()).unwrap();
         let chk = ExistenceCheck::default();
         let e = chk.check(&mep, &[0.0]).unwrap();
         assert!(e.estimable && e.finite_variance, "{e:?}");
         // And an infinite-variance member: p = 0.75 ≥ 0.5 diverges.
         let fam_bad = ScalarDecreasing::new(|v: f64| (1.0 - v.min(1.0).powf(0.25)) / 0.25);
-        let mep_bad = Mep::new(fam_bad, TupleScheme::pps(&[1.0])).unwrap();
+        let mep_bad = Mep::new(fam_bad, TupleScheme::pps(&[1.0]).unwrap()).unwrap();
         let e = chk.check(&mep_bad, &[0.0]).unwrap();
         assert!(e.estimable, "{e:?}");
         assert!(!e.finite_variance, "{e:?}");

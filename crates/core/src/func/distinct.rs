@@ -95,7 +95,7 @@ mod tests {
     fn lstar_unbiased_for_distinct_count() {
         // L* on the OR indicator under coordinated PPS: the estimate
         // integrates to 1 for any item present in some instance.
-        let mep = Mep::new(DistinctOr::new(2), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+        let mep = Mep::new(DistinctOr::new(2), TupleScheme::pps(&[1.0, 1.0]).unwrap()).unwrap();
         let est = LStar::new();
         for &v in &[[0.4, 0.0], [0.4, 0.7], [0.0, 0.2]] {
             let cfg = QuadConfig::default();
@@ -117,7 +117,7 @@ mod tests {
     fn lstar_is_inverse_probability_here() {
         // For the indicator, f̄ is a step (0/1), so L* coincides with HT:
         // 1/p on revealing outcomes where p = max inclusion probability.
-        let mep = Mep::new(DistinctOr::new(2), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+        let mep = Mep::new(DistinctOr::new(2), TupleScheme::pps(&[1.0, 1.0]).unwrap()).unwrap();
         let lstar = LStar::new();
         let ht = HorvitzThompson::new();
         let v = [0.4, 0.7];

@@ -43,7 +43,7 @@
 //! # fn main() -> Result<(), monotone_core::Error> {
 //! // Estimate the one-sided difference RG1+(v) = max(0, v1 - v2) of a pair
 //! // of instances from a coordinated PPS sample with a shared seed.
-//! let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0]))?;
+//! let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0]).unwrap())?;
 //! let outcome = mep.scheme().sample(&[0.6, 0.2], 0.35)?;
 //! let estimate = LStar::new().estimate(&mep, &outcome);
 //! assert!(estimate > 0.0);

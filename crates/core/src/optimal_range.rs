@@ -20,7 +20,7 @@
 //! # fn main() -> Result<(), monotone_core::Error> {
 //! // L* estimates sit inside the optimal range [λ_L, λ_U] given the mass
 //! // they commit on less-informative outcomes.
-//! let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0]))?;
+//! let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0]).unwrap())?;
 //! let est = LStar::new();
 //! let outcome = mep.scheme().sample(&[0.6, 0.2], 0.35)?;
 //! let mass = committed_mass(&mep, &est, &outcome, &QuadConfig::fast())?;
@@ -166,7 +166,7 @@ mod tests {
     use crate::scheme::TupleScheme;
 
     fn mep_p(p: f64) -> Mep<RangePowPlus, crate::scheme::LinearThreshold> {
-        Mep::new(RangePowPlus::new(p), TupleScheme::pps(&[1.0, 1.0])).unwrap()
+        Mep::new(RangePowPlus::new(p), TupleScheme::pps(&[1.0, 1.0]).unwrap()).unwrap()
     }
 
     #[test]

@@ -17,7 +17,7 @@ use crate::scheme::{Outcome, ThresholdFn, TupleScheme};
 /// use monotone_core::scheme::TupleScheme;
 ///
 /// // Estimate RG1+ under coordinated PPS with τ* = 1 (paper, Example 3).
-/// let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+/// let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0]).unwrap()).unwrap();
 /// let outcome = mep.scheme().sample(&[0.6, 0.2], 0.35).unwrap();
 /// let lb = mep.lower_bound(&outcome);
 /// // At the seed, v2 is hidden below 0.35: f̄ = max(0, 0.6 - 0.35) = 0.25.
@@ -91,6 +91,39 @@ impl<F: ItemFn, T: ThresholdFn> Mep<F, T> {
     }
 }
 
+/// Reusable buffers for repeated lower-bound evaluations.
+///
+/// [`LowerBoundFn::eval`] needs two per-entry work vectors; allocating them
+/// on every quadrature node dominates the generic estimator cost. A scratch
+/// lets integration loops (and the batch engine) evaluate `f̄` thousands of
+/// times with zero allocation.
+///
+/// # Examples
+///
+/// ```
+/// use monotone_core::func::RangePowPlus;
+/// use monotone_core::problem::{LbScratch, Mep};
+/// use monotone_core::scheme::TupleScheme;
+///
+/// let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0]).unwrap()).unwrap();
+/// let outcome = mep.scheme().sample(&[0.6, 0.2], 0.35).unwrap();
+/// let lb = mep.lower_bound(&outcome);
+/// let mut scratch = LbScratch::new();
+/// assert_eq!(lb.eval_with(0.35, &mut scratch), lb.eval(0.35));
+/// ```
+#[derive(Debug, Default)]
+pub struct LbScratch {
+    known: Vec<Option<f64>>,
+    caps: Vec<f64>,
+}
+
+impl LbScratch {
+    /// An empty scratch; buffers grow to the problem arity on first use.
+    pub fn new() -> LbScratch {
+        LbScratch::default()
+    }
+}
+
 /// The lower-bound function `f̄(u)` restricted to an outcome's path
 /// (`u ∈ [seed, 1]`).
 #[derive(Debug)]
@@ -103,12 +136,16 @@ impl<F: ItemFn, T: ThresholdFn> LowerBoundFn<'_, F, T> {
     /// `f̄(u)`: the infimum of `f` over data consistent with the outcome the
     /// path would have produced at seed `u >= seed`.
     pub fn eval(&self, u: f64) -> f64 {
-        let mut known = Vec::with_capacity(self.outcome.arity());
-        let mut caps = Vec::with_capacity(self.outcome.arity());
+        self.eval_with(u, &mut LbScratch::new())
+    }
+
+    /// Allocation-free [`eval`](LowerBoundFn::eval) writing into a reusable
+    /// [`LbScratch`]; the hot path of the generic estimators.
+    pub fn eval_with(&self, u: f64, scratch: &mut LbScratch) -> f64 {
         self.mep
             .scheme
-            .states_at(self.outcome, u, &mut known, &mut caps);
-        self.mep.f.box_inf(&known, &caps)
+            .states_at(self.outcome, u, &mut scratch.known, &mut scratch.caps);
+        self.mep.f.box_inf(&scratch.known, &scratch.caps)
     }
 
     /// `f̄(ρ)` at the outcome's own seed.
@@ -204,12 +241,19 @@ mod tests {
     use crate::scheme::TupleScheme;
 
     fn rg1plus_mep() -> Mep<RangePowPlus, crate::scheme::LinearThreshold> {
-        Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0])).unwrap()
+        Mep::new(
+            RangePowPlus::new(1.0),
+            TupleScheme::pps(&[1.0, 1.0]).unwrap(),
+        )
+        .unwrap()
     }
 
     #[test]
     fn arity_mismatch_rejected() {
-        let r = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0, 1.0]));
+        let r = Mep::new(
+            RangePowPlus::new(1.0),
+            TupleScheme::pps(&[1.0, 1.0, 1.0]).unwrap(),
+        );
         assert!(matches!(r, Err(Error::ArityMismatch { .. })));
     }
 
@@ -252,7 +296,11 @@ mod tests {
 
     #[test]
     fn lower_bound_non_increasing_and_reaches_target() {
-        let mep = Mep::new(RangePow::new(2.0, 3), TupleScheme::pps(&[1.0, 1.0, 1.0])).unwrap();
+        let mep = Mep::new(
+            RangePow::new(2.0, 3),
+            TupleScheme::pps(&[1.0, 1.0, 1.0]).unwrap(),
+        )
+        .unwrap();
         let v = [0.7, 0.2, 0.4];
         let lb = mep.data_lower_bound(&v).unwrap();
         let mut prev = f64::INFINITY;

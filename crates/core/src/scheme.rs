@@ -45,6 +45,8 @@ pub trait ThresholdFn {
 /// assert_eq!(t.cap(0.32), 0.32);
 /// assert_eq!(t.inclusion_prob(0.95), 0.95);
 /// assert_eq!(t.inclusion_prob(2.5), 1.0);
+/// // Zero and negative scales are typed errors, not panics.
+/// assert!(LinearThreshold::new(0.0).is_err());
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinearThreshold {
@@ -54,15 +56,20 @@ pub struct LinearThreshold {
 impl LinearThreshold {
     /// PPS threshold with the given positive scale `τ*`.
     ///
-    /// # Panics
+    /// An infinite scale is permitted and means the entry is never sampled
+    /// (`τ(u) = ∞`, inclusion probability 0); this arises naturally as the
+    /// conditioned scheme of an item whose rank threshold underflows.
     ///
-    /// Panics if `scale` is not finite and positive.
-    pub fn new(scale: f64) -> LinearThreshold {
-        assert!(
-            scale.is_finite() && scale > 0.0,
-            "PPS scale must be positive, got {scale}"
-        );
-        LinearThreshold { scale }
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidScale`] when `scale` is zero, negative, or
+    /// NaN — such scales would silently turn into `inf`/`NaN` thresholds
+    /// and inclusion probabilities downstream.
+    pub fn new(scale: f64) -> Result<LinearThreshold> {
+        if scale.is_nan() || scale <= 0.0 {
+            return Err(Error::InvalidScale(scale));
+        }
+        Ok(LinearThreshold { scale })
     }
 
     /// PPS threshold with scale 1 (`τ(u) = u`).
@@ -82,6 +89,8 @@ impl ThresholdFn for LinearThreshold {
     }
 
     fn inclusion_prob(&self, w: f64) -> f64 {
+        // w finite (checked at outcome construction) and scale > 0, so the
+        // quotient is never NaN; an infinite scale yields probability 0.
         (w / self.scale).clamp(0.0, 1.0)
     }
 }
@@ -233,6 +242,13 @@ impl Outcome {
             EntryState::Capped => None,
         }
     }
+
+    /// Disassembles the outcome into its seed and entry buffer, so batch
+    /// loops can recycle the allocation across items
+    /// (pair with [`Outcome::from_parts`]).
+    pub fn into_parts(self) -> (f64, Vec<EntryState>) {
+        (self.seed, self.entries)
+    }
 }
 
 /// A coordinated threshold scheme over `r`-tuples: one [`ThresholdFn`] per
@@ -245,7 +261,7 @@ impl Outcome {
 ///
 /// // Example 2 of the paper: PPS with τ* = 1 on item d = (0.7, 0.8, 0.1),
 /// // seed 0.23: entries 1 and 2 are sampled, entry 3 is not.
-/// let scheme = TupleScheme::pps(&[1.0, 1.0, 1.0]);
+/// let scheme = TupleScheme::pps(&[1.0, 1.0, 1.0]).unwrap();
 /// let out = scheme.sample(&[0.7, 0.8, 0.1], 0.23).unwrap();
 /// assert_eq!(out.entries()[0], EntryState::Known(0.7));
 /// assert_eq!(out.entries()[1], EntryState::Known(0.8));
@@ -259,14 +275,22 @@ pub struct TupleScheme<T> {
 impl TupleScheme<LinearThreshold> {
     /// Coordinated PPS scheme with the given per-instance scales.
     ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidScale`] when a scale is zero, negative, or
+    /// NaN (see [`LinearThreshold::new`]).
+    ///
     /// # Panics
     ///
-    /// Panics if `scales` is empty or contains a non-positive scale.
-    pub fn pps(scales: &[f64]) -> TupleScheme<LinearThreshold> {
+    /// Panics if `scales` is empty.
+    pub fn pps(scales: &[f64]) -> Result<TupleScheme<LinearThreshold>> {
         assert!(!scales.is_empty(), "scheme needs at least one entry");
-        TupleScheme {
-            thresholds: scales.iter().map(|&s| LinearThreshold::new(s)).collect(),
-        }
+        Ok(TupleScheme {
+            thresholds: scales
+                .iter()
+                .map(|&s| LinearThreshold::new(s))
+                .collect::<Result<_>>()?,
+        })
     }
 }
 
@@ -379,7 +403,7 @@ mod tests {
     #[test]
     fn pps_sampling_matches_example2() {
         // Example 2 of the paper: seeds per item and resulting outcomes.
-        let scheme = TupleScheme::pps(&[1.0, 1.0, 1.0]);
+        let scheme = TupleScheme::pps(&[1.0, 1.0, 1.0]).unwrap();
         let items: &[(&str, [f64; 3], f64, [bool; 3])] = &[
             ("a", [0.95, 0.15, 0.25], 0.32, [true, false, false]),
             ("b", [0.00, 0.44, 0.00], 0.21, [false, true, false]),
@@ -401,7 +425,7 @@ mod tests {
 
     #[test]
     fn monotone_in_seed_more_info_for_smaller_u() {
-        let scheme = TupleScheme::pps(&[1.0, 2.0]);
+        let scheme = TupleScheme::pps(&[1.0, 2.0]).unwrap();
         let v = [0.5, 0.8];
         let o_fine = scheme.sample(&v, 0.3).unwrap();
         let o_coarse = scheme.sample(&v, 0.9).unwrap();
@@ -415,7 +439,7 @@ mod tests {
 
     #[test]
     fn states_at_tracks_path() {
-        let scheme = TupleScheme::pps(&[1.0, 1.0]);
+        let scheme = TupleScheme::pps(&[1.0, 1.0]).unwrap();
         let out = scheme.sample(&[0.6, 0.2], 0.1).unwrap();
         let mut known = Vec::new();
         let mut caps = Vec::new();
@@ -433,7 +457,7 @@ mod tests {
 
     #[test]
     fn path_breakpoints_are_inclusion_probs() {
-        let scheme = TupleScheme::pps(&[1.0, 1.0]);
+        let scheme = TupleScheme::pps(&[1.0, 1.0]).unwrap();
         let out = scheme.sample(&[0.6, 0.2], 0.1).unwrap();
         let bps = scheme.path_breakpoints(&out);
         assert_eq!(bps, vec![0.2, 0.6]);
@@ -441,7 +465,7 @@ mod tests {
 
     #[test]
     fn rejects_bad_inputs() {
-        let scheme = TupleScheme::pps(&[1.0]);
+        let scheme = TupleScheme::pps(&[1.0]).unwrap();
         assert!(matches!(
             scheme.sample(&[0.5], 0.0),
             Err(Error::InvalidSeed(_))
@@ -492,6 +516,34 @@ mod tests {
         assert!(StepThreshold::new(vec![(0.5, 2.0), (0.25, 1.0)], 3.0).is_err());
         assert!(StepThreshold::new(vec![(0.25, 2.0), (0.5, 1.0)], 3.0).is_err());
         assert!(StepThreshold::new(vec![(0.25, 2.0)], 1.0).is_err());
+    }
+
+    #[test]
+    fn pps_rejects_degenerate_scales() {
+        // Zero, negative, and NaN scales would produce inf/NaN thresholds;
+        // they are typed errors at construction, not silent poison.
+        for bad in [0.0, -1.0, f64::NAN] {
+            assert!(matches!(
+                TupleScheme::pps(&[1.0, bad]),
+                Err(Error::InvalidScale(_))
+            ));
+            assert!(matches!(
+                LinearThreshold::new(bad),
+                Err(Error::InvalidScale(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn infinite_scale_never_samples() {
+        // scale = ∞ is the "never sampled" entry: cap ∞, inclusion prob 0.
+        let t = LinearThreshold::new(f64::INFINITY).unwrap();
+        assert_eq!(t.cap(0.5), f64::INFINITY);
+        assert_eq!(t.inclusion_prob(1e300), 0.0);
+        let scheme = TupleScheme::new(vec![LinearThreshold::unit(), t]);
+        let out = scheme.sample(&[0.9, 1e308], 0.5).unwrap();
+        assert_eq!(out.known(0), Some(0.9));
+        assert_eq!(out.known(1), None);
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub struct EstimatorStats {
 /// use monotone_core::scheme::TupleScheme;
 /// use monotone_core::variance::VarianceCalc;
 ///
-/// let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+/// let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0]).unwrap()).unwrap();
 /// let calc = VarianceCalc::default();
 /// let stats = calc.stats(&mep, &LStar::new(), &[0.6, 0.2]).unwrap();
 /// assert!((stats.mean - 0.4).abs() < 1e-3); // unbiased
@@ -242,7 +242,7 @@ mod tests {
     use crate::scheme::TupleScheme;
 
     fn mep_p(p: f64) -> Mep<RangePowPlus, crate::scheme::LinearThreshold> {
-        Mep::new(RangePowPlus::new(p), TupleScheme::pps(&[1.0, 1.0])).unwrap()
+        Mep::new(RangePowPlus::new(p), TupleScheme::pps(&[1.0, 1.0]).unwrap()).unwrap()
     }
 
     #[test]
@@ -282,7 +282,7 @@ mod tests {
     fn power_family_ratio_matches_closed_form() {
         for &p in &[0.1, 0.25, 0.35] {
             let fam = PowerGapFamily::new(p);
-            let mep = Mep::new(fam, TupleScheme::pps(&[1.0])).unwrap();
+            let mep = Mep::new(fam, TupleScheme::pps(&[1.0]).unwrap()).unwrap();
             let calc = VarianceCalc::new(1e-12, 4000);
             let ratio = calc.lstar_competitive_ratio(&mep, &[0.0]).unwrap().unwrap();
             let expect = fam.ratio_at_zero();

@@ -56,7 +56,7 @@ proptest! {
     fn box_extrema_bracket_all_families(
         v1 in value(), v2 in value(), u in seed(), t in value()
     ) {
-        let scheme = TupleScheme::pps(&[1.0, 1.0]);
+        let scheme = TupleScheme::pps(&[1.0, 1.0]).unwrap();
         let out = scheme.sample(&[v1, v2], u).unwrap();
         let mut known = Vec::new();
         let mut caps = Vec::new();
@@ -80,7 +80,7 @@ proptest! {
     #[test]
     fn lstar_in_optimal_range(v1 in value(), v2 in value(), u in seed()) {
         prop_assume!(v1 > 0.05 && u > 0.05);
-        let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+        let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0]).unwrap()).unwrap();
         let est = LStar::new();
         let out = mep.scheme().sample(&[v1, v2], u).unwrap();
         let m = committed_mass(&mep, &est, &out, &QuadConfig::fast()).unwrap();
@@ -93,7 +93,7 @@ proptest! {
     #[test]
     fn nothing_beats_the_oracle(v1 in value(), v2 in value()) {
         prop_assume!(v1 > 0.05);
-        let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+        let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0]).unwrap()).unwrap();
         let calc = monotone_core::variance::VarianceCalc::new(1e-8, 800);
         let vopt = VOptimal::with_resolution(1e-8, 1500);
         let v = [v1, v2];
@@ -110,7 +110,7 @@ proptest! {
     fn lstar_ratio_below_four(v1 in value(), v2 in value(), p_idx in 0usize..3) {
         prop_assume!(v1 > 0.05);
         let p = [0.75, 1.0, 2.0][p_idx];
-        let mep = Mep::new(RangePowPlus::new(p), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+        let mep = Mep::new(RangePowPlus::new(p), TupleScheme::pps(&[1.0, 1.0]).unwrap()).unwrap();
         let calc = monotone_core::variance::VarianceCalc::new(1e-8, 1000);
         if let Some(ratio) = calc.lstar_competitive_ratio(&mep, &[v1, v2]).unwrap() {
             prop_assert!(ratio <= 4.0 + 0.05, "ratio {} at p={} v=({}, {})", ratio, p, v1, v2);
@@ -173,7 +173,7 @@ proptest! {
     ) {
         prop_assume!(v1 > 0.05);
         let scale = scale_pct as f64 / 100.0;
-        let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[scale, scale])).unwrap();
+        let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[scale, scale]).unwrap()).unwrap();
         let est = RgPlusLStar::new(1, scale);
         let cfg = QuadConfig::fast();
         let mean = integrate_with_breakpoints(

@@ -1,0 +1,189 @@
+//! Cached per-MEP state shared read-only by the worker pool.
+
+use monotone_coord::instance::merged_weights;
+use monotone_coord::seed::SeedHasher;
+use monotone_core::estimate::{
+    DyadicJ, HorvitzThompson, LStar, MonotoneEstimator, RgPlusLStar, RgPlusUStar,
+};
+use monotone_core::func::RangePowPlus;
+use monotone_core::problem::{LbScratch, Mep};
+use monotone_core::scheme::{EntryState, LinearThreshold, Outcome, TupleScheme};
+use monotone_core::{Error, Result};
+
+use super::{EngineQuery, EstimatorKind, PairJob, PairResult};
+
+/// Everything [`Engine::run`](super::Engine::run) derives from the query
+/// exactly once: the MEP, the closed-form dispatch decision, the generic
+/// fallbacks with their quadrature configuration. Workers share it by
+/// reference.
+pub(crate) struct PreparedQuery {
+    mep: Mep<RangePowPlus, LinearThreshold>,
+    p: f64,
+    scale: f64,
+    kinds: Vec<EstimatorKind>,
+    /// Closed-form L\* when `p ∈ {1, 2}` under the common scale.
+    closed_l: Option<RgPlusLStar>,
+    /// Closed-form U\* (available for every `p > 0` on `RGp+`).
+    closed_u: RgPlusUStar,
+    generic_l: LStar,
+    ht: HorvitzThompson,
+    j: DyadicJ,
+    /// Whether any requested estimator needs a materialized [`Outcome`]
+    /// (closed forms work from raw values).
+    needs_outcome: bool,
+}
+
+impl PreparedQuery {
+    pub(crate) fn new(query: &EngineQuery) -> Result<PreparedQuery> {
+        let scale = query.scale();
+        if !(scale.is_finite() && scale > 0.0) {
+            return Err(Error::InvalidScale(scale));
+        }
+        let p = query.p();
+        let scheme = TupleScheme::pps(&[scale, scale])?;
+        let mep = Mep::new(RangePowPlus::new(p), scheme)?;
+        let closed_l = if p == 1.0 {
+            Some(RgPlusLStar::new(1, scale))
+        } else if p == 2.0 {
+            Some(RgPlusLStar::new(2, scale))
+        } else {
+            None
+        };
+        let kinds = query.estimators().to_vec();
+        let needs_outcome = kinds.iter().any(|k| match k {
+            EstimatorKind::LStar => closed_l.is_none(),
+            EstimatorKind::UStar => false,
+            EstimatorKind::HorvitzThompson | EstimatorKind::DyadicJ => true,
+        });
+        Ok(PreparedQuery {
+            mep,
+            p,
+            scale,
+            kinds,
+            closed_l,
+            closed_u: RgPlusUStar::new(p, scale),
+            generic_l: LStar::with_quad(*query.quad()),
+            ht: HorvitzThompson::new(),
+            j: DyadicJ::new(),
+            needs_outcome,
+        })
+    }
+
+    fn rg_plus(&self, wa: f64, wb: f64) -> f64 {
+        let d = (wa - wb).max(0.0);
+        if self.p == 1.0 {
+            d
+        } else if self.p == 2.0 {
+            d * d
+        } else {
+            d.powf(self.p)
+        }
+    }
+
+    /// One item of one pair: accumulate the exact value, sample it through
+    /// the shared seed, and run every estimator with sampled evidence.
+    fn visit_item(
+        &self,
+        seeder: &SeedHasher,
+        key: u64,
+        wa: f64,
+        wb: f64,
+        acc: &mut JobAcc,
+    ) -> Result<()> {
+        acc.truth += self.rg_plus(wa, wb);
+        let u = seeder.seed(key);
+        let cap = u * self.scale;
+        let v1 = (wa > 0.0 && wa >= cap).then_some(wa);
+        let v2 = (wb > 0.0 && wb >= cap).then_some(wb);
+        if v1.is_none() && v2.is_none() {
+            // No sampled evidence: every estimator here yields 0 for RGp+
+            // (all-capped outcomes have zero lower bound), exactly as the
+            // per-call query path skips items absent from all samples.
+            return Ok(());
+        }
+        acc.sampled_items += 1;
+        let outcome = if self.needs_outcome {
+            // Recycle the entry buffer across items: from_parts consumes a
+            // Vec, into_parts below hands it back.
+            let state = |v: Option<f64>| v.map_or(EntryState::Capped, EntryState::Known);
+            let mut entries = std::mem::take(&mut acc.entries);
+            entries.clear();
+            entries.push(state(v1));
+            entries.push(state(v2));
+            Some(Outcome::from_parts(u, entries)?)
+        } else {
+            None
+        };
+        {
+            let outcome = outcome.as_ref();
+            for (i, kind) in self.kinds.iter().enumerate() {
+                acc.estimates[i] += match kind {
+                    EstimatorKind::LStar => match &self.closed_l {
+                        Some(closed) => closed.estimate_values(v1, v2, u),
+                        None => self.generic_l.estimate_with(
+                            &self.mep,
+                            outcome.expect("outcome prepared"),
+                            &mut acc.lb_scratch,
+                        ),
+                    },
+                    EstimatorKind::UStar => self.closed_u.estimate_values(v1, v2, u),
+                    EstimatorKind::HorvitzThompson => self
+                        .ht
+                        .estimate(&self.mep, outcome.expect("outcome prepared")),
+                    EstimatorKind::DyadicJ => self
+                        .j
+                        .estimate(&self.mep, outcome.expect("outcome prepared")),
+                };
+            }
+        }
+        if let Some(outcome) = outcome {
+            acc.entries = outcome.into_parts().1;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn run_job(&self, job: &PairJob<'_>) -> Result<PairResult> {
+        let seeder = SeedHasher::new(job.salt);
+        let mut acc = JobAcc {
+            estimates: vec![0.0; self.kinds.len()],
+            truth: 0.0,
+            sampled_items: 0,
+            entries: Vec::with_capacity(2),
+            lb_scratch: LbScratch::new(),
+        };
+        match job.domain {
+            None => {
+                for (key, wa, wb) in merged_weights(job.a, job.b) {
+                    self.visit_item(&seeder, key, wa, wb, &mut acc)?;
+                }
+            }
+            Some(domain) => {
+                for &key in domain {
+                    let wa = job.a.weight(key);
+                    let wb = job.b.weight(key);
+                    if wa <= 0.0 && wb <= 0.0 {
+                        continue;
+                    }
+                    self.visit_item(&seeder, key, wa, wb, &mut acc)?;
+                }
+            }
+        }
+        Ok(PairResult {
+            estimates: acc.estimates,
+            truth: acc.truth,
+            sampled_items: acc.sampled_items,
+        })
+    }
+}
+
+/// Per-job accumulator threaded through the item loop.
+struct JobAcc {
+    estimates: Vec<f64>,
+    truth: f64,
+    sampled_items: usize,
+    /// Recycled [`Outcome`] entry buffer (avoids one allocation per
+    /// sampled item when HT/J/generic-L\* need a materialized outcome).
+    entries: Vec<EntryState>,
+    /// Recycled lower-bound work buffers for the generic L\* fallback.
+    lb_scratch: LbScratch,
+}

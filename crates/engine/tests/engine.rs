@@ -1,0 +1,158 @@
+//! The engine must be a faster route to the *same* numbers: every batch
+//! result is checked against the per-call `query::estimate_sum` path, and
+//! results must be identical for every worker count.
+
+use monotone_coord::instance::{Dataset, Instance};
+use monotone_coord::pps::CoordPps;
+use monotone_coord::query::{estimate_sum, exact_sum};
+use monotone_coord::seed::SeedHasher;
+use monotone_core::estimate::{DyadicJ, HorvitzThompson, LStar, RgPlusLStar, RgPlusUStar};
+use monotone_core::func::RangePowPlus;
+use monotone_core::quad::QuadConfig;
+use monotone_engine::{Engine, EngineQuery, EstimatorKind, PairJob};
+
+fn instance_pair(n: u64) -> (Instance, Instance) {
+    let a = Instance::from_pairs((0..n).map(|k| (k, 0.1 + 0.8 * ((k * 13 % 101) as f64 / 101.0))));
+    let b = Instance::from_pairs(
+        (0..n)
+            .filter(|k| k % 5 != 0) // some items absent from b
+            .map(|k| (k, 0.1 + 0.8 * ((k * 29 % 101) as f64 / 101.0))),
+    );
+    (a, b)
+}
+
+#[test]
+fn matches_per_call_path_closed_form_p1() {
+    let (a, b) = instance_pair(300);
+    let data = Dataset::new(vec![a.clone(), b.clone()]);
+    let f = RangePowPlus::new(1.0);
+    let jobs: Vec<PairJob> = (0..8).map(|salt| PairJob::new(&a, &b, salt)).collect();
+    let query = EngineQuery::rg_plus(1.0, 1.0).with_estimators(&[
+        EstimatorKind::LStar,
+        EstimatorKind::UStar,
+        EstimatorKind::HorvitzThompson,
+        EstimatorKind::DyadicJ,
+    ]);
+    let batch = Engine::with_threads(2).run(&jobs, &query).unwrap();
+
+    let truth = exact_sum(&f, &data, None);
+    for (salt, pair) in batch.pairs.iter().enumerate() {
+        assert!((pair.truth - truth).abs() < 1e-9 * truth.max(1.0));
+        let sampler = CoordPps::uniform_scale(2, 1.0, SeedHasher::new(salt as u64));
+        let samples = sampler.sample_all(&data);
+        let expect = [
+            estimate_sum(f, &RgPlusLStar::new(1, 1.0), &sampler, &samples, None).unwrap(),
+            estimate_sum(f, &RgPlusUStar::new(1.0, 1.0), &sampler, &samples, None).unwrap(),
+            estimate_sum(f, &HorvitzThompson::new(), &sampler, &samples, None).unwrap(),
+            estimate_sum(f, &DyadicJ::new(), &sampler, &samples, None).unwrap(),
+        ];
+        for (i, &e) in expect.iter().enumerate() {
+            assert!(
+                (pair.estimates[i] - e).abs() <= 1e-9 * e.abs().max(1.0),
+                "salt {salt} estimator {i}: engine {} vs per-call {e}",
+                pair.estimates[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn matches_per_call_path_generic_fallback() {
+    // p = 1.5 has no closed-form L*: the engine must dispatch to the same
+    // quadrature-backed generic estimator the per-call path uses.
+    let (a, b) = instance_pair(80);
+    let data = Dataset::new(vec![a.clone(), b.clone()]);
+    let f = RangePowPlus::new(1.5);
+    let quad = QuadConfig::fast();
+    let jobs: Vec<PairJob> = (0..3)
+        .map(|salt| PairJob::new(&a, &b, 100 + salt))
+        .collect();
+    let query = EngineQuery::rg_plus(1.5, 1.0)
+        .with_estimators(&[EstimatorKind::LStar])
+        .with_quad(quad);
+    let batch = Engine::with_threads(3).run(&jobs, &query).unwrap();
+    for (i, pair) in batch.pairs.iter().enumerate() {
+        let sampler = CoordPps::uniform_scale(2, 1.0, SeedHasher::new(100 + i as u64));
+        let samples = sampler.sample_all(&data);
+        let expect = estimate_sum(f, &LStar::with_quad(quad), &sampler, &samples, None).unwrap();
+        assert!(
+            (pair.estimates[0] - expect).abs() <= 1e-9 * expect.abs().max(1.0),
+            "job {i}: engine {} vs per-call {expect}",
+            pair.estimates[0]
+        );
+    }
+}
+
+#[test]
+fn domain_restriction_matches_per_call_path() {
+    let (a, b) = instance_pair(200);
+    let data = Dataset::new(vec![a.clone(), b.clone()]);
+    let f = RangePowPlus::new(1.0);
+    let domain: Vec<u64> = (0..50).collect();
+    let jobs: Vec<PairJob> = (0..4)
+        .map(|salt| PairJob::new(&a, &b, salt).with_domain(&domain))
+        .collect();
+    let query = EngineQuery::rg_plus(1.0, 1.0);
+    let batch = Engine::with_threads(2).run(&jobs, &query).unwrap();
+    let truth = exact_sum(&f, &data, Some(&domain));
+    for (salt, pair) in batch.pairs.iter().enumerate() {
+        assert!((pair.truth - truth).abs() < 1e-12);
+        let sampler = CoordPps::uniform_scale(2, 1.0, SeedHasher::new(salt as u64));
+        let samples = sampler.sample_all(&data);
+        let expect = estimate_sum(
+            f,
+            &RgPlusLStar::new(1, 1.0),
+            &sampler,
+            &samples,
+            Some(&domain),
+        )
+        .unwrap();
+        assert!((pair.estimates[0] - expect).abs() <= 1e-12 * expect.abs().max(1.0));
+    }
+}
+
+#[test]
+fn deterministic_across_thread_counts() {
+    let (a, b) = instance_pair(150);
+    let jobs: Vec<PairJob> = (0..13).map(|salt| PairJob::new(&a, &b, salt)).collect();
+    let query = EngineQuery::rg_plus(2.0, 2.0)
+        .with_estimators(&[EstimatorKind::LStar, EstimatorKind::UStar]);
+    let reference = Engine::with_threads(1).run(&jobs, &query).unwrap();
+    for threads in [2, 3, 8] {
+        let batch = Engine::with_threads(threads).run(&jobs, &query).unwrap();
+        assert_eq!(batch, reference, "results differ at {threads} threads");
+    }
+}
+
+#[test]
+fn summaries_track_unbiasedness() {
+    // Across many salts the mean L* estimate approaches the exact value and
+    // the NRMSE is modest — the engine's summary must reflect that.
+    let (a, b) = instance_pair(400);
+    let jobs: Vec<PairJob> = (0..64).map(|salt| PairJob::new(&a, &b, salt)).collect();
+    let query = EngineQuery::rg_plus(1.0, 1.0);
+    let batch = Engine::new().run(&jobs, &query).unwrap();
+    let s = &batch.summaries[0];
+    assert_eq!(s.kind, EstimatorKind::LStar);
+    assert!(
+        (s.mean_estimate - s.mean_truth).abs() < 0.1 * s.mean_truth,
+        "mean {} vs truth {}",
+        s.mean_estimate,
+        s.mean_truth
+    );
+    assert!(s.nrmse < 0.5, "nrmse {}", s.nrmse);
+    assert!(batch.total_sampled_items > 0);
+}
+
+#[test]
+fn rejects_invalid_scale() {
+    let (a, b) = instance_pair(10);
+    let jobs = [PairJob::new(&a, &b, 0)];
+    for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+        let query = EngineQuery::rg_plus(1.0, bad);
+        assert!(
+            Engine::new().run(&jobs, &query).is_err(),
+            "scale {bad} must be rejected"
+        );
+    }
+}

@@ -23,7 +23,7 @@ fn main() -> Result<(), monotone_sampling::core::Error> {
 
     // Coordinated PPS sampling with threshold scale 1: entry i is observed
     // iff v_i >= u for a shared uniform seed u.
-    let mep = Mep::new(f, TupleScheme::pps(&[1.0, 1.0]))?;
+    let mep = Mep::new(f, TupleScheme::pps(&[1.0, 1.0]).unwrap())?;
 
     println!(
         "{:<8} {:>10} {:>10} {:>10} {:>10}",

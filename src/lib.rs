@@ -17,7 +17,10 @@
 //! * [`sketches`] ([`monotone_sketches`]) — graphs, Dijkstra,
 //!   all-distances sketches, HIP probabilities, closeness similarity;
 //! * [`datagen`] ([`monotone_datagen`]) — synthetic workloads standing in
-//!   for the paper's proprietary datasets.
+//!   for the paper's proprietary datasets;
+//! * [`engine`] ([`monotone_engine`]) — the batched, thread-parallel
+//!   estimation engine driving all estimators over large pair workloads
+//!   (the designated hot path).
 //!
 //! ## Quickstart
 //!
@@ -30,7 +33,7 @@
 //! # fn main() -> Result<(), monotone_sampling::core::Error> {
 //! // A monotone estimation problem: estimate max(0, v1 - v2) from a
 //! // coordinated PPS sample of the pair (v1, v2).
-//! let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0]))?;
+//! let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0]).unwrap())?;
 //! let outcome = mep.scheme().sample(&[0.6, 0.2], 0.35)?;
 //! let estimate = LStar::new().estimate(&mep, &outcome);
 //! assert!(estimate > 0.0);
@@ -45,4 +48,5 @@
 pub use monotone_coord as coord;
 pub use monotone_core as core;
 pub use monotone_datagen as datagen;
+pub use monotone_engine as engine;
 pub use monotone_sketches as sketches;

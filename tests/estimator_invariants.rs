@@ -46,7 +46,11 @@ fn sampled_vectors(seed: u64, n: usize) -> Vec<[f64; 2]> {
 
 #[test]
 fn lstar_is_nonnegative_and_unbiased_on_rgplus() {
-    let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+    let mep = Mep::new(
+        RangePowPlus::new(1.0),
+        TupleScheme::pps(&[1.0, 1.0]).unwrap(),
+    )
+    .unwrap();
     let est = LStar::new();
     let calc = VarianceCalc::new(1e-8, 1200);
     for v in sampled_vectors(0xC0FFEE, 12) {
@@ -73,7 +77,11 @@ fn lstar_is_nonnegative_and_unbiased_on_rgplus() {
 
 #[test]
 fn lstar_dominates_horvitz_thompson_on_rgplus() {
-    let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+    let mep = Mep::new(
+        RangePowPlus::new(1.0),
+        TupleScheme::pps(&[1.0, 1.0]).unwrap(),
+    )
+    .unwrap();
     let calc = VarianceCalc::new(1e-8, 1200);
     let ht = HorvitzThompson::new();
     let mut strictly_better = 0usize;
@@ -104,7 +112,11 @@ fn lstar_dominates_horvitz_thompson_on_rgplus() {
 #[test]
 fn ustar_is_unbiased_and_within_optimal_range_bounds() {
     let scale = 1.0;
-    let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[scale, scale])).unwrap();
+    let mep = Mep::new(
+        RangePowPlus::new(1.0),
+        TupleScheme::pps(&[scale, scale]).unwrap(),
+    )
+    .unwrap();
     let est = RgPlusUStar::new(1.0, scale);
     let quad = QuadConfig::fast();
     for v in sampled_vectors(0xBEEF, 8) {
@@ -147,7 +159,7 @@ fn lstar_is_four_competitive_on_sampled_meps() {
     let calc = VarianceCalc::new(1e-8, 1200);
     let mut worst: f64 = 0.0;
     for (i, &p) in [0.75, 1.0, 2.0].iter().enumerate() {
-        let mep = Mep::new(RangePowPlus::new(p), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+        let mep = Mep::new(RangePowPlus::new(p), TupleScheme::pps(&[1.0, 1.0]).unwrap()).unwrap();
         for v in sampled_vectors(0xFEED + i as u64, 10) {
             if let Some(ratio) = calc.lstar_competitive_ratio(&mep, &v).unwrap() {
                 assert!(
@@ -163,7 +175,11 @@ fn lstar_is_four_competitive_on_sampled_meps() {
 
 #[test]
 fn vopt_oracle_lower_bounds_both_estimators() {
-    let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+    let mep = Mep::new(
+        RangePowPlus::new(1.0),
+        TupleScheme::pps(&[1.0, 1.0]).unwrap(),
+    )
+    .unwrap();
     let calc = VarianceCalc::new(1e-8, 900);
     let vopt = VOptimal::with_resolution(1e-8, 1500);
     for v in sampled_vectors(0xACE, 8) {

@@ -17,7 +17,7 @@ fn lstar_ratio_approaches_four_on_tight_family() {
     let calc = VarianceCalc::new(1e-12, 4000);
     for &p in &[0.0, 0.15, 0.3, 0.4] {
         let fam = PowerGapFamily::new(p);
-        let mep = Mep::new(fam, TupleScheme::pps(&[1.0])).unwrap();
+        let mep = Mep::new(fam, TupleScheme::pps(&[1.0]).unwrap()).unwrap();
         let numeric = calc
             .lstar_competitive_ratio(&mep, &[0.0])
             .unwrap()
@@ -38,13 +38,21 @@ fn lstar_ratio_approaches_four_on_tight_family() {
 #[test]
 fn lstar_ratios_for_exponentiated_range() {
     let calc = VarianceCalc::new(1e-10, 3000);
-    let mep1 = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+    let mep1 = Mep::new(
+        RangePowPlus::new(1.0),
+        TupleScheme::pps(&[1.0, 1.0]).unwrap(),
+    )
+    .unwrap();
     let r1 = calc
         .lstar_competitive_ratio(&mep1, &[0.8, 0.0])
         .unwrap()
         .unwrap();
     assert!((r1 - 2.0).abs() < 0.03, "RG1+ ratio {r1}");
-    let mep2 = Mep::new(RangePowPlus::new(2.0), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+    let mep2 = Mep::new(
+        RangePowPlus::new(2.0),
+        TupleScheme::pps(&[1.0, 1.0]).unwrap(),
+    )
+    .unwrap();
     let r2 = calc
         .lstar_competitive_ratio(&mep2, &[0.8, 0.0])
         .unwrap()
@@ -68,7 +76,7 @@ fn lstar_dominates_horvitz_thompson() {
     let calc = VarianceCalc::new(1e-9, 1500);
     let ht = HorvitzThompson::new();
     for &p in &[1.0, 2.0] {
-        let mep = Mep::new(RangePowPlus::new(p), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+        let mep = Mep::new(RangePowPlus::new(p), TupleScheme::pps(&[1.0, 1.0]).unwrap()).unwrap();
         for &v in &[[0.9, 0.2], [0.9, 0.6], [0.5, 0.3], [0.7, 0.65]] {
             assert!(ht.is_applicable(&mep, &v).unwrap());
             let l = calc.lstar_stats(&mep, &v).unwrap().variance;
@@ -82,7 +90,11 @@ fn lstar_dominates_horvitz_thompson() {
 /// non-increasing in the seed; the J baseline is not monotone.
 #[test]
 fn lstar_monotone_j_not() {
-    let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+    let mep = Mep::new(
+        RangePowPlus::new(1.0),
+        TupleScheme::pps(&[1.0, 1.0]).unwrap(),
+    )
+    .unwrap();
     let lstar = RgPlusLStar::new(1, 1.0);
     let j = DyadicJ::new();
     let v = [0.7, 0.3];
@@ -152,7 +164,11 @@ fn discrete_order_optimality_matches_continuous_intuition() {
 /// similar data, and L*'s worst case is bounded while U*'s is not small.
 #[test]
 fn customization_tradeoff() {
-    let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+    let mep = Mep::new(
+        RangePowPlus::new(1.0),
+        TupleScheme::pps(&[1.0, 1.0]).unwrap(),
+    )
+    .unwrap();
     let calc = VarianceCalc::new(1e-9, 1500);
     let ustar = RgPlusUStar::new(1.0, 1.0);
     // Dissimilar: v2 = 0.
@@ -177,7 +193,11 @@ fn customization_tradeoff() {
 #[test]
 fn generic_lstar_agrees_with_closed_forms() {
     for &(p, pi) in &[(1u8, 1.0f64), (2u8, 2.0f64)] {
-        let mep = Mep::new(RangePowPlus::new(pi), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+        let mep = Mep::new(
+            RangePowPlus::new(pi),
+            TupleScheme::pps(&[1.0, 1.0]).unwrap(),
+        )
+        .unwrap();
         let closed = RgPlusLStar::new(p, 1.0);
         let generic = LStar::new();
         for i in 0..40 {

@@ -26,7 +26,7 @@ proptest! {
     /// (known entries stay known, caps shrink).
     #[test]
     fn sampling_monotone_in_seed(v1 in value(), v2 in value(), u in seed(), frac in 1u32..=99) {
-        let scheme = TupleScheme::pps(&[1.0, 1.0]);
+        let scheme = TupleScheme::pps(&[1.0, 1.0]).unwrap();
         let u_fine = u * frac as f64 / 100.0;
         prop_assume!(u_fine > 0.0);
         let coarse = scheme.sample(&[v1, v2], u).unwrap();
@@ -42,7 +42,7 @@ proptest! {
     /// bounded by f(v).
     #[test]
     fn lower_bound_invariants(v1 in value(), v2 in value(), v3 in value()) {
-        let mep = Mep::new(RangePow::new(1.0, 3), TupleScheme::pps(&[1.0, 1.0, 1.0])).unwrap();
+        let mep = Mep::new(RangePow::new(1.0, 3), TupleScheme::pps(&[1.0, 1.0, 1.0]).unwrap()).unwrap();
         let v = [v1, v2, v3];
         let lb = mep.data_lower_bound(&v).unwrap();
         let target = mep.f().eval(&v);
@@ -60,7 +60,7 @@ proptest! {
     /// Nonnegativity of every estimator on arbitrary outcomes.
     #[test]
     fn estimates_nonnegative(v1 in value(), v2 in value(), u in seed()) {
-        let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+        let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0]).unwrap()).unwrap();
         let out = mep.scheme().sample(&[v1, v2], u).unwrap();
         prop_assert!(RgPlusLStar::new(1, 1.0).estimate(&mep, &out) >= 0.0);
         prop_assert!(RgPlusUStar::new(1.0, 1.0).estimate(&mep, &out) >= 0.0);
@@ -73,7 +73,7 @@ proptest! {
     #[test]
     fn lstar_unbiased(v1 in value(), v2 in value()) {
         prop_assume!(v1 > 0.02);
-        let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+        let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0]).unwrap()).unwrap();
         let est = RgPlusLStar::new(1, 1.0);
         let cfg = QuadConfig::default();
         let mean = integrate_with_breakpoints(
@@ -91,7 +91,7 @@ proptest! {
     /// The L* estimate is monotone non-increasing in the seed for fixed data.
     #[test]
     fn lstar_monotone(v1 in value(), v2 in value()) {
-        let mep = Mep::new(RangePowPlus::new(2.0), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+        let mep = Mep::new(RangePowPlus::new(2.0), TupleScheme::pps(&[1.0, 1.0]).unwrap()).unwrap();
         let est = RgPlusLStar::new(2, 1.0);
         let mut prev = f64::INFINITY;
         for k in 1..=40 {
@@ -105,7 +105,7 @@ proptest! {
     /// Generic L* equals the closed form on arbitrary outcomes.
     #[test]
     fn generic_lstar_matches_closed(v1 in value(), v2 in value(), u in seed()) {
-        let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0])).unwrap();
+        let mep = Mep::new(RangePowPlus::new(1.0), TupleScheme::pps(&[1.0, 1.0]).unwrap()).unwrap();
         let out = mep.scheme().sample(&[v1, v2], u).unwrap();
         let a = RgPlusLStar::new(1, 1.0).estimate(&mep, &out);
         let b = LStar::new().estimate(&mep, &out);
@@ -125,7 +125,7 @@ proptest! {
     #[test]
     fn box_extrema_bracket(v1 in value(), v2 in value(), u in seed(), z in value()) {
         let f = TupleMax::new(2);
-        let scheme = TupleScheme::pps(&[1.0, 1.0]);
+        let scheme = TupleScheme::pps(&[1.0, 1.0]).unwrap();
         let out = scheme.sample(&[v1, v2], u).unwrap();
         let mut known = Vec::new();
         let mut caps = Vec::new();
