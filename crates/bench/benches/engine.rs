@@ -30,34 +30,22 @@ use monotone_coord::seed::SeedHasher;
 use monotone_core::estimate::{LStar, RgPlusLStar};
 use monotone_core::func::RangePowPlus;
 use monotone_core::quad::QuadConfig;
-use monotone_engine::{Engine, EngineQuery, PairJob};
+use monotone_engine::{workload, Engine, EngineQuery, PairJob};
 use std::io::Write as _;
 use std::time::Instant;
 
 const ITEMS_PER_INSTANCE: u64 = 12;
-const INSTANCE_POOL: usize = 32;
+const INSTANCE_POOL: u64 = 32;
 
+/// The canonical RG1+ workload now lives in `engine::workload`, shared
+/// with the scenario smoke tests — the bench measures exactly what the
+/// subsystem tests.
 fn instance_pool() -> Vec<Instance> {
-    (0..INSTANCE_POOL as u64)
-        .map(|v| {
-            Instance::from_pairs(
-                (0..ITEMS_PER_INSTANCE)
-                    .map(move |k| (k, 0.05 + 0.9 * (((k * 17 + v * 29 + 3) % 97) as f64 / 97.0))),
-            )
-        })
-        .collect()
+    workload::rg1_instance_pool(INSTANCE_POOL, ITEMS_PER_INSTANCE)
 }
 
 fn jobs_of(pool: &[Instance], pairs: usize) -> Vec<PairJob<'_>> {
-    (0..pairs)
-        .map(|i| {
-            PairJob::new(
-                &pool[i % INSTANCE_POOL],
-                &pool[(i * 7 + 1) % INSTANCE_POOL],
-                i as u64,
-            )
-        })
-        .collect()
+    workload::rg1_pair_jobs(pool, pairs)
 }
 
 /// `Dataset`s for the naive loops, prepared outside the timed region
@@ -102,6 +90,19 @@ fn batched(engine: &Engine, jobs: &[PairJob<'_>], query: &EngineQuery) -> f64 {
     batch.pairs.iter().map(|p| p.estimates[0]).sum()
 }
 
+/// Median-of-3 wall-clock timing of `f`, returning `(median secs, value)`.
+fn timed<F: FnMut() -> f64>(mut f: F) -> (f64, f64) {
+    let mut secs = Vec::with_capacity(3);
+    let mut value = 0.0;
+    for _ in 0..3 {
+        let start = Instant::now();
+        value = f();
+        secs.push(start.elapsed().as_secs_f64());
+    }
+    secs.sort_by(f64::total_cmp);
+    (secs[1], value)
+}
+
 fn main() {
     let pool = instance_pool();
     // The gating comparison runs the engine on ONE worker so the recorded
@@ -126,8 +127,11 @@ fn main() {
         b.iter(|| black_box(naive_generic(&small, &small_data)))
     });
 
-    // The acceptance workload: 10k pairs, single timed pass each, with a
-    // cross-check that both paths compute the same numbers.
+    // The acceptance workload: 10k pairs, median-of-3 timed passes each
+    // (a single pass is hostage to scheduler noise on shared CI runners;
+    // the median stabilizes the recorded speedups and the 0.8x
+    // regression gate built on them), with a cross-check that all paths
+    // compute the same numbers.
     let pairs: usize = std::env::var("BENCH_ENGINE_PAIRS")
         .ok()
         .and_then(|s| s.parse().ok())
@@ -135,21 +139,10 @@ fn main() {
     let jobs = jobs_of(&pool, pairs);
     let datasets = naive_datasets(&jobs);
 
-    let start = Instant::now();
-    let total_batched = batched(&engine_1t, &jobs, &query);
-    let batched_secs = start.elapsed().as_secs_f64();
-
-    let start = Instant::now();
-    let total_parallel = batched(&engine_par, &jobs, &query);
-    let parallel_secs = start.elapsed().as_secs_f64();
-
-    let start = Instant::now();
-    let total_closed = naive_closed_form(&jobs, &datasets);
-    let closed_secs = start.elapsed().as_secs_f64();
-
-    let start = Instant::now();
-    let total_generic = naive_generic(&jobs, &datasets);
-    let generic_secs = start.elapsed().as_secs_f64();
+    let (batched_secs, total_batched) = timed(|| batched(&engine_1t, &jobs, &query));
+    let (parallel_secs, total_parallel) = timed(|| batched(&engine_par, &jobs, &query));
+    let (closed_secs, total_closed) = timed(|| naive_closed_form(&jobs, &datasets));
+    let (generic_secs, total_generic) = timed(|| naive_generic(&jobs, &datasets));
 
     for total in [total_batched, total_parallel, total_generic] {
         let rel = (total - total_closed).abs() / total_closed.abs().max(1e-12);

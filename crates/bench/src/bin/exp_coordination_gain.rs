@@ -1,102 +1,6 @@
-//! E15 — why coordinate: estimation accuracy of coordinated vs independent
-//! samples (paper, Section 1: coordination "allows for more accurate
-//! estimates of queries that span multiple instances").
-//!
-//! Holds the marginal sampling design fixed (same per-item inclusion
-//! probabilities, same expected sample sizes) and compares the NRMSE of L1
-//! sum estimation from *coordinated* samples (L\* and HT estimators)
-//! against *independently seeded* samples (product-form HT), across a drift
-//! sweep from near-identical to strongly differing instance pairs. The
-//! coordinated side runs as one engine batch per drift level (64 salts ×
-//! {L\*, HT} in a single pass over each pair).
-
-use monotone_bench::{fnum, stats::nrmse, table::Table, write_csv};
-use monotone_coord::independent::IndependentPps;
-use monotone_coord::instance::{Dataset, Instance};
-use monotone_coord::query::weighted_jaccard;
-use monotone_coord::seed::SeedHasher;
-use monotone_core::func::RangePowPlus;
-use monotone_datagen::zipf::lognormal_factor;
-use monotone_engine::{Engine, EngineQuery, EstimatorKind, PairJob};
-use rand::SeedableRng;
+//! Legacy alias: runs the `coordination_gain` scenario through the engine's sharded
+//! runner — equivalent to `exp_runner -- coordination_gain`.
 
 fn main() {
-    let n = 2000u64;
-    let scale = 2.0; // E|S| ≈ n/scale · E[w] — a few hundred items
-    let f = RangePowPlus::new(1.0);
-    let trials = 64u64;
-    let engine = Engine::new();
-    let query = EngineQuery::rg_plus(1.0, scale)
-        .with_estimators(&[EstimatorKind::LStar, EstimatorKind::HorvitzThompson]);
-
-    let mut t = Table::new(
-        "E15: NRMSE of the L1+ sum estimate — coordinated vs independent samples",
-        &[
-            "drift sigma",
-            "data jaccard",
-            "coord L*",
-            "coord HT",
-            "indep HT (product)",
-        ],
-    );
-    let mut csv = Vec::new();
-    for &sigma in &[0.02f64, 0.05, 0.1, 0.25, 0.5, 1.0] {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7 + (sigma * 1000.0) as u64);
-        // All-positive pair so the independent product-HT is unbiased too.
-        let a = Instance::from_pairs((0..n).map(|k| (k, 0.1 + 0.9 * ((k % 89) as f64 / 89.0))));
-        let b = Instance::from_pairs(
-            a.iter()
-                .map(|(k, w)| (k, (w * lognormal_factor(&mut rng, sigma)).clamp(0.01, 1.0))),
-        );
-        let jac = weighted_jaccard(&a, &b);
-
-        // Coordinated estimation: one batch over all randomizations.
-        let jobs: Vec<PairJob> = (0..trials).map(|salt| PairJob::new(&a, &b, salt)).collect();
-        let batch = engine.run(&jobs, &query).expect("engine batch");
-        let (el, eh) = (batch.summaries[0].nrmse, batch.summaries[1].nrmse);
-        let truth = batch.summaries[0].mean_truth;
-
-        // Independent sampling baseline (the contrast case stays per-call:
-        // it is the design the engine exists to beat).
-        let data = Dataset::new(vec![a, b]);
-        let indep_ht: Vec<f64> =
-            engine.map_chunked(&(0..trials).collect::<Vec<u64>>(), |_, &salt| {
-                let is = IndependentPps::uniform_scale(2, scale, SeedHasher::new(salt));
-                let isamples = is.sample_all(&data);
-                is.ht_sum_estimate(&f, &isamples, None)
-            });
-        let ei = nrmse(&indep_ht, truth);
-
-        t.row(vec![
-            format!("{sigma}"),
-            fnum(jac),
-            fnum(el),
-            fnum(eh),
-            fnum(ei),
-        ]);
-        csv.push(vec![
-            format!("{sigma}"),
-            format!("{jac}"),
-            format!("{el}"),
-            format!("{eh}"),
-            format!("{ei}"),
-        ]);
-    }
-    t.print();
-    println!("\npaper-shape check: with the same marginal design, coordinated L* is far");
-    println!("more accurate than independent product-HT, most dramatically on similar");
-    println!("instances (small drift) — the reason coordination exists. Coordinated HT");
-    println!("already beats independent HT; L* adds the partial-information outcomes.");
-    let path = write_csv(
-        "e15_coordination_gain.csv",
-        &[
-            "sigma",
-            "data_jaccard",
-            "nrmse_coord_lstar",
-            "nrmse_coord_ht",
-            "nrmse_indep_ht",
-        ],
-        &csv,
-    );
-    println!("wrote {}", path.display());
+    monotone_bench::scenarios::run_main("coordination_gain");
 }

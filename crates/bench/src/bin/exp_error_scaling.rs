@@ -1,60 +1,6 @@
-//! E13 — relative error of sum aggregates scales as 1/√|D| (paper,
-//! Section 1: unbiasedness + pairwise independence make the relative error
-//! of domain queries shrink with the domain size).
-//!
-//! Fixes a per-item sampling scheme and sweeps the query-domain size,
-//! reporting the NRMSE of the L\* sum estimate and the fitted scaling
-//! exponent (expected ≈ −0.5). All 64 randomizations of each domain size
-//! run as one batch through the estimation engine (closed-form L\*
-//! dispatch, one seed hash per item, worker-pool parallelism).
-
-use monotone_bench::{fnum, table::Table, write_csv};
-use monotone_coord::instance::Instance;
-use monotone_engine::{Engine, EngineQuery, PairJob};
+//! Legacy alias: runs the `error_scaling` scenario through the engine's sharded
+//! runner — equivalent to `exp_runner -- error_scaling`.
 
 fn main() {
-    let n = 16_384u64;
-    let a = Instance::from_pairs((0..n).map(|k| (k, 0.1 + 0.8 * ((k * 13 % 101) as f64 / 101.0))));
-    let b = Instance::from_pairs((0..n).map(|k| (k, 0.1 + 0.8 * ((k * 29 % 101) as f64 / 101.0))));
-    let engine = Engine::new();
-    let query = EngineQuery::rg_plus(1.0, 1.0);
-
-    let mut t = Table::new(
-        "E13: NRMSE of the L* sum estimate vs domain size |D|",
-        &["|D|", "NRMSE", "NRMSE × sqrt|D|"],
-    );
-    let mut csv = Vec::new();
-    let mut points = Vec::new();
-    for &size in &[64u64, 256, 1024, 4096, 16384] {
-        let domain: Vec<u64> = (0..size).collect();
-        let jobs: Vec<PairJob> = (0..64u64)
-            .map(|salt| PairJob::new(&a, &b, salt).with_domain(&domain))
-            .collect();
-        let batch = engine.run(&jobs, &query).expect("engine batch");
-        let e = batch.summaries[0].nrmse;
-        t.row(vec![
-            format!("{size}"),
-            fnum(e),
-            fnum(e * (size as f64).sqrt()),
-        ]);
-        csv.push(vec![format!("{size}"), format!("{e}")]);
-        points.push(((size as f64).ln(), e.max(1e-12).ln()));
-    }
-    t.print();
-
-    // Least-squares slope of log error vs log size.
-    let n_pts = points.len() as f64;
-    let (sx, sy): (f64, f64) = points
-        .iter()
-        .fold((0.0, 0.0), |(a, b), &(x, y)| (a + x, b + y));
-    let (sxx, sxy): (f64, f64) = points
-        .iter()
-        .fold((0.0, 0.0), |(a, b), &(x, y)| (a + x * x, b + x * y));
-    let slope = (n_pts * sxy - sx * sy) / (n_pts * sxx - sx * sx);
-    println!(
-        "\nfitted scaling exponent: {} (paper shape: −0.5)",
-        fnum(slope)
-    );
-    let path = write_csv("e13_error_scaling.csv", &["domain_size", "nrmse"], &csv);
-    println!("wrote {}", path.display());
+    monotone_bench::scenarios::run_main("error_scaling");
 }

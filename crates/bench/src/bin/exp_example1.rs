@@ -1,60 +1,6 @@
-//! E1 — Example 1 table: exact queries over the 3×8 demo dataset.
-//!
-//! Regenerates every query value of the paper's Example 1 and reports the
-//! printed paper value next to ours. Two entries in the paper are
-//! arithmetic slips (see EXPERIMENTS.md): L1({b,c,e}) and L1+({b,c,e}).
-
-use monotone_bench::{fnum, table::Table, write_csv};
-use monotone_coord::instance::Dataset;
-use monotone_coord::query::exact_sum;
-use monotone_core::func::{LinearAbsPow, RangePow, RangePowPlus};
+//! Legacy alias: runs the `example1` scenario through the engine's sharded
+//! runner — equivalent to `exp_runner -- example1`.
 
 fn main() {
-    let data = Dataset::example1();
-    let pair = Dataset::new(vec![data.instance(0).clone(), data.instance(1).clone()]);
-
-    // Items: a..h = keys 0..8; H selections from the paper.
-    let bce = [1u64, 2, 4];
-    let cfh = [2u64, 5, 7];
-    let bd = [1u64, 3];
-
-    let l1 = exact_sum(&RangePow::new(1.0, 2), &pair, Some(&bce));
-    let l22 = exact_sum(&RangePow::new(2.0, 2), &pair, Some(&cfh));
-    let l2 = l22.sqrt();
-    let l1p = exact_sum(&RangePowPlus::new(1.0), &pair, Some(&bce));
-    let g = exact_sum(
-        &LinearAbsPow::new(vec![1.0, -2.0, 1.0], 0.0, 2.0),
-        &data,
-        Some(&bd),
-    );
-
-    let mut t = Table::new(
-        "E1: Example 1 queries (paper values in parentheses where they differ)",
-        &["query", "ours", "paper", "note"],
-    );
-    let rows: Vec<(&str, f64, &str, &str)> = vec![
-        ("L1({b,c,e})", l1, "0.71", "paper summands total 0.72"),
-        ("L2^2({c,f,h})", l22, "≈0.16", "match"),
-        ("L2({c,f,h})", l2, "≈0.40", "match"),
-        (
-            "L1+({b,c,e})",
-            l1p,
-            "0.235",
-            "paper took 0.10-0.05 as 0.005; correct sum 0.28",
-        ),
-        (
-            "G({b,d})",
-            g,
-            "≈1.18",
-            "paper printed √G; G itself is 1.4144",
-        ),
-    ];
-    let mut csv = Vec::new();
-    for (name, ours, paper, note) in rows {
-        t.row(vec![name.into(), fnum(ours), paper.into(), note.into()]);
-        csv.push(vec![name.to_owned(), format!("{ours}"), paper.to_owned()]);
-    }
-    t.print();
-    let path = write_csv("e1_example1.csv", &["query", "ours", "paper"], &csv);
-    println!("\nwrote {}", path.display());
+    monotone_bench::scenarios::run_main("example1");
 }

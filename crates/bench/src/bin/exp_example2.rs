@@ -1,78 +1,6 @@
-//! E2 — Example 2 table: coordinated PPS outcomes for the paper's seeds.
-//!
-//! Replays the exact seeds of Example 2 (u(a)=0.32, …) over the Example 1
-//! dataset with unit-scale PPS and prints the per-item outcomes, matching
-//! the paper's S(a) = (0.95, *, *), …, S(h) = (*, *, *).
-
-use monotone_bench::{table::Table, write_csv};
-use monotone_coord::instance::Dataset;
-use monotone_core::scheme::{EntryState, TupleScheme};
+//! Legacy alias: runs the `example2` scenario through the engine's sharded
+//! runner — equivalent to `exp_runner -- example2`.
 
 fn main() {
-    let data = Dataset::example1();
-    let scheme = TupleScheme::pps(&[1.0, 1.0, 1.0]).unwrap();
-    let names = ["a", "b", "c", "d", "e", "f", "g", "h"];
-    let seeds = [0.32, 0.21, 0.04, 0.23, 0.84, 0.70, 0.15, 0.64];
-    // The outcomes printed in the paper.
-    let expected = [
-        "(0.95, *, *)",
-        "(*, 0.44, *)",
-        "(0.23, *, *)",
-        "(0.7, 0.8, *)",
-        "(*, *, *)",
-        "(*, *, *)",
-        "(*, 0.2, *)",
-        "(*, *, *)",
-    ];
-
-    let mut t = Table::new(
-        "E2: Example 2 coordinated PPS outcomes (τ* = 1)",
-        &["item", "u", "tuple", "outcome", "paper", "match"],
-    );
-    let mut csv = Vec::new();
-    let mut all_match = true;
-    for (i, name) in names.iter().enumerate() {
-        let v = data.tuple(i as u64);
-        let out = scheme.sample(&v, seeds[i]).expect("valid sample");
-        let shown: Vec<String> = out
-            .entries()
-            .iter()
-            .map(|e| match e {
-                EntryState::Known(w) => format!("{w}"),
-                EntryState::Capped => "*".to_owned(),
-            })
-            .collect();
-        let outcome = format!("({})", shown.join(", "));
-        let matches = outcome.replace(".00", "") == *expected[i]
-            || normalize(&outcome) == normalize(expected[i]);
-        all_match &= matches;
-        t.row(vec![
-            (*name).to_owned(),
-            format!("{}", seeds[i]),
-            format!("{v:?}"),
-            outcome.clone(),
-            expected[i].to_owned(),
-            if matches { "yes" } else { "NO" }.to_owned(),
-        ]);
-        csv.push(vec![(*name).to_owned(), format!("{}", seeds[i]), outcome]);
-    }
-    t.print();
-    println!("\nall outcomes match the paper: {all_match}");
-    let path = write_csv("e2_example2.csv", &["item", "seed", "outcome"], &csv);
-    println!("wrote {}", path.display());
-}
-
-/// Compares outcomes up to numeric formatting (0.7 vs 0.70).
-fn normalize(s: &str) -> Vec<Option<f64>> {
-    s.trim_matches(['(', ')'])
-        .split(',')
-        .map(|tok| {
-            let tok = tok.trim();
-            if tok == "*" {
-                None
-            } else {
-                Some(tok.parse::<f64>().expect("number"))
-            }
-        })
-        .collect()
+    monotone_bench::scenarios::run_main("example2");
 }

@@ -1,98 +1,6 @@
-//! E3 — Example 3 figures: lower-bound functions and their lower hulls.
-//!
-//! Three panels (p ∈ {0.5, 1, 2}) of `RGp+` under PPS(1), for the data
-//! vectors (0.6, 0.2) and (0.6, 0): the LB curve `max(0, v1 − max(v2, u))^p`
-//! and its lower hull (whose negated slopes are the v-optimal estimates).
-//! Series are written as CSV, one file per panel, plus structural checks
-//! mirroring the paper's observations.
-
-use monotone_bench::{fnum, table::Table, write_csv};
-use monotone_core::func::RangePowPlus;
-use monotone_core::problem::Mep;
-use monotone_core::scheme::TupleScheme;
+//! Legacy alias: runs the `example3` scenario through the engine's sharded
+//! runner — equivalent to `exp_runner -- example3`.
 
 fn main() {
-    for &p in &[0.5, 1.0, 2.0] {
-        let mep =
-            Mep::new(RangePowPlus::new(p), TupleScheme::pps(&[1.0, 1.0]).unwrap()).expect("mep");
-        let mut rows = Vec::new();
-        let mut t = Table::new(
-            &format!("E3 panel p={p}: LB and hull at probe points"),
-            &["u", "LB(0.6,0.2)", "CH(0.6,0.2)", "LB(0.6,0)", "CH(0.6,0)"],
-        );
-        let lb_a = mep.data_lower_bound(&[0.6, 0.2]).expect("lb");
-        let lb_b = mep.data_lower_bound(&[0.6, 0.0]).expect("lb");
-        let hull_a = lb_a.hull(1e-6, 2000);
-        let hull_b = lb_b.hull(1e-6, 2000);
-        for k in 1..=160 {
-            let u = k as f64 * 0.005;
-            rows.push(vec![
-                format!("{u:.4}"),
-                format!("{}", lb_a.eval(u)),
-                format!("{}", hull_a.value(u)),
-                format!("{}", lb_b.eval(u)),
-                format!("{}", hull_b.value(u)),
-            ]);
-            if k % 20 == 0 {
-                t.row(vec![
-                    format!("{u:.2}"),
-                    fnum(lb_a.eval(u)),
-                    fnum(hull_a.value(u)),
-                    fnum(lb_b.eval(u)),
-                    fnum(hull_b.value(u)),
-                ]);
-            }
-        }
-        t.print();
-        let path = write_csv(
-            &format!("e3_lb_hull_p{p}.csv"),
-            &["u", "lb_062", "hull_062", "lb_060", "hull_060"],
-            &rows,
-        );
-        println!("wrote {}\n", path.display());
-
-        // Structural observations from the paper's panel captions.
-        let same_above = (0.25f64..0.6).step_check(|u| (lb_a.eval(u) - lb_b.eval(u)).abs() < 1e-12);
-        println!("  curves coincide for u > v2 = 0.2: {same_above}");
-        if p <= 1.0 {
-            // Hull linear on (0, v1]: constant negated slope.
-            let s1 = hull_b.neg_slope_at(0.1);
-            let s2 = hull_b.neg_slope_at(0.5);
-            println!(
-                "  p <= 1: hull of (0.6, 0) linear on (0, v1]: slopes {} vs {}",
-                fnum(s1),
-                fnum(s2)
-            );
-        } else {
-            // Hull coincides with LB near v1 and is linear near 0.
-            let near = (lb_a.eval(0.55) - hull_a.value(0.55)).abs();
-            let far = lb_a.eval(0.05) - hull_a.value(0.05);
-            println!(
-                "  p > 1: hull matches LB near v1 (gap {}), strictly below near 0 (gap {})",
-                fnum(near),
-                fnum(far)
-            );
-        }
-        if p == 1.0 {
-            let equal = (0.0f64..0.6)
-                .step_check(|u| (lb_b.eval(u.max(1e-9)) - hull_b.value(u.max(1e-9))).abs() < 1e-9);
-            println!("  v2 = 0, p = 1: LB equals its hull: {equal}");
-        }
-        println!();
-    }
-}
-
-/// Checks a predicate on a grid over a range.
-trait StepCheck {
-    fn step_check<F: Fn(f64) -> bool>(&self, pred: F) -> bool;
-}
-
-impl StepCheck for std::ops::Range<f64> {
-    fn step_check<F: Fn(f64) -> bool>(&self, pred: F) -> bool {
-        let n = 50;
-        (0..=n).all(|k| {
-            let u = self.start + (self.end - self.start) * k as f64 / n as f64;
-            pred(u)
-        })
-    }
+    monotone_bench::scenarios::run_main("example3");
 }

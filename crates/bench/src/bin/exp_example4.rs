@@ -1,112 +1,6 @@
-//! E4 — Example 4 figures: L\*, U\* and v-optimal estimate curves.
-//!
-//! Three panels (p ∈ {0.5, 1, 2}) of `RGp+` under PPS(1) for the data
-//! vectors (0.6, 0.2) and (0.6, 0): the L\* estimate (closed form for
-//! p ∈ {1,2}, generic quadrature otherwise), the U\* closed form, the
-//! generic U\* solver (agreement column), and the v-optimal oracle — the
-//! same five curves the paper plots. Checks the paper's captions: U\* is
-//! v-optimal when v2 = 0; the L\* estimate is unbounded at v2 = 0.
-
-use monotone_bench::{fnum, table::Table, write_csv};
-use monotone_core::estimate::{LStar, MonotoneEstimator, RgPlusUStar, UStar, VOptimal};
-use monotone_core::func::RangePowPlus;
-use monotone_core::problem::Mep;
-use monotone_core::scheme::TupleScheme;
+//! Legacy alias: runs the `example4` scenario through the engine's sharded
+//! runner — equivalent to `exp_runner -- example4`.
 
 fn main() {
-    for &p in &[0.5, 1.0, 2.0] {
-        let mep =
-            Mep::new(RangePowPlus::new(p), TupleScheme::pps(&[1.0, 1.0]).unwrap()).expect("mep");
-        let lstar = LStar::new();
-        let ustar_closed = RgPlusUStar::new(p, 1.0);
-        let ustar_generic = UStar::with_steps(128);
-        let vopt = VOptimal::with_resolution(1e-8, 3000);
-
-        let mut rows = Vec::new();
-        let mut t = Table::new(
-            &format!("E4 panel p={p}: estimates at probe points"),
-            &[
-                "u",
-                "L*(.6,.2)",
-                "U*(.6,.2)",
-                "opt(.6,.2)",
-                "L*(.6,0)",
-                "U*(.6,0)",
-                "opt(.6,0)",
-            ],
-        );
-        let datasets: [[f64; 2]; 2] = [[0.6, 0.2], [0.6, 0.0]];
-        let mut max_generic_gap: f64 = 0.0;
-        for k in 1..=120 {
-            let u = k as f64 * 0.005;
-            let mut cells = vec![format!("{u:.4}")];
-            for v in &datasets {
-                let out = mep.scheme().sample(v, u).expect("outcome");
-                let l = lstar.estimate(&mep, &out);
-                let uc = ustar_closed.estimate(&mep, &out);
-                let opt = vopt.estimate_for_data(&mep, v, u).expect("opt");
-                if k % 10 == 0 {
-                    let ug = ustar_generic.estimate(&mep, &out);
-                    max_generic_gap = max_generic_gap.max((ug - uc).abs());
-                }
-                cells.push(format!("{l}"));
-                cells.push(format!("{uc}"));
-                cells.push(format!("{opt}"));
-            }
-            rows.push(cells.clone());
-            if k % 20 == 0 {
-                t.row(
-                    cells
-                        .iter()
-                        .map(|c| fnum(c.parse::<f64>().unwrap_or(0.0)))
-                        .collect(),
-                );
-            }
-        }
-        t.print();
-        let path = write_csv(
-            &format!("e4_estimates_p{p}.csv"),
-            &[
-                "u",
-                "lstar_062",
-                "ustar_062",
-                "opt_062",
-                "lstar_060",
-                "ustar_060",
-                "opt_060",
-            ],
-            &rows,
-        );
-        println!("wrote {}", path.display());
-        println!(
-            "  max |U*generic − U*closed| at probes: {}",
-            fnum(max_generic_gap)
-        );
-
-        // Paper captions: at v2 = 0 the U* estimates are v-optimal.
-        let v = [0.6, 0.0];
-        let mut max_gap: f64 = 0.0;
-        for k in 1..=11 {
-            let u = k as f64 * 0.05;
-            let out = mep.scheme().sample(&v, u).expect("outcome");
-            let uc = ustar_closed.estimate(&mep, &out);
-            let opt = vopt.estimate_for_data(&mep, &v, u).expect("opt");
-            max_gap = max_gap.max((uc - opt).abs());
-        }
-        println!(
-            "  max |U* − v-opt| at v2=0: {} (paper: U* is v-optimal there)",
-            fnum(max_gap)
-        );
-
-        // L* unbounded at v2 = 0: estimate grows as u → 0.
-        let small = mep.scheme().sample(&v, 1e-6).expect("outcome");
-        let tiny = mep.scheme().sample(&v, 1e-9).expect("outcome");
-        let (e_small, e_tiny) = (lstar.estimate(&mep, &small), lstar.estimate(&mep, &tiny));
-        println!(
-            "  L*(u=1e-6)={}, L*(u=1e-9)={} (unbounded growth: {})\n",
-            fnum(e_small),
-            fnum(e_tiny),
-            e_tiny > e_small
-        );
-    }
+    monotone_bench::scenarios::run_main("example4");
 }

@@ -1,148 +1,6 @@
-//! E5 — Example 5 tables: order-optimal estimators on V = {0..3}².
-//!
-//! Regenerates, for RG1+ with thresholds π = (0.25, 0.5, 0.75):
-//! the lower-bound table, the v-optimal-estimate table, and the estimate
-//! tables of three ≺⁺-optimal estimators (L\* order, U\* order, and the
-//! "difference-2 first" custom order of the walkthrough), plus exact
-//! unbiasedness and variance columns.
-
-use monotone_bench::{fnum, table::Table, write_csv};
-use monotone_core::discrete::{DiscreteMep, OrderOptimal};
-use monotone_core::func::RangePowPlus;
-
-const PI: [f64; 3] = [0.25, 0.5, 0.75];
-
-fn example5() -> DiscreteMep<RangePowPlus> {
-    let mut vectors = Vec::new();
-    for a in 0..4 {
-        for b in 0..4 {
-            vectors.push(vec![a as f64, b as f64]);
-        }
-    }
-    let probs = vec![(0.0, 0.0), (1.0, PI[0]), (2.0, PI[1]), (3.0, PI[2])];
-    DiscreteMep::new(RangePowPlus::new(1.0), vectors, vec![probs.clone(), probs]).expect("domain")
-}
+//! Legacy alias: runs the `example5` scenario through the engine's sharded
+//! runner — equivalent to `exp_runner -- example5`.
 
 fn main() {
-    let mep = example5();
-    let positive: Vec<Vec<f64>> = vec![
-        vec![1.0, 0.0],
-        vec![2.0, 1.0],
-        vec![2.0, 0.0],
-        vec![3.0, 2.0],
-        vec![3.0, 1.0],
-        vec![3.0, 0.0],
-    ];
-    let intervals = ["(0,π1]", "(π1,π2]", "(π2,π3]", "(π3,1]"];
-
-    // Lower-bound table (paper's first Example 5 table).
-    let mut t = Table::new(
-        "E5: lower bounds RG1+(v)(u)",
-        &[
-            "interval", "(1,0)", "(2,1)", "(2,0)", "(3,2)", "(3,1)", "(3,0)",
-        ],
-    );
-    let mut csv = Vec::new();
-    for k in 0..mep.interval_count() {
-        let mut cells = vec![intervals[k].to_owned()];
-        for v in &positive {
-            let lb = mep.lower_bound(&mep.outcome_at_interval(v, k));
-            cells.push(fnum(lb));
-        }
-        csv.push(cells.clone());
-        t.row(cells);
-    }
-    t.print();
-    write_csv(
-        "e5_lower_bounds.csv",
-        &["interval", "v10", "v21", "v20", "v32", "v31", "v30"],
-        &csv,
-    );
-
-    // Estimator tables for the three orders.
-    let orders: Vec<(&str, OrderOptimal<'_, RangePowPlus>)> = vec![
-        ("L* order (f ascending)", OrderOptimal::f_ascending(&mep)),
-        ("U* order (f descending)", OrderOptimal::f_descending(&mep)),
-        (
-            "custom order (difference 2 first)",
-            OrderOptimal::by_key(&mep, |v| {
-                let d = v[0] - v[1];
-                (d - 2.0).abs() * 10.0 + d
-            }),
-        ),
-    ];
-    for (name, est) in &orders {
-        let mut t = Table::new(
-            &format!("E5: {name} — estimates per interval"),
-            &[
-                "interval", "(1,0)", "(2,1)", "(2,0)", "(3,2)", "(3,1)", "(3,0)",
-            ],
-        );
-        let mut csv = Vec::new();
-        for k in 0..mep.interval_count() {
-            let mut cells = vec![intervals[k].to_owned()];
-            for v in &positive {
-                cells.push(fnum(est.estimate(&mep.outcome_at_interval(v, k))));
-            }
-            csv.push(cells.clone());
-            t.row(cells);
-        }
-        t.print();
-
-        let mut s = Table::new(
-            &format!("E5: {name} — exact moments"),
-            &["vector", "E[f̂]", "f(v)", "variance"],
-        );
-        for v in &positive {
-            let meanv = est.expected(v).expect("mean");
-            let var = est.variance(v).expect("var");
-            let f = (v[0] - v[1]).max(0.0);
-            s.row(vec![format!("{v:?}"), fnum(meanv), fnum(f), fnum(var)]);
-        }
-        s.print();
-        println!();
-        write_csv(
-            &format!(
-                "e5_estimates_{}.csv",
-                name.split_whitespace()
-                    .next()
-                    .unwrap_or("order")
-                    .to_lowercase()
-                    .replace('*', "star")
-            ),
-            &["interval", "v10", "v21", "v20", "v32", "v31", "v30"],
-            &csv,
-        );
-    }
-
-    // The L*-order table must equal the closed interval-sum L*.
-    let asc = OrderOptimal::f_ascending(&mep);
-    let mut max_gap: f64 = 0.0;
-    for v in mep.vectors().to_vec() {
-        for k in 0..mep.interval_count() {
-            let out = mep.outcome_at_interval(&v, k);
-            max_gap = max_gap.max((asc.estimate(&out) - mep.lstar_estimate(&out)).abs());
-        }
-    }
-    println!(
-        "max |order-opt(f asc) − L*| over all outcomes: {} (Theorem 4.3)",
-        fnum(max_gap)
-    );
-
-    // Variance comparison across orders at the extreme vectors.
-    let mut c = Table::new(
-        "E5: variance by order (customization effect)",
-        &["vector", "L* order", "U* order", "custom (d=2 first)"],
-    );
-    for v in &positive {
-        let cells: Vec<String> = std::iter::once(format!("{v:?}"))
-            .chain(
-                orders
-                    .iter()
-                    .map(|(_, e)| fnum(e.variance(v).expect("var"))),
-            )
-            .collect();
-        c.row(cells);
-    }
-    c.print();
+    monotone_bench::scenarios::run_main("example5");
 }

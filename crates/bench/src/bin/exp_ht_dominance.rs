@@ -1,84 +1,6 @@
-//! E8 — Theorem 4.2: L\* dominates the Horvitz-Thompson estimator (and all
-//! monotone estimators).
-//!
-//! Tabulates per-data variance of L\*, HT and the dyadic J baseline for
-//! RG1+ and RG2+ over a grid of data vectors. L\*'s variance is at most
-//! HT's everywhere; at `v2 = 0` HT is not even applicable (reveal
-//! probability 0) while L\* remains unbiased.
-
-use monotone_bench::{fnum, table::Table, write_csv};
-use monotone_core::estimate::{DyadicJ, HorvitzThompson};
-use monotone_core::func::RangePowPlus;
-use monotone_core::problem::Mep;
-use monotone_core::scheme::TupleScheme;
-use monotone_core::variance::VarianceCalc;
+//! Legacy alias: runs the `ht_dominance` scenario through the engine's sharded
+//! runner — equivalent to `exp_runner -- ht_dominance`.
 
 fn main() {
-    let calc = VarianceCalc::new(1e-9, 2000);
-    let ht = HorvitzThompson::new();
-    let j = DyadicJ::new();
-    let mut csv = Vec::new();
-    for &p in &[1.0, 2.0] {
-        let mep =
-            Mep::new(RangePowPlus::new(p), TupleScheme::pps(&[1.0, 1.0]).unwrap()).expect("mep");
-        let mut t = Table::new(
-            &format!("E8: variance on RG{p}+ (PPS 1)"),
-            &[
-                "v",
-                "VAR L*",
-                "VAR HT",
-                "VAR J",
-                "HT applicable",
-                "L* <= HT",
-            ],
-        );
-        let mut dominated = true;
-        for &v in &[
-            [0.9, 0.0],
-            [0.9, 0.1],
-            [0.9, 0.3],
-            [0.9, 0.6],
-            [0.9, 0.85],
-            [0.5, 0.0],
-            [0.5, 0.25],
-            [0.5, 0.45],
-        ] {
-            let l = calc.lstar_stats(&mep, &v).expect("l*");
-            let h = calc.stats(&mep, &ht, &v).expect("ht");
-            let jv = calc.stats(&mep, &j, &v).expect("j");
-            let applicable = ht.is_applicable(&mep, &v).expect("check");
-            // HT's "variance" is meaningless where it is biased; report the
-            // mean-squared error about f(v) instead (same formula).
-            let ok = !applicable || l.variance <= h.variance + 1e-6;
-            dominated &= ok;
-            t.row(vec![
-                format!("({}, {})", v[0], v[1]),
-                fnum(l.variance),
-                if applicable {
-                    fnum(h.variance)
-                } else {
-                    format!("{} (biased)", fnum(h.variance))
-                },
-                fnum(jv.variance),
-                if applicable { "yes" } else { "no" }.into(),
-                if ok { "yes" } else { "NO" }.into(),
-            ]);
-            csv.push(vec![
-                format!("{p}"),
-                format!("{};{}", v[0], v[1]),
-                format!("{}", l.variance),
-                format!("{}", h.variance),
-                format!("{}", jv.variance),
-                format!("{applicable}"),
-            ]);
-        }
-        t.print();
-        println!("  L* dominates HT wherever HT applies: {dominated}\n");
-    }
-    let path = write_csv(
-        "e8_ht_dominance.csv",
-        &["p", "v", "var_lstar", "var_ht", "var_j", "ht_applicable"],
-        &csv,
-    );
-    println!("wrote {}", path.display());
+    monotone_bench::scenarios::run_main("ht_dominance");
 }

@@ -1,92 +1,6 @@
-//! E11 — empirical competitiveness of the dyadic J baseline vs L\*.
-//!
-//! The J estimator of \[15\] guarantees O(1) competitiveness (84 in that
-//! paper) but is neither admissible nor monotone; Theorem 4.1's bound of 4
-//! for L\* is the improvement. We measure the per-data ratio
-//! `E[f̂²]/E[(f̂⁽ᵛ⁾)²]` of both estimators across the RGp+ family and the
-//! tight scalar family.
-
-use monotone_bench::{fnum, table::Table, write_csv};
-use monotone_core::estimate::DyadicJ;
-use monotone_core::func::{PowerGapFamily, RangePowPlus};
-use monotone_core::problem::Mep;
-use monotone_core::scheme::TupleScheme;
-use monotone_core::variance::VarianceCalc;
+//! Legacy alias: runs the `j_ratio` scenario through the engine's sharded
+//! runner — equivalent to `exp_runner -- j_ratio`.
 
 fn main() {
-    let calc = VarianceCalc::new(1e-10, 3000);
-    let j = DyadicJ::new();
-    let mut t = Table::new(
-        "E11: per-data competitive ratios — J (dyadic) vs L*",
-        &["problem", "data", "ratio J", "ratio L*"],
-    );
-    let mut csv = Vec::new();
-    let mut sup_j: f64 = 0.0;
-    let mut sup_l: f64 = 0.0;
-
-    for &p in &[0.5, 1.0, 2.0] {
-        let mep =
-            Mep::new(RangePowPlus::new(p), TupleScheme::pps(&[1.0, 1.0]).unwrap()).expect("mep");
-        for &v in &[[0.9, 0.0], [0.9, 0.45], [0.9, 0.8], [0.3, 0.1]] {
-            let rj = calc
-                .competitive_ratio(&mep, &j, &v)
-                .expect("j")
-                .unwrap_or(f64::NAN);
-            let rl = calc
-                .lstar_competitive_ratio(&mep, &v)
-                .expect("l")
-                .unwrap_or(f64::NAN);
-            if rj.is_finite() {
-                sup_j = sup_j.max(rj);
-            }
-            if rl.is_finite() {
-                sup_l = sup_l.max(rl);
-            }
-            t.row(vec![
-                format!("RG{p}+"),
-                format!("({}, {})", v[0], v[1]),
-                fnum(rj),
-                fnum(rl),
-            ]);
-            csv.push(vec![
-                format!("RG{p}+"),
-                format!("{};{}", v[0], v[1]),
-                format!("{rj}"),
-                format!("{rl}"),
-            ]);
-        }
-    }
-    for &p in &[0.0, 0.2, 0.35] {
-        let fam = PowerGapFamily::new(p);
-        let mep = Mep::new(fam, TupleScheme::pps(&[1.0]).unwrap()).expect("mep");
-        let rj = calc
-            .competitive_ratio(&mep, &j, &[0.0])
-            .expect("j")
-            .unwrap_or(f64::NAN);
-        let rl = calc
-            .lstar_competitive_ratio(&mep, &[0.0])
-            .expect("l")
-            .unwrap_or(f64::NAN);
-        sup_j = sup_j.max(rj);
-        sup_l = sup_l.max(rl);
-        t.row(vec![format!("power p={p}"), "0".into(), fnum(rj), fnum(rl)]);
-        csv.push(vec![
-            format!("power{p}"),
-            "0".into(),
-            format!("{rj}"),
-            format!("{rl}"),
-        ]);
-    }
-    t.print();
-    println!(
-        "\nsup observed: J = {}, L* = {} (L* is provably <= 4 everywhere)",
-        fnum(sup_j),
-        fnum(sup_l)
-    );
-    let path = write_csv(
-        "e11_j_ratio.csv",
-        &["problem", "data", "ratio_j", "ratio_lstar"],
-        &csv,
-    );
-    println!("wrote {}", path.display());
+    monotone_bench::scenarios::run_main("j_ratio");
 }

@@ -1,164 +1,6 @@
-//! E9 — Lp-difference estimation over coordinated samples (paper,
-//! Section 7 / companion \[7\]).
-//!
-//! Estimates `L1` and `L2²` differences (via sums of per-item `RGp`
-//! estimates, split into increase and decrease parts estimated with `RGp+`)
-//! on two synthetic dataset families:
-//!
-//! * *flow-like* (IP traffic stand-in): heavy churn → large differences —
-//!   the U\* estimator should win;
-//! * *stable-like* (surnames stand-in): small drift → small differences —
-//!   the L\* estimator should win, and U\* can be much worse, while L\*
-//!   never is (its 4-competitiveness in action).
-//!
-//! Reports NRMSE per estimator across a sampling-rate sweep, averaged over
-//! coordinated sampling randomizations (parallelized with scoped threads).
-
-use monotone_bench::{fnum, stats::nrmse, table::Table, write_csv};
-use monotone_coord::instance::Dataset;
-use monotone_coord::pps::{scale_for_expected_size, CoordPps};
-use monotone_coord::query::{estimate_sum, exact_sum};
-use monotone_coord::seed::SeedHasher;
-use monotone_core::estimate::{
-    DyadicJ, HorvitzThompson, MonotoneEstimator, RgPlusLStar, RgPlusUStar,
-};
-use monotone_core::func::RangePowPlus;
-use monotone_core::scheme::LinearThreshold;
-use monotone_datagen::pairs::{flow_like, stable_like, PairConfig};
-use rand::SeedableRng;
-
-const TRIALS: u64 = 48;
-
-/// Sum of the increase-only and decrease-only estimates = Lp^p estimate.
-fn lpp_estimate<E>(p: f64, est: &E, sampler: &CoordPps, data: &Dataset) -> f64
-where
-    E: MonotoneEstimator<RangePowPlus, LinearThreshold>,
-{
-    let samples = sampler.sample_all(data);
-    let swapped = Dataset::new(vec![data.instance(1).clone(), data.instance(0).clone()]);
-    let samples_swapped = vec![samples[1].clone(), samples[0].clone()];
-    let inc = estimate_sum(RangePowPlus::new(p), est, sampler, &samples, None).expect("inc");
-    let dec =
-        estimate_sum(RangePowPlus::new(p), est, sampler, &samples_swapped, None).expect("dec");
-    let _ = swapped;
-    inc + dec
-}
-
-fn lpp_exact(p: f64, data: &Dataset) -> f64 {
-    let swapped = Dataset::new(vec![data.instance(1).clone(), data.instance(0).clone()]);
-    exact_sum(&RangePowPlus::new(p), data, None) + exact_sum(&RangePowPlus::new(p), &swapped, None)
-}
-
-fn run_family(name: &str, data: &Dataset, csv: &mut Vec<Vec<String>>) {
-    println!(
-        "\n### dataset family: {name} ({} / {} items)",
-        data.instance(0).len(),
-        data.instance(1).len()
-    );
-    for &p in &[1.0, 2.0] {
-        let truth = lpp_exact(p, data);
-        let mut t = Table::new(
-            &format!(
-                "E9 {name}: NRMSE of Lp^p estimate, p = {p} (truth {})",
-                fnum(truth)
-            ),
-            &["expected sample size", "L*", "U*", "HT", "J"],
-        );
-        for &target in &[50.0, 100.0, 200.0, 400.0] {
-            let scale = scale_for_expected_size(data.instance(0), target)
-                .max(scale_for_expected_size(data.instance(1), target));
-            let lstar = RgPlusLStar::new(p as u8, scale);
-            let ustar = RgPlusUStar::new(p, scale);
-            let ht = HorvitzThompson::new();
-            let j = DyadicJ::new();
-
-            let mut series: Vec<Vec<f64>> = vec![Vec::new(); 4];
-            let chunks: Vec<u64> = (0..TRIALS).collect();
-            let results: Vec<[f64; 4]> = std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for chunk in chunks.chunks(TRIALS as usize / 4 + 1) {
-                    let (lstar, ustar, ht, j) = (&lstar, &ustar, &ht, &j);
-                    let data = &data;
-                    handles.push(scope.spawn(move || {
-                        chunk
-                            .iter()
-                            .map(|&salt| {
-                                let sampler = CoordPps::uniform_scale(
-                                    2,
-                                    scale,
-                                    SeedHasher::new(salt * 7 + 1),
-                                );
-                                [
-                                    lpp_estimate(p, lstar, &sampler, data),
-                                    lpp_estimate(p, ustar, &sampler, data),
-                                    lpp_estimate(p, ht, &sampler, data),
-                                    lpp_estimate(p, j, &sampler, data),
-                                ]
-                            })
-                            .collect::<Vec<_>>()
-                    }));
-                }
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("worker"))
-                    .collect()
-            });
-            for r in results {
-                for (i, x) in r.iter().enumerate() {
-                    series[i].push(*x);
-                }
-            }
-            let errs: Vec<f64> = series.iter().map(|s| nrmse(s, truth)).collect();
-            t.row(vec![
-                format!("{target}"),
-                fnum(errs[0]),
-                fnum(errs[1]),
-                fnum(errs[2]),
-                fnum(errs[3]),
-            ]);
-            csv.push(vec![
-                name.to_owned(),
-                format!("{p}"),
-                format!("{target}"),
-                format!("{}", errs[0]),
-                format!("{}", errs[1]),
-                format!("{}", errs[2]),
-                format!("{}", errs[3]),
-            ]);
-        }
-        t.print();
-    }
-}
+//! Legacy alias: runs the `lp_difference` scenario through the engine's sharded
+//! runner — equivalent to `exp_runner -- lp_difference`.
 
 fn main() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(20140615);
-    let mut flow_cfg = PairConfig::flow();
-    flow_cfg.keys = 1500;
-    let mut stable_cfg = PairConfig::stable();
-    stable_cfg.keys = 1500;
-    let flow = flow_like(&flow_cfg, &mut rng);
-    let stable = stable_like(&stable_cfg, &mut rng);
-
-    let mut csv = Vec::new();
-    run_family("flow-like (dissimilar)", &flow, &mut csv);
-    run_family("stable-like (similar)", &stable, &mut csv);
-
-    println!("\npaper-shape checks:");
-    println!("  * U* should beat L* on the flow-like family,");
-    println!("  * L* should beat U* on the stable-like family,");
-    println!("  * L* never blows up (4-competitive), HT degrades where reveal probs vanish.");
-    let path = write_csv(
-        "e9_lp_difference.csv",
-        &[
-            "family",
-            "p",
-            "target_size",
-            "nrmse_lstar",
-            "nrmse_ustar",
-            "nrmse_ht",
-            "nrmse_j",
-        ],
-        &csv,
-    );
-    println!("wrote {}", path.display());
+    monotone_bench::scenarios::run_main("lp_difference");
 }

@@ -1,73 +1,6 @@
-//! E12 — coordination as locality-sensitive hashing (paper, Section 1).
-//!
-//! "When the weights in two instances are very similar, the samples we
-//! obtain are similar, and more likely to be identical." We sweep the
-//! drift between two instances and compare the Jaccard overlap of their
-//! coordinated PPS samples against independently-seeded samples.
-
-use monotone_bench::{fnum, stats::mean, table::Table, write_csv};
-use monotone_coord::instance::{Dataset, Instance};
-use monotone_coord::pps::CoordPps;
-use monotone_coord::query::{sample_key_jaccard, weighted_jaccard};
-use monotone_coord::seed::SeedHasher;
-use monotone_datagen::zipf::lognormal_factor;
-use rand::SeedableRng;
+//! Legacy alias: runs the `lsh` scenario through the engine's sharded
+//! runner — equivalent to `exp_runner -- lsh`.
 
 fn main() {
-    let n = 3000u64;
-    let mut t = Table::new(
-        "E12: sample overlap under coordination vs independence (PPS, E|S| ≈ 300)",
-        &[
-            "drift sigma",
-            "data jaccard",
-            "coordinated overlap",
-            "independent overlap",
-        ],
-    );
-    let mut csv = Vec::new();
-    for &sigma in &[0.0, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0] {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(31 + (sigma * 100.0) as u64);
-        let a = Instance::from_pairs((0..n).map(|k| (k, 0.05 + 0.95 * ((k % 97) as f64 / 97.0))));
-        let b = Instance::from_pairs(
-            a.iter()
-                .map(|(k, w)| (k, (w * lognormal_factor(&mut rng, sigma)).min(1.0))),
-        );
-        let dj = weighted_jaccard(&a, &b);
-        let data = Dataset::new(vec![a, b]);
-
-        let mut coord = Vec::new();
-        let mut indep = Vec::new();
-        for salt in 0..12u64 {
-            let sampler = CoordPps::uniform_scale(2, 5.0, SeedHasher::new(salt));
-            let ca = sampler.sample_instance(0, data.instance(0));
-            let cb = sampler.sample_instance(1, data.instance(1));
-            coord.push(sample_key_jaccard(&ca, &cb));
-            let ia = sampler.sample_instance_independent(0, data.instance(0));
-            let ib = sampler.sample_instance_independent(1, data.instance(1));
-            indep.push(sample_key_jaccard(&ia, &ib));
-        }
-        let (mc, mi) = (mean(&coord), mean(&indep));
-        t.row(vec![format!("{sigma}"), fnum(dj), fnum(mc), fnum(mi)]);
-        csv.push(vec![
-            format!("{sigma}"),
-            format!("{dj}"),
-            format!("{mc}"),
-            format!("{mi}"),
-        ]);
-    }
-    t.print();
-    println!("\npaper-shape check: identical instances → identical coordinated samples");
-    println!("(overlap 1 at sigma 0), decaying gracefully with drift; independent");
-    println!("sampling overlaps far less at every similarity level.");
-    let path = write_csv(
-        "e12_lsh.csv",
-        &[
-            "sigma",
-            "data_jaccard",
-            "coordinated_overlap",
-            "independent_overlap",
-        ],
-        &csv,
-    );
-    println!("wrote {}", path.display());
+    monotone_bench::scenarios::run_main("lsh");
 }

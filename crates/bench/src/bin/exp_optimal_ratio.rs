@@ -1,86 +1,6 @@
-//! E14 — instance-optimal competitive ratios (paper, Section 7: "we also
-//! computed (via a program) the optimally competitive estimator"; the
-//! conclusion bounds the universal ratio between 1.4 and 4).
-//!
-//! Runs the projected-subgradient search for the optimally-competitive
-//! estimator on discrete RG1+ domains of growing resolution and compares
-//! the optimal worst-case ratio against the L\*- and U\*-order estimators'.
-
-use monotone_bench::{fnum, table::Table, write_csv};
-use monotone_core::discrete::{DiscreteMep, OrderOptimal};
-use monotone_core::func::RangePowPlus;
-use monotone_core::optimal_ratio::{vopt_esq_discrete, OptimalRatioSolver};
-
-fn domain(levels: usize) -> DiscreteMep<RangePowPlus> {
-    let mut vectors = Vec::new();
-    for a in 0..=levels {
-        for b in 0..=levels {
-            vectors.push(vec![a as f64, b as f64]);
-        }
-    }
-    let probs: Vec<(f64, f64)> = (0..=levels)
-        .map(|w| (w as f64, w as f64 / levels as f64))
-        .collect();
-    DiscreteMep::new(RangePowPlus::new(1.0), vectors, vec![probs.clone(), probs]).expect("domain")
-}
-
-fn worst_ratio(mep: &DiscreteMep<RangePowPlus>, est: &OrderOptimal<'_, RangePowPlus>) -> f64 {
-    let mut worst: f64 = 1.0;
-    for v in mep.vectors().to_vec() {
-        if (v[0] - v[1]).max(0.0) == 0.0 {
-            continue;
-        }
-        let opt = vopt_esq_discrete(mep, &v);
-        if opt > 1e-12 {
-            worst = worst.max(est.esq(&v).expect("esq") / opt);
-        }
-    }
-    worst
-}
+//! Legacy alias: runs the `optimal_ratio` scenario through the engine's sharded
+//! runner — equivalent to `exp_runner -- optimal_ratio`.
 
 fn main() {
-    let mut t = Table::new(
-        "E14: worst-case competitive ratios on discrete RG1+ domains",
-        &["levels", "L* order", "U* order", "optimized", "residual"],
-    );
-    let mut csv = Vec::new();
-    for &levels in &[3usize, 4, 6, 8] {
-        let mep = domain(levels);
-        let asc = OrderOptimal::f_ascending(&mep);
-        let desc = OrderOptimal::f_descending(&mep);
-        let r_asc = worst_ratio(&mep, &asc);
-        let r_desc = worst_ratio(&mep, &desc);
-        let solver = OptimalRatioSolver::default();
-        let result = solver.solve(&mep).expect("solve");
-        t.row(vec![
-            format!("{levels}"),
-            fnum(r_asc),
-            fnum(r_desc),
-            fnum(result.ratio),
-            fnum(result.residual),
-        ]);
-        csv.push(vec![
-            format!("{levels}"),
-            format!("{r_asc}"),
-            format!("{r_desc}"),
-            format!("{}", result.ratio),
-        ]);
-    }
-    t.print();
-    println!("\npaper-shape checks: the L*-order ratio stays below 4 (Theorem 4.1)");
-    println!("while the U*-order worst case grows without bound (it sacrifices the");
-    println!("most-similar data — order optimality is not competitiveness); the");
-    println!("optimized estimator beats both and stays above 1 (the universal lower");
-    println!("bound is at least 1.4 on adversarial instances per the conclusion).");
-    let path = write_csv(
-        "e14_optimal_ratio.csv",
-        &[
-            "levels",
-            "ratio_lstar_order",
-            "ratio_ustar_order",
-            "ratio_optimized",
-        ],
-        &csv,
-    );
-    println!("wrote {}", path.display());
+    monotone_bench::scenarios::run_main("optimal_ratio");
 }

@@ -1,61 +1,6 @@
-//! E6 — Theorem 4.1: the L\* competitive ratio is tight at 4.
-//!
-//! Sweeps the family `f(v) = (1 − v^{1−p})/(1−p)` on `V = [0,1]` with
-//! `τ(u) = u`, data `v = 0`. The paper proves ratio `2/(1−p)`, approaching 4
-//! as `p → 0.5⁻`. We print the closed form alongside the numeric ratio
-//! computed by the generic machinery (log-grid integration); the numeric
-//! column is reliable up to p ≈ 0.4 — beyond that the integrals concentrate
-//! below any fixed grid floor and only the closed form is meaningful (the
-//! divergence is the point of the construction).
-
-use monotone_bench::{fnum, table::Table, write_csv};
-use monotone_core::func::PowerGapFamily;
-use monotone_core::problem::Mep;
-use monotone_core::scheme::TupleScheme;
-use monotone_core::variance::VarianceCalc;
+//! Legacy alias: runs the `ratio4` scenario through the engine's sharded
+//! runner — equivalent to `exp_runner -- ratio4`.
 
 fn main() {
-    let mut t = Table::new(
-        "E6: L* ratio on the tight family (paper: 2/(1−p) → 4)",
-        &["p", "closed-form ratio", "numeric ratio", "numeric valid"],
-    );
-    let mut csv = Vec::new();
-    let calc = VarianceCalc::new(1e-12, 4000);
-    for &p in &[0.0, 0.1, 0.2, 0.3, 0.35, 0.4, 0.45, 0.49, 0.499] {
-        let fam = PowerGapFamily::new(p);
-        let closed = fam.ratio_at_zero();
-        let numeric_valid = p <= 0.41;
-        let numeric = if p < 0.48 {
-            let mep = Mep::new(fam, TupleScheme::pps(&[1.0]).unwrap()).expect("mep");
-            calc.lstar_competitive_ratio(&mep, &[0.0])
-                .expect("ratio")
-                .unwrap_or(f64::NAN)
-        } else {
-            f64::NAN
-        };
-        t.row(vec![
-            format!("{p}"),
-            fnum(closed),
-            if numeric.is_nan() {
-                "-".into()
-            } else {
-                fnum(numeric)
-            },
-            if numeric_valid {
-                "yes"
-            } else {
-                "tail-dominated"
-            }
-            .into(),
-        ]);
-        csv.push(vec![
-            format!("{p}"),
-            format!("{closed}"),
-            format!("{numeric}"),
-        ]);
-    }
-    t.print();
-    println!("\nsup over the family = 4 (Theorem 4.1); L* is 4-competitive for every MEP");
-    let path = write_csv("e6_ratio4.csv", &["p", "closed", "numeric"], &csv);
-    println!("wrote {}", path.display());
+    monotone_bench::scenarios::run_main("ratio4");
 }

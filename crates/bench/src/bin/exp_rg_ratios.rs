@@ -1,58 +1,6 @@
-//! E7 — the L\* competitive ratios for exponentiated ranges: 2 for RG1,
-//! 2.5 for RG2 (paper, Section 1 "Contributions" and Section 7).
-//!
-//! Sweeps `v = (1, v2)` for `v2/v1 ∈ [0, 1)` under PPS(1) and reports the
-//! per-data ratio `E[(f̂ᴸ)²]/E[(f̂⁽ᵛ⁾)²]` and its supremum, for both `RGp+`
-//! and the symmetric `RGp`, p ∈ {1, 2}.
-
-use monotone_bench::{fnum, table::Table, write_csv};
-use monotone_core::func::{RangePow, RangePowPlus};
-use monotone_core::problem::Mep;
-use monotone_core::scheme::TupleScheme;
-use monotone_core::variance::VarianceCalc;
-
-fn sweep<F: monotone_core::func::ItemFn>(name: &str, f: F, csv: &mut Vec<Vec<String>>) -> f64 {
-    let mep = Mep::new(f, TupleScheme::pps(&[1.0, 1.0]).unwrap()).expect("mep");
-    let calc = VarianceCalc::new(1e-10, 3000);
-    let mut t = Table::new(
-        &format!("E7: L* ratio sweep for {name}, v = (1, v2)"),
-        &["v2", "ratio"],
-    );
-    let mut sup: f64 = 0.0;
-    for k in 0..20 {
-        let v2 = k as f64 / 20.0;
-        let v = [1.0, v2];
-        let ratio = calc
-            .lstar_competitive_ratio(&mep, &v)
-            .expect("ratio")
-            .unwrap_or(f64::NAN);
-        if ratio.is_finite() {
-            sup = sup.max(ratio);
-        }
-        t.row(vec![format!("{v2:.2}"), fnum(ratio)]);
-        csv.push(vec![name.to_owned(), format!("{v2}"), format!("{ratio}")]);
-    }
-    t.print();
-    println!("  sup ratio for {name}: {}\n", fnum(sup));
-    sup
-}
+//! Legacy alias: runs the `rg_ratios` scenario through the engine's sharded
+//! runner — equivalent to `exp_runner -- rg_ratios`.
 
 fn main() {
-    let mut csv = Vec::new();
-    let s1p = sweep("RG1+", RangePowPlus::new(1.0), &mut csv);
-    let s2p = sweep("RG2+", RangePowPlus::new(2.0), &mut csv);
-    let s1 = sweep("RG1", RangePow::new(1.0, 2), &mut csv);
-    let s2 = sweep("RG2", RangePow::new(2.0, 2), &mut csv);
-
-    let mut t = Table::new(
-        "E7 summary: sup ratios vs paper",
-        &["function", "sup ratio (ours)", "paper"],
-    );
-    t.row(vec!["RG1+".into(), fnum(s1p), "2".into()]);
-    t.row(vec!["RG2+".into(), fnum(s2p), "2.5".into()]);
-    t.row(vec!["RG1".into(), fnum(s1), "2".into()]);
-    t.row(vec!["RG2".into(), fnum(s2), "2.5".into()]);
-    t.print();
-    let path = write_csv("e7_rg_ratios.csv", &["function", "v2", "ratio"], &csv);
-    println!("wrote {}", path.display());
+    monotone_bench::scenarios::run_main("rg_ratios");
 }

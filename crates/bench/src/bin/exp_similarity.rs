@@ -1,102 +1,6 @@
-//! E10 — sketch-based closeness similarity in social networks (paper,
-//! Section 7 / companion \[9\]).
-//!
-//! Builds all-distances sketches over a preferential-attachment graph (the
-//! social-network stand-in), estimates closeness similarity
-//! `sim(a,b) = Σ α(max d) / Σ α(min d)` with per-item L\* estimates under
-//! HIP thresholds, and reports the error against exact Dijkstra truth as
-//! the sketch parameter k grows. The per-randomization sketch builds and
-//! pair estimates are driven through the engine's chunked worker pool.
-
-use monotone_bench::{fnum, stats::mean, table::Table, write_csv};
-use monotone_coord::seed::SeedHasher;
-use monotone_datagen::graphs::{grid, preferential_attachment};
-use monotone_engine::Engine;
-use monotone_sketches::ads::build_all_ads;
-use monotone_sketches::closeness::{exact_closeness, ClosenessEstimator};
-use monotone_sketches::graph::Graph;
-use rand::SeedableRng;
-
-fn alpha(d: f64) -> f64 {
-    if d.is_finite() {
-        (-d).exp()
-    } else {
-        0.0
-    }
-}
-
-fn run(name: &str, g: &Graph, pairs: &[(u32, u32)], csv: &mut Vec<Vec<String>>) {
-    println!(
-        "\n### graph: {name} (n = {}, arcs = {})",
-        g.node_count(),
-        g.arc_count()
-    );
-    let truths: Vec<f64> = pairs
-        .iter()
-        .map(|&(a, b)| exact_closeness(g, a, b, &alpha))
-        .collect();
-    let mut t = Table::new(
-        &format!(
-            "E10 {name}: mean |sim estimate − truth| over {} pairs",
-            pairs.len()
-        ),
-        &["k", "mean abs error", "mean sketch size"],
-    );
-    let engine = Engine::new();
-    let salts: Vec<u64> = (0..3).collect();
-    for &k in &[4usize, 8, 16, 32, 64] {
-        // One chunked-pool task per randomization: build the sketch set,
-        // estimate every pair against it.
-        let per_salt = engine.map_chunked(&salts, |_, &salt| {
-            let seeder = SeedHasher::new(97 + salt);
-            let sketches = build_all_ads(g, k, &seeder);
-            let size = sketches.iter().map(|s| s.len() as f64).sum::<f64>() / sketches.len() as f64;
-            let est = ClosenessEstimator::new(&sketches, k, alpha);
-            let errs: Vec<f64> = pairs
-                .iter()
-                .enumerate()
-                .map(|(i, &(a, b))| (est.estimate(a, b).expect("estimate") - truths[i]).abs())
-                .collect();
-            (errs, size)
-        });
-        let errs: Vec<f64> = per_salt
-            .iter()
-            .flat_map(|(e, _)| e.iter().copied())
-            .collect();
-        let sizes: Vec<f64> = per_salt.iter().map(|&(_, s)| s).collect();
-        let e = mean(&errs);
-        let sz = mean(&sizes);
-        t.row(vec![format!("{k}"), fnum(e), fnum(sz)]);
-        csv.push(vec![
-            name.to_owned(),
-            format!("{k}"),
-            format!("{e}"),
-            format!("{sz}"),
-        ]);
-    }
-    t.print();
-}
+//! Legacy alias: runs the `similarity` scenario through the engine's sharded
+//! runner — equivalent to `exp_runner -- similarity`.
 
 fn main() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
-    let pa = preferential_attachment(600, 3, 0.5, 1.5, &mut rng);
-    let gr = grid(20, 20, 0.5, 1.5, &mut rng);
-
-    // Pairs at varying similarity: neighbors, 2-hop-ish, random.
-    let pairs_pa: Vec<(u32, u32)> =
-        vec![(0, 1), (0, 5), (10, 11), (17, 300), (250, 251), (40, 520)];
-    let pairs_grid: Vec<(u32, u32)> =
-        vec![(0, 1), (0, 21), (105, 106), (0, 399), (190, 210), (45, 267)];
-
-    let mut csv = Vec::new();
-    run("preferential-attachment", &pa, &pairs_pa, &mut csv);
-    run("grid 20x20", &gr, &pairs_grid, &mut csv);
-
-    println!("\npaper-shape check: error decreases with k; sketch sizes grow ~ k·ln n.");
-    let path = write_csv(
-        "e10_similarity.csv",
-        &["graph", "k", "mean_abs_error", "mean_sketch_size"],
-        &csv,
-    );
-    println!("wrote {}", path.display());
+    monotone_bench::scenarios::run_main("similarity");
 }

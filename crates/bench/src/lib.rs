@@ -1,10 +1,14 @@
 //! # monotone-bench
 //!
 //! Experiment harness for the reproduction of Cohen, *"Estimation for
-//! Monotone Sampling"* (PODC 2014). One binary per table/figure (see
-//! `DESIGN.md` §4 for the experiment index and `EXPERIMENTS.md` for the
-//! recorded results); Criterion micro-benchmarks live under `benches/`.
+//! Monotone Sampling"* (PODC 2014). Every experiment is a [`scenarios`]
+//! registry entry executed by the engine's sharded runner via the
+//! `exp_runner` binary (the per-table `exp_*` binaries remain as thin
+//! aliases; see `DESIGN.md` §4 for the experiment index and
+//! `EXPERIMENTS.md` for the recorded results); Criterion
+//! micro-benchmarks live under `benches/`.
 
+pub mod scenarios;
 pub mod stats;
 pub mod table;
 
@@ -23,15 +27,21 @@ pub fn results_dir() -> PathBuf {
     dir
 }
 
-/// Writes a CSV file (headers + rows) under [`results_dir`], returning the
-/// path written.
+/// Writes a CSV file (headers + rows) into `dir`, returning the path
+/// written — the single serialization point for every scenario artifact.
 ///
 /// # Panics
 ///
-/// Panics on I/O errors (experiment binaries want loud failures).
-pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) -> PathBuf {
-    let path = results_dir().join(name);
+/// Panics on I/O errors (experiment drivers want loud failures).
+pub fn write_csv_in<H: AsRef<str>>(
+    dir: &Path,
+    name: &str,
+    headers: &[H],
+    rows: &[Vec<String>],
+) -> PathBuf {
+    let path = dir.join(name);
     let mut out = fs::File::create(&path).expect("create csv");
+    let headers: Vec<&str> = headers.iter().map(AsRef::as_ref).collect();
     writeln!(out, "{}", headers.join(",")).expect("write header");
     for row in rows {
         writeln!(out, "{}", row.join(",")).expect("write row");

@@ -1,0 +1,155 @@
+//! E4 — Example 4 figures: L\*, U\* and v-optimal estimate curves.
+//!
+//! Three panels (p ∈ {0.5, 1, 2}) of `RGp+` under PPS(1) for the data
+//! vectors (0.6, 0.2) and (0.6, 0): the L\* estimate (closed form for
+//! p ∈ {1,2}, generic quadrature otherwise), the U\* closed form, the
+//! generic U\* solver (agreement check), and the v-optimal oracle — the
+//! same five curves the paper plots. Checks the paper's captions: U\* is
+//! v-optimal when v2 = 0; the L\* estimate is unbounded at v2 = 0.
+
+use std::ops::Range;
+
+use monotone_core::estimate::{LStar, MonotoneEstimator, RgPlusUStar, UStar, VOptimal};
+use monotone_core::func::RangePowPlus;
+use monotone_core::problem::Mep;
+use monotone_core::scheme::TupleScheme;
+use monotone_core::Result;
+use monotone_engine::{CsvSpec, Engine, FinishOut, Scenario, UnitOut};
+
+use crate::{fnum, table::Table};
+
+const PANELS: [f64; 3] = [0.5, 1.0, 2.0];
+
+pub struct Example4;
+
+impl Scenario for Example4 {
+    fn name(&self) -> &'static str {
+        "example4"
+    }
+
+    fn description(&self) -> &'static str {
+        "E4: L*, U* and v-optimal estimate curves for RGp+, one panel per p"
+    }
+
+    fn artifacts(&self) -> Vec<CsvSpec> {
+        PANELS
+            .iter()
+            .map(|p| {
+                CsvSpec::new(
+                    &format!("e4_estimates_p{p}.csv"),
+                    &[
+                        "u",
+                        "lstar_062",
+                        "ustar_062",
+                        "opt_062",
+                        "lstar_060",
+                        "ustar_060",
+                        "opt_060",
+                    ],
+                )
+            })
+            .collect()
+    }
+
+    fn units(&self) -> usize {
+        PANELS.len()
+    }
+
+    fn run_shard(&self, units: Range<usize>, _engine: &Engine) -> Result<Vec<UnitOut>> {
+        units
+            .map(|panel| {
+                let p = PANELS[panel];
+                let mep = Mep::new(RangePowPlus::new(p), TupleScheme::pps(&[1.0, 1.0])?)?;
+                let lstar = LStar::new();
+                let ustar_closed = RgPlusUStar::new(p, 1.0);
+                let ustar_generic = UStar::with_steps(128);
+                let vopt = VOptimal::with_resolution(1e-8, 3000);
+                let datasets: [[f64; 2]; 2] = [[0.6, 0.2], [0.6, 0.0]];
+
+                let mut out = UnitOut::default();
+                let mut max_generic_gap: f64 = 0.0;
+                for k in 1..=120 {
+                    let u = k as f64 * 0.005;
+                    let mut cells = vec![format!("{u:.4}")];
+                    let mut shown = vec![fnum(u)];
+                    for v in &datasets {
+                        let outcome = mep.scheme().sample(v, u)?;
+                        let l = lstar.estimate(&mep, &outcome);
+                        let uc = ustar_closed.estimate(&mep, &outcome);
+                        let opt = vopt.estimate_for_data(&mep, v, u)?;
+                        if k % 10 == 0 {
+                            let ug = ustar_generic.estimate(&mep, &outcome);
+                            max_generic_gap = max_generic_gap.max((ug - uc).abs());
+                        }
+                        cells.push(format!("{l}"));
+                        cells.push(format!("{uc}"));
+                        cells.push(format!("{opt}"));
+                        shown.extend([fnum(l), fnum(uc), fnum(opt)]);
+                    }
+                    out.row(panel, cells);
+                    if k % 20 == 0 {
+                        out.show(panel, shown);
+                    }
+                }
+                out.note(format!(
+                    "  max |U*generic − U*closed| at probes: {}",
+                    fnum(max_generic_gap)
+                ));
+
+                // Paper captions: at v2 = 0 the U* estimates are v-optimal.
+                let v = [0.6, 0.0];
+                let mut max_gap: f64 = 0.0;
+                for k in 1..=11 {
+                    let u = k as f64 * 0.05;
+                    let outcome = mep.scheme().sample(&v, u)?;
+                    let uc = ustar_closed.estimate(&mep, &outcome);
+                    let opt = vopt.estimate_for_data(&mep, &v, u)?;
+                    max_gap = max_gap.max((uc - opt).abs());
+                }
+                out.note(format!(
+                    "  max |U* − v-opt| at v2=0: {} (paper: U* is v-optimal there)",
+                    fnum(max_gap)
+                ));
+
+                // L* unbounded at v2 = 0: estimate grows as u → 0.
+                let small = mep.scheme().sample(&v, 1e-6)?;
+                let tiny = mep.scheme().sample(&v, 1e-9)?;
+                let (e_small, e_tiny) = (lstar.estimate(&mep, &small), lstar.estimate(&mep, &tiny));
+                let grows = e_tiny > e_small;
+                out.note(format!(
+                    "  L*(u=1e-6)={}, L*(u=1e-9)={} (unbounded growth: {})\n",
+                    fnum(e_small),
+                    fnum(e_tiny),
+                    grows
+                ));
+                out.metric(f64::from(u8::from(grows)));
+                Ok(out)
+            })
+            .collect()
+    }
+
+    fn finish(&self, outs: &[UnitOut]) -> FinishOut {
+        let mut lines = Vec::new();
+        for (panel, out) in outs.iter().enumerate() {
+            let mut t = Table::new(
+                &format!("E4 panel p={}: estimates at probe points", PANELS[panel]),
+                &[
+                    "u",
+                    "L*(.6,.2)",
+                    "U*(.6,.2)",
+                    "opt(.6,.2)",
+                    "L*(.6,0)",
+                    "U*(.6,0)",
+                    "opt(.6,0)",
+                ],
+            );
+            for row in out.table_rows(panel) {
+                t.row(row.clone());
+            }
+            lines.push(t.render());
+            lines.extend(out.notes.iter().cloned());
+        }
+        let ok = outs.iter().all(|o| o.metrics == vec![1.0]);
+        FinishOut::new(lines, ok)
+    }
+}

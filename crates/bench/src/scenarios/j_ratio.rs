@@ -1,0 +1,142 @@
+//! E11 — empirical competitiveness of the dyadic J baseline vs L\*.
+//!
+//! The J estimator of \[15\] guarantees O(1) competitiveness (84 in that
+//! paper) but is neither admissible nor monotone; Theorem 4.1's bound of 4
+//! for L\* is the improvement. We measure the per-data ratio
+//! `E[f̂²]/E[(f̂⁽ᵛ⁾)²]` of both estimators across the RGp+ family and the
+//! tight scalar family. One sweep unit per (problem, data) cell.
+
+use std::ops::Range;
+
+use monotone_core::estimate::DyadicJ;
+use monotone_core::func::{PowerGapFamily, RangePowPlus};
+use monotone_core::problem::Mep;
+use monotone_core::scheme::TupleScheme;
+use monotone_core::variance::VarianceCalc;
+use monotone_core::Result;
+use monotone_engine::{CsvSpec, Engine, FinishOut, Scenario, UnitOut};
+
+use crate::{fnum, table::Table};
+
+const RG_PS: [f64; 3] = [0.5, 1.0, 2.0];
+const RG_VECTORS: [[f64; 2]; 4] = [[0.9, 0.0], [0.9, 0.45], [0.9, 0.8], [0.3, 0.1]];
+const POWER_PS: [f64; 3] = [0.0, 0.2, 0.35];
+
+pub struct JRatio;
+
+impl Scenario for JRatio {
+    fn name(&self) -> &'static str {
+        "j_ratio"
+    }
+
+    fn description(&self) -> &'static str {
+        "E11: per-data competitive ratios of the dyadic J baseline vs L*"
+    }
+
+    fn artifacts(&self) -> Vec<CsvSpec> {
+        vec![CsvSpec::new(
+            "e11_j_ratio.csv",
+            &["problem", "data", "ratio_j", "ratio_lstar"],
+        )]
+    }
+
+    fn units(&self) -> usize {
+        RG_PS.len() * RG_VECTORS.len() + POWER_PS.len()
+    }
+
+    fn run_shard(&self, units: Range<usize>, _engine: &Engine) -> Result<Vec<UnitOut>> {
+        // Per-shard prepared state: calculator and the J estimator.
+        let calc = VarianceCalc::new(1e-10, 3000);
+        let j = DyadicJ::new();
+        let rg_cells = RG_PS.len() * RG_VECTORS.len();
+        units
+            .map(|unit| {
+                let mut out = UnitOut::default();
+                if unit < rg_cells {
+                    let p = RG_PS[unit / RG_VECTORS.len()];
+                    let v = RG_VECTORS[unit % RG_VECTORS.len()];
+                    let mep = Mep::new(RangePowPlus::new(p), TupleScheme::pps(&[1.0, 1.0])?)?;
+                    let rj = calc.competitive_ratio(&mep, &j, &v)?.unwrap_or(f64::NAN);
+                    let rl = calc.lstar_competitive_ratio(&mep, &v)?.unwrap_or(f64::NAN);
+                    out.row(
+                        0,
+                        vec![
+                            format!("RG{p}+"),
+                            format!("{};{}", v[0], v[1]),
+                            format!("{rj}"),
+                            format!("{rl}"),
+                        ],
+                    );
+                    out.show(
+                        0,
+                        vec![
+                            format!("RG{p}+"),
+                            format!("({}, {})", v[0], v[1]),
+                            fnum(rj),
+                            fnum(rl),
+                        ],
+                    );
+                    out.metric(rj).metric(rl);
+                } else {
+                    let p = POWER_PS[unit - rg_cells];
+                    let fam = PowerGapFamily::new(p);
+                    let mep = Mep::new(fam, TupleScheme::pps(&[1.0])?)?;
+                    let rj = calc
+                        .competitive_ratio(&mep, &j, &[0.0])?
+                        .unwrap_or(f64::NAN);
+                    let rl = calc
+                        .lstar_competitive_ratio(&mep, &[0.0])?
+                        .unwrap_or(f64::NAN);
+                    out.row(
+                        0,
+                        vec![
+                            format!("power{p}"),
+                            "0".into(),
+                            format!("{rj}"),
+                            format!("{rl}"),
+                        ],
+                    );
+                    out.show(
+                        0,
+                        vec![format!("power p={p}"), "0".into(), fnum(rj), fnum(rl)],
+                    );
+                    out.metric(rj).metric(rl);
+                }
+                Ok(out)
+            })
+            .collect()
+    }
+
+    fn finish(&self, outs: &[UnitOut]) -> FinishOut {
+        let mut t = Table::new(
+            "E11: per-data competitive ratios — J (dyadic) vs L*",
+            &["problem", "data", "ratio J", "ratio L*"],
+        );
+        let mut sup_j: f64 = 0.0;
+        let mut sup_l: f64 = 0.0;
+        for out in outs {
+            for row in out.table_rows(0) {
+                t.row(row.clone());
+            }
+            if let [rj, rl] = out.metrics[..] {
+                if rj.is_finite() {
+                    sup_j = sup_j.max(rj);
+                }
+                if rl.is_finite() {
+                    sup_l = sup_l.max(rl);
+                }
+            }
+        }
+        FinishOut::new(
+            vec![
+                t.render(),
+                format!(
+                    "\nsup observed: J = {}, L* = {} (L* is provably <= 4 everywhere)",
+                    fnum(sup_j),
+                    fnum(sup_l)
+                ),
+            ],
+            true,
+        )
+    }
+}

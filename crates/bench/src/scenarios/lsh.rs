@@ -1,0 +1,125 @@
+//! E12 — coordination as locality-sensitive hashing (paper, Section 1).
+//!
+//! "When the weights in two instances are very similar, the samples we
+//! obtain are similar, and more likely to be identical." We sweep the
+//! drift between two instances and compare the Jaccard overlap of their
+//! coordinated PPS samples against independently-seeded samples. One
+//! sweep unit per drift level.
+
+use std::ops::Range;
+
+use monotone_coord::instance::{Dataset, Instance};
+use monotone_coord::pps::CoordPps;
+use monotone_coord::query::{sample_key_jaccard, weighted_jaccard};
+use monotone_coord::seed::SeedHasher;
+use monotone_core::Result;
+use monotone_datagen::zipf::lognormal_factor;
+use monotone_engine::{CsvSpec, Engine, FinishOut, Scenario, UnitOut};
+use rand::SeedableRng;
+
+use crate::{fnum, stats::mean, table::Table};
+
+const SIGMAS: [f64; 7] = [0.0, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0];
+const ITEMS: u64 = 3000;
+const SALTS: u64 = 12;
+
+pub struct Lsh;
+
+impl Scenario for Lsh {
+    fn name(&self) -> &'static str {
+        "lsh"
+    }
+
+    fn description(&self) -> &'static str {
+        "E12: coordinated vs independent sample overlap across drift (LSH view)"
+    }
+
+    fn artifacts(&self) -> Vec<CsvSpec> {
+        vec![CsvSpec::new(
+            "e12_lsh.csv",
+            &[
+                "sigma",
+                "data_jaccard",
+                "coordinated_overlap",
+                "independent_overlap",
+            ],
+        )]
+    }
+
+    fn units(&self) -> usize {
+        SIGMAS.len()
+    }
+
+    fn run_shard(&self, units: Range<usize>, _engine: &Engine) -> Result<Vec<UnitOut>> {
+        units
+            .map(|unit| {
+                let sigma = SIGMAS[unit];
+                let mut rng = rand::rngs::StdRng::seed_from_u64(31 + (sigma * 100.0) as u64);
+                let a = Instance::from_pairs(
+                    (0..ITEMS).map(|k| (k, 0.05 + 0.95 * ((k % 97) as f64 / 97.0))),
+                );
+                let b = Instance::from_pairs(
+                    a.iter()
+                        .map(|(k, w)| (k, (w * lognormal_factor(&mut rng, sigma)).min(1.0))),
+                );
+                let dj = weighted_jaccard(&a, &b);
+                let data = Dataset::new(vec![a, b]);
+
+                let mut coord = Vec::new();
+                let mut indep = Vec::new();
+                for salt in 0..SALTS {
+                    let sampler = CoordPps::uniform_scale(2, 5.0, SeedHasher::new(salt));
+                    let ca = sampler.sample_instance(0, data.instance(0));
+                    let cb = sampler.sample_instance(1, data.instance(1));
+                    coord.push(sample_key_jaccard(&ca, &cb));
+                    let ia = sampler.sample_instance_independent(0, data.instance(0));
+                    let ib = sampler.sample_instance_independent(1, data.instance(1));
+                    indep.push(sample_key_jaccard(&ia, &ib));
+                }
+                let (mc, mi) = (mean(&coord), mean(&indep));
+                let mut out = UnitOut::default();
+                out.row(
+                    0,
+                    vec![
+                        format!("{sigma}"),
+                        format!("{dj}"),
+                        format!("{mc}"),
+                        format!("{mi}"),
+                    ],
+                );
+                out.show(0, vec![format!("{sigma}"), fnum(dj), fnum(mc), fnum(mi)]);
+                out.metric(mc).metric(mi);
+                Ok(out)
+            })
+            .collect()
+    }
+
+    fn finish(&self, outs: &[UnitOut]) -> FinishOut {
+        let mut t = Table::new(
+            "E12: sample overlap under coordination vs independence (PPS, E|S| ≈ 300)",
+            &[
+                "drift sigma",
+                "data jaccard",
+                "coordinated overlap",
+                "independent overlap",
+            ],
+        );
+        for out in outs {
+            for row in out.table_rows(0) {
+                t.row(row.clone());
+            }
+        }
+        // Identical instances must give identical coordinated samples.
+        let ok = outs[0].metrics[0] == 1.0;
+        FinishOut::new(
+            vec![
+                t.render(),
+                "\npaper-shape check: identical instances → identical coordinated samples"
+                    .to_owned(),
+                "(overlap 1 at sigma 0), decaying gracefully with drift; independent".to_owned(),
+                "sampling overlaps far less at every similarity level.".to_owned(),
+            ],
+            ok,
+        )
+    }
+}

@@ -1,0 +1,137 @@
+//! E14 — instance-optimal competitive ratios (paper, Section 7: "we also
+//! computed (via a program) the optimally competitive estimator"; the
+//! conclusion bounds the universal ratio between 1.4 and 4).
+//!
+//! Runs the projected-subgradient search for the optimally-competitive
+//! estimator on discrete RG1+ domains of growing resolution and compares
+//! the optimal worst-case ratio against the L\*- and U\*-order estimators'.
+//! One sweep unit per domain resolution.
+
+use std::ops::Range;
+
+use monotone_core::discrete::{DiscreteMep, OrderOptimal};
+use monotone_core::func::RangePowPlus;
+use monotone_core::optimal_ratio::{vopt_esq_discrete, OptimalRatioSolver};
+use monotone_core::Result;
+use monotone_engine::{CsvSpec, Engine, FinishOut, Scenario, UnitOut};
+
+use crate::{fnum, table::Table};
+
+const LEVELS: [usize; 4] = [3, 4, 6, 8];
+
+fn domain(levels: usize) -> Result<DiscreteMep<RangePowPlus>> {
+    let mut vectors = Vec::new();
+    for a in 0..=levels {
+        for b in 0..=levels {
+            vectors.push(vec![a as f64, b as f64]);
+        }
+    }
+    let probs: Vec<(f64, f64)> = (0..=levels)
+        .map(|w| (w as f64, w as f64 / levels as f64))
+        .collect();
+    DiscreteMep::new(RangePowPlus::new(1.0), vectors, vec![probs.clone(), probs])
+}
+
+fn worst_ratio(
+    mep: &DiscreteMep<RangePowPlus>,
+    est: &OrderOptimal<'_, RangePowPlus>,
+) -> Result<f64> {
+    let mut worst: f64 = 1.0;
+    for v in mep.vectors().to_vec() {
+        if (v[0] - v[1]).max(0.0) == 0.0 {
+            continue;
+        }
+        let opt = vopt_esq_discrete(mep, &v);
+        if opt > 1e-12 {
+            worst = worst.max(est.esq(&v)? / opt);
+        }
+    }
+    Ok(worst)
+}
+
+pub struct OptimalRatio;
+
+impl Scenario for OptimalRatio {
+    fn name(&self) -> &'static str {
+        "optimal_ratio"
+    }
+
+    fn description(&self) -> &'static str {
+        "E14: optimally-competitive estimator search vs L*/U* orders"
+    }
+
+    fn artifacts(&self) -> Vec<CsvSpec> {
+        vec![CsvSpec::new(
+            "e14_optimal_ratio.csv",
+            &[
+                "levels",
+                "ratio_lstar_order",
+                "ratio_ustar_order",
+                "ratio_optimized",
+            ],
+        )]
+    }
+
+    fn units(&self) -> usize {
+        LEVELS.len()
+    }
+
+    fn run_shard(&self, units: Range<usize>, _engine: &Engine) -> Result<Vec<UnitOut>> {
+        units
+            .map(|unit| {
+                let levels = LEVELS[unit];
+                let mep = domain(levels)?;
+                let asc = OrderOptimal::f_ascending(&mep);
+                let desc = OrderOptimal::f_descending(&mep);
+                let r_asc = worst_ratio(&mep, &asc)?;
+                let r_desc = worst_ratio(&mep, &desc)?;
+                let solver = OptimalRatioSolver::default();
+                let result = solver.solve(&mep)?;
+                let mut out = UnitOut::default();
+                out.row(
+                    0,
+                    vec![
+                        format!("{levels}"),
+                        format!("{r_asc}"),
+                        format!("{r_desc}"),
+                        format!("{}", result.ratio),
+                    ],
+                );
+                out.show(
+                    0,
+                    vec![
+                        format!("{levels}"),
+                        fnum(r_asc),
+                        fnum(r_desc),
+                        fnum(result.ratio),
+                        fnum(result.residual),
+                    ],
+                );
+                Ok(out)
+            })
+            .collect()
+    }
+
+    fn finish(&self, outs: &[UnitOut]) -> FinishOut {
+        let mut t = Table::new(
+            "E14: worst-case competitive ratios on discrete RG1+ domains",
+            &["levels", "L* order", "U* order", "optimized", "residual"],
+        );
+        for out in outs {
+            for row in out.table_rows(0) {
+                t.row(row.clone());
+            }
+        }
+        FinishOut::new(
+            vec![
+                t.render(),
+                "\npaper-shape checks: the L*-order ratio stays below 4 (Theorem 4.1)".to_owned(),
+                "while the U*-order worst case grows without bound (it sacrifices the".to_owned(),
+                "most-similar data — order optimality is not competitiveness); the".to_owned(),
+                "optimized estimator beats both and stays above 1 (the universal lower".to_owned(),
+                "bound is at least 1.4 on adversarial instances per the conclusion).".to_owned(),
+            ],
+            true,
+        )
+    }
+}

@@ -1,0 +1,172 @@
+//! Scenario-subsystem integration: a tiny scenario registered and run at
+//! several shard counts must produce identical aggregates, and emitting a
+//! run must write CSV artifacts plus a timing record with a positive
+//! rate. Also pins the registry contents the `exp_runner` binary serves.
+
+use std::ops::Range;
+use std::path::PathBuf;
+
+use monotone_bench::scenarios;
+use monotone_core::Result;
+use monotone_engine::{
+    workload, CsvSpec, Engine, EngineQuery, FinishOut, Registry, Runner, Scenario, UnitOut,
+};
+
+/// A miniature sweep over the canonical engine workload: one unit per
+/// salt block, each unit an engine batch whose mean L* estimate is both
+/// a CSV row and an aggregate metric.
+struct TinyScenario;
+
+impl Scenario for TinyScenario {
+    fn name(&self) -> &'static str {
+        "tiny"
+    }
+
+    fn description(&self) -> &'static str {
+        "integration-test sweep over the canonical RG1+ workload"
+    }
+
+    fn artifacts(&self) -> Vec<CsvSpec> {
+        vec![CsvSpec::new("tiny.csv", &["unit", "mean_estimate"])]
+    }
+
+    fn units(&self) -> usize {
+        6
+    }
+
+    fn run_shard(&self, units: Range<usize>, engine: &Engine) -> Result<Vec<UnitOut>> {
+        // Per-shard prepared state, reused by the shard's units.
+        let pool = workload::rg1_instance_pool(8, 12);
+        let query = EngineQuery::rg_plus(1.0, 1.0);
+        units
+            .map(|unit| {
+                let jobs = workload::rg1_pair_jobs(&pool, 16 * (unit + 1));
+                let batch = engine.run(&jobs, &query)?;
+                let mean = batch.summaries[0].mean_estimate;
+                let mut out = UnitOut::default();
+                out.row(0, vec![format!("{unit}"), format!("{mean}")]);
+                out.metric(mean);
+                Ok(out)
+            })
+            .collect()
+    }
+
+    fn finish(&self, outs: &[UnitOut]) -> FinishOut {
+        let total: f64 = outs.iter().map(|o| o.metrics[0]).sum();
+        FinishOut::new(vec![format!("total {total}")], total > 0.0)
+    }
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "monotone_scenario_runner_{tag}_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn tiny_scenario_identical_aggregates_across_shard_counts() {
+    let mut registry = Registry::new();
+    registry.register(Box::new(TinyScenario));
+    let scenario = registry.get("tiny").expect("registered");
+
+    let one = Runner::new(Engine::with_threads(1))
+        .with_shards(1)
+        .run(scenario)
+        .expect("run at 1 shard");
+    let three = Runner::new(Engine::with_threads(2))
+        .with_shards(3)
+        .run(scenario)
+        .expect("run at 3 shards");
+
+    // Identical aggregates: artifacts, report lines, and check verdicts.
+    assert_eq!(one.artifacts, three.artifacts);
+    assert_eq!(one.lines, three.lines);
+    assert_eq!(one.ok, three.ok);
+    assert!(one.ok, "mean estimates must be positive");
+    assert_eq!(one.artifacts[0].rows.len(), 6);
+    assert_eq!(one.timing.shards, 1);
+    assert_eq!(three.timing.shards, 3);
+}
+
+#[test]
+fn emitting_a_run_writes_artifacts_and_a_positive_rate_timing_record() {
+    let scenario = TinyScenario;
+    let run = Runner::new(Engine::with_threads(2))
+        .with_shards(3)
+        .run(&scenario)
+        .expect("run");
+    let dir = scratch_dir("emit");
+    let paths = scenarios::emit(&run, &dir);
+
+    // One CSV artifact + the timing record, both on disk.
+    assert_eq!(paths.len(), 2);
+    let csv = std::fs::read_to_string(&paths[0]).expect("csv written");
+    assert!(csv.starts_with("unit,mean_estimate\n"));
+    assert_eq!(csv.lines().count(), 1 + 6);
+
+    let record = std::fs::read_to_string(&paths[1]).expect("timing record written");
+    assert!(paths[1].ends_with("BENCH_tiny.json"));
+    assert!(record.contains("\"bench\": \"scenario_tiny\""));
+    assert!(record.contains("\"units\": 6"));
+    // The recorded rate must be strictly positive.
+    let rate: f64 = record
+        .lines()
+        .find(|l| l.contains("units_per_sec"))
+        .and_then(|l| l.split(':').nth(1))
+        .map(|v| v.trim().trim_end_matches(',').parse().expect("rate number"))
+        .expect("units_per_sec field");
+    assert!(rate > 0.0, "rate {rate} must be positive");
+    assert!(run.timing.units_per_sec > 0.0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn full_registry_serves_all_fifteen_experiments() {
+    let registry = scenarios::registry();
+    let names: Vec<&str> = registry.iter().map(|s| s.name()).collect();
+    assert_eq!(
+        names,
+        vec![
+            "example1",
+            "example2",
+            "example3",
+            "example4",
+            "example5",
+            "ratio4",
+            "rg_ratios",
+            "ht_dominance",
+            "lp_difference",
+            "similarity",
+            "j_ratio",
+            "lsh",
+            "error_scaling",
+            "optimal_ratio",
+            "coordination_gain",
+        ]
+    );
+    for s in registry.iter() {
+        assert!(!s.description().is_empty());
+        assert!(s.units() > 0, "{} has an empty sweep", s.name());
+        assert!(!s.artifacts().is_empty(), "{} emits no CSVs", s.name());
+    }
+}
+
+#[test]
+fn example1_runs_through_the_registry_end_to_end() {
+    let registry = scenarios::registry();
+    let scenario = registry.get("example1").expect("registered");
+    let run = Runner::new(Engine::with_threads(2))
+        .with_shards(2)
+        .run(scenario)
+        .expect("run example1");
+    assert!(run.ok);
+    assert_eq!(run.artifacts[0].rows.len(), 5);
+    // The known Example 1 values survive the port (L1 sum of the paper).
+    assert_eq!(run.artifacts[0].rows[0][0], "L1({b,c,e})");
+    let l1: f64 = run.artifacts[0].rows[0][1].parse().expect("number");
+    assert!((l1 - 0.72).abs() < 1e-12, "L1 {l1}");
+}

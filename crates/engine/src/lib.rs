@@ -44,8 +44,13 @@
 
 mod pool;
 mod prepared;
+pub mod runner;
+pub mod scenario;
+pub mod workload;
 
 pub use pool::chunk_bounds;
+pub use runner::{CsvArtifact, Runner, ScenarioRun, ScenarioTiming};
+pub use scenario::{CsvSpec, FinishOut, Registry, Scenario, UnitOut};
 
 use monotone_coord::instance::Instance;
 use monotone_core::quad::QuadConfig;

@@ -1,0 +1,85 @@
+//! Canonical synthetic workloads shared by the engine benchmark and the
+//! scenario smoke tests.
+//!
+//! `benches/engine.rs` and the scenario subsystem both need the same
+//! reproducible `RG1+` pair workload (a pool of small instances, paired
+//! with a stride so every batch mixes similar and dissimilar pairs);
+//! keeping the construction here keeps the measured workload and the
+//! tested workload identical by definition.
+//!
+//! # Examples
+//!
+//! ```
+//! use monotone_engine::workload;
+//!
+//! let pool = workload::rg1_instance_pool(8, 12);
+//! let jobs = workload::rg1_pair_jobs(&pool, 100);
+//! assert_eq!(jobs.len(), 100);
+//! // Deterministic: same pool, same pairing, same salts every call.
+//! assert_eq!(jobs[3].salt, 3);
+//! assert!(std::ptr::eq(jobs[0].a, &pool[0]));
+//! ```
+
+use monotone_coord::instance::Instance;
+
+use super::PairJob;
+
+/// A pool of `instances` reproducible instances of `items_per_instance`
+/// items each, with weights laid out on a fixed mod-97 lattice (the same
+/// construction `benches/engine.rs` has always measured).
+pub fn rg1_instance_pool(instances: u64, items_per_instance: u64) -> Vec<Instance> {
+    (0..instances)
+        .map(|v| {
+            Instance::from_pairs(
+                (0..items_per_instance)
+                    .map(move |k| (k, 0.05 + 0.9 * (((k * 17 + v * 29 + 3) % 97) as f64 / 97.0))),
+            )
+        })
+        .collect()
+}
+
+/// `pairs` jobs over the pool: job `i` pairs instance `i mod n` with
+/// instance `(7i + 1) mod n` under salt `i`, cycling through every
+/// instance combination and randomization.
+///
+/// # Panics
+///
+/// Panics if the pool is empty.
+pub fn rg1_pair_jobs(pool: &[Instance], pairs: usize) -> Vec<PairJob<'_>> {
+    assert!(!pool.is_empty(), "workload needs a non-empty instance pool");
+    let n = pool.len();
+    (0..pairs)
+        .map(|i| PairJob::new(&pool[i % n], &pool[(i * 7 + 1) % n], i as u64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_is_deterministic_and_sized() {
+        let a = rg1_instance_pool(32, 12);
+        let b = rg1_instance_pool(32, 12);
+        assert_eq!(a.len(), 32);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.len(), 12);
+            assert!(x.iter().zip(y.iter()).all(|(p, q)| p == q));
+        }
+        // Weights stay inside the PPS(1) sampling range.
+        assert!(a
+            .iter()
+            .flat_map(|i| i.iter())
+            .all(|(_, w)| w > 0.0 && w < 1.0));
+    }
+
+    #[test]
+    fn jobs_cycle_the_pool() {
+        let pool = rg1_instance_pool(4, 3);
+        let jobs = rg1_pair_jobs(&pool, 10);
+        assert_eq!(jobs.len(), 10);
+        assert_eq!(jobs[9].salt, 9);
+        assert!(std::ptr::eq(jobs[5].a, &pool[1]));
+        assert!(std::ptr::eq(jobs[5].b, &pool[0]));
+    }
+}
