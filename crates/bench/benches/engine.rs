@@ -19,7 +19,11 @@
 //!
 //! Besides the criterion report, the main measurement writes
 //! `results/BENCH_engine.json` (pairs/sec for every path + speedups) so CI
-//! accumulates a machine-readable perf trajectory.
+//! accumulates a machine-readable perf trajectory, and
+//! `results/BENCH_kernels.json` pricing the kernel layer itself: the
+//! closed-form kernel vs the generic quadrature kernel on the same
+//! workload (what closed-form registration saves), plus the bulk
+//! seed-hashing rate ([`SeedHasher::seed_many`]) vs per-key hashing.
 
 use criterion::{black_box, Criterion};
 use monotone_bench::results_dir;
@@ -127,6 +131,31 @@ fn main() {
         b.iter(|| black_box(naive_generic(&small, &small_data)))
     });
 
+    // Bulk seed hashing: the kernel evaluate loop hashes the merged key
+    // stream in chunks via seed_many instead of one seed() call per item.
+    // Both variants materialize every seed (what the engine consumes); a
+    // per-iteration black_box of the buffer keeps the stores observable.
+    const SEED_KEYS: usize = 4096;
+    let seed_keys: Vec<u64> = (0..SEED_KEYS as u64)
+        .map(|k| k.wrapping_mul(0x9e37))
+        .collect();
+    let seeder = SeedHasher::new(42);
+    let mut seed_buf = vec![0.0f64; SEED_KEYS];
+    c.bench_function("seed/per_key_4096", |b| {
+        b.iter(|| {
+            for (slot, &k) in seed_buf.iter_mut().zip(&seed_keys) {
+                *slot = seeder.seed(k);
+            }
+            black_box(&mut seed_buf);
+        })
+    });
+    c.bench_function("seed/seed_many_4096", |b| {
+        b.iter(|| {
+            seeder.seed_many(&seed_keys, &mut seed_buf);
+            black_box(&mut seed_buf);
+        })
+    });
+
     // The acceptance workload: 10k pairs, median-of-3 timed passes each
     // (a single pass is hostage to scheduler noise on shared CI runners;
     // the median stabilizes the recorded speedups and the 0.8x
@@ -143,14 +172,54 @@ fn main() {
     let (parallel_secs, total_parallel) = timed(|| batched(&engine_par, &jobs, &query));
     let (closed_secs, total_closed) = timed(|| naive_closed_form(&jobs, &datasets));
     let (generic_secs, total_generic) = timed(|| naive_generic(&jobs, &datasets));
+    // The same batched workload with closed forms deregistered: every L*
+    // goes through the generic quadrature kernel — what the kernel
+    // layer's closed-form registration saves.
+    let generic_query = EngineQuery::rg_plus(1.0, 1.0)
+        .with_quad(QuadConfig::fast())
+        .without_closed_forms();
+    let (kernel_generic_secs, total_kernel_generic) =
+        timed(|| batched(&engine_1t, &jobs, &generic_query));
 
-    for total in [total_batched, total_parallel, total_generic] {
+    for total in [
+        total_batched,
+        total_parallel,
+        total_generic,
+        total_kernel_generic,
+    ] {
         let rel = (total - total_closed).abs() / total_closed.abs().max(1e-12);
         assert!(
             rel < 1e-6,
             "paths diverged: {total} vs closed-form {total_closed}"
         );
     }
+
+    // Bulk vs per-key seed hashing, wall-clock (repeated to a stable
+    // measurement window; both variants materialize every seed, with a
+    // per-rep black_box keeping the stores observable).
+    let hash_keys: Vec<u64> = (0..65_536u64).map(|k| k.wrapping_mul(0x9e37)).collect();
+    let hasher = SeedHasher::new(7);
+    let mut hash_buf = vec![0.0f64; hash_keys.len()];
+    const HASH_REPS: usize = 50;
+    let (per_key_secs, _) = timed(|| {
+        for _ in 0..HASH_REPS {
+            for (slot, &k) in hash_buf.iter_mut().zip(&hash_keys) {
+                *slot = hasher.seed(k);
+            }
+            black_box(&mut hash_buf);
+        }
+        hash_buf[hash_buf.len() - 1]
+    });
+    let (seed_many_secs, _) = timed(|| {
+        for _ in 0..HASH_REPS {
+            hasher.seed_many(&hash_keys, &mut hash_buf);
+            black_box(&mut hash_buf);
+        }
+        hash_buf[hash_buf.len() - 1]
+    });
+    let hashes = (HASH_REPS * hash_keys.len()) as f64;
+    let per_key_rate = hashes / per_key_secs;
+    let seed_many_rate = hashes / seed_many_secs;
 
     let closed_rate = pairs as f64 / closed_secs;
     let generic_rate = pairs as f64 / generic_secs;
@@ -168,6 +237,29 @@ fn main() {
     );
     println!("  speedup vs closed     {speedup:>10.2}x  (the acceptance gate)");
     println!("  speedup vs generic    {speedup_generic:>10.2}x");
+
+    let kernel_generic_rate = pairs as f64 / kernel_generic_secs;
+    let closed_over_generic = kernel_generic_secs / batched_secs;
+    println!("\nkernel layer (same 10k-pair workload, 1 thread):");
+    println!("  closed-form kernel    {batched_secs:>10.4}s  ({batched_rate:>12.0} pairs/s)");
+    println!(
+        "  generic quad kernel   {kernel_generic_secs:>10.4}s  ({kernel_generic_rate:>12.0} pairs/s)"
+    );
+    println!("  closed-form dispatch saves {closed_over_generic:>6.2}x");
+    println!(
+        "  seed hashing: per-key {per_key_rate:>12.0} keys/s, seed_many {seed_many_rate:>12.0} keys/s ({:.2}x)",
+        seed_many_rate / per_key_rate
+    );
+
+    let kernels_path = results_dir().join("BENCH_kernels.json");
+    let mut kout = std::fs::File::create(&kernels_path).expect("create BENCH_kernels.json");
+    writeln!(
+        kout,
+        "{{\n  \"bench\": \"engine_kernel_layer\",\n  \"workload\": \"rg1plus_sum\",\n  \"pairs\": {pairs},\n  \"items_per_pair\": {ITEMS_PER_INSTANCE},\n  \"closed_kernel_secs\": {batched_secs:.6},\n  \"closed_kernel_pairs_per_sec\": {batched_rate:.1},\n  \"generic_kernel_secs\": {kernel_generic_secs:.6},\n  \"generic_kernel_pairs_per_sec\": {kernel_generic_rate:.1},\n  \"closed_over_generic\": {closed_over_generic:.2},\n  \"seed_per_key_keys_per_sec\": {per_key_rate:.0},\n  \"seed_many_keys_per_sec\": {seed_many_rate:.0},\n  \"seed_many_speedup\": {:.2}\n}}",
+        seed_many_rate / per_key_rate
+    )
+    .expect("write BENCH_kernels.json");
+    println!("wrote {}", kernels_path.display());
 
     let path = results_dir().join("BENCH_engine.json");
     let mut out = std::fs::File::create(&path).expect("create BENCH_engine.json");

@@ -1,24 +1,164 @@
 //! E4 — Example 4 figures: L\*, U\* and v-optimal estimate curves.
 //!
 //! Three panels (p ∈ {0.5, 1, 2}) of `RGp+` under PPS(1) for the data
-//! vectors (0.6, 0.2) and (0.6, 0): the L\* estimate (closed form for
-//! p ∈ {1,2}, generic quadrature otherwise), the U\* closed form, the
-//! generic U\* solver (agreement check), and the v-optimal oracle — the
-//! same five curves the paper plots. Checks the paper's captions: U\* is
-//! v-optimal when v2 = 0; the L\* estimate is unbounded at v2 = 0.
+//! vectors (0.6, 0.2) and (0.6, 0): the L\* estimate (deliberately the
+//! generic quadrature path for every p — the panels are the agreement
+//! figure), the U\* closed form, the generic U\* solver (agreement
+//! check), and the v-optimal oracle — the same five curves the paper
+//! plots. Checks the paper's captions: U\* is v-optimal when v2 = 0; the
+//! L\* estimate is unbounded at v2 = 0.
+//!
+//! Each panel's probe sweep runs as engine batches of fixed-seed jobs
+//! ([`PairJob::with_seed`]) through curve kernels: every (dataset, probe
+//! seed) cell is one job, the kernel holds the prepared MEP and
+//! estimators.
 
 use std::ops::Range;
 
+use monotone_coord::instance::Instance;
 use monotone_core::estimate::{LStar, MonotoneEstimator, RgPlusUStar, UStar, VOptimal};
-use monotone_core::func::RangePowPlus;
+use monotone_core::func::{ItemFn, RangePowPlus};
 use monotone_core::problem::Mep;
-use monotone_core::scheme::TupleScheme;
+use monotone_core::scheme::{LinearThreshold, TupleScheme};
 use monotone_core::Result;
-use monotone_engine::{CsvSpec, Engine, FinishOut, Scenario, UnitOut};
+use monotone_engine::{
+    CsvSpec, Engine, EstimationKernel, FinishOut, KernelScratch, PairJob, Scenario, UnitOut,
+};
 
 use crate::{fnum, table::Table};
 
 const PANELS: [f64; 3] = [0.5, 1.0, 2.0];
+const DATASETS: [[f64; 2]; 2] = [[0.6, 0.2], [0.6, 0.0]];
+
+/// Estimate-curve kernel: each item is a fully known data vector sampled
+/// at the job's fixed probe seed; columns are the generic L\*, the U\*
+/// closed form, and the v-optimal oracle — exactly the panel curves.
+struct CurveKernel {
+    mep: Mep<RangePowPlus, LinearThreshold>,
+    lstar: LStar,
+    ustar_closed: RgPlusUStar,
+    vopt: VOptimal,
+}
+
+impl CurveKernel {
+    fn new(p: f64) -> Result<CurveKernel> {
+        Ok(CurveKernel {
+            mep: Mep::new(RangePowPlus::new(p), TupleScheme::pps(&[1.0, 1.0])?)?,
+            lstar: LStar::new(),
+            ustar_closed: RgPlusUStar::new(p, 1.0),
+            vopt: VOptimal::with_resolution(1e-8, 3000),
+        })
+    }
+}
+
+impl EstimationKernel for CurveKernel {
+    fn labels(&self) -> Vec<String> {
+        vec![
+            "lstar".to_owned(),
+            "ustar_closed".to_owned(),
+            "voptimal".to_owned(),
+        ]
+    }
+
+    fn truth(&self, wa: f64, wb: f64) -> f64 {
+        self.mep.f().eval(&[wa, wb])
+    }
+
+    fn evaluate(
+        &self,
+        _key: u64,
+        wa: f64,
+        wb: f64,
+        u: f64,
+        _scratch: &mut KernelScratch,
+        out: &mut [f64],
+    ) -> Result<bool> {
+        let v = [wa, wb];
+        let outcome = self.mep.scheme().sample(&v, u)?;
+        out[0] += self.lstar.estimate(&self.mep, &outcome);
+        out[1] += self.ustar_closed.estimate(&self.mep, &outcome);
+        out[2] += self.vopt.estimate_for_data(&self.mep, &v, u)?;
+        Ok(true)
+    }
+}
+
+/// Agreement-probe kernel: |generic U\* − closed U\*| at the probe seed.
+struct UStarGapKernel {
+    mep: Mep<RangePowPlus, LinearThreshold>,
+    ustar_generic: UStar,
+    ustar_closed: RgPlusUStar,
+}
+
+impl EstimationKernel for UStarGapKernel {
+    fn labels(&self) -> Vec<String> {
+        vec!["ustar_gap".to_owned()]
+    }
+
+    fn truth(&self, wa: f64, wb: f64) -> f64 {
+        self.mep.f().eval(&[wa, wb])
+    }
+
+    fn evaluate(
+        &self,
+        _key: u64,
+        wa: f64,
+        wb: f64,
+        u: f64,
+        _scratch: &mut KernelScratch,
+        out: &mut [f64],
+    ) -> Result<bool> {
+        let outcome = self.mep.scheme().sample(&[wa, wb], u)?;
+        let ug = self.ustar_generic.estimate(&self.mep, &outcome);
+        let uc = self.ustar_closed.estimate(&self.mep, &outcome);
+        out[0] += (ug - uc).abs();
+        Ok(true)
+    }
+}
+
+/// L\*-only probe kernel (the unbounded-growth check pokes seeds below
+/// the v-optimal oracle's grid resolution, so the full curve kernel does
+/// not apply).
+struct LStarProbeKernel {
+    mep: Mep<RangePowPlus, LinearThreshold>,
+    lstar: LStar,
+}
+
+impl EstimationKernel for LStarProbeKernel {
+    fn labels(&self) -> Vec<String> {
+        vec!["lstar".to_owned()]
+    }
+
+    fn truth(&self, wa: f64, wb: f64) -> f64 {
+        self.mep.f().eval(&[wa, wb])
+    }
+
+    fn evaluate(
+        &self,
+        _key: u64,
+        wa: f64,
+        wb: f64,
+        u: f64,
+        _scratch: &mut KernelScratch,
+        out: &mut [f64],
+    ) -> Result<bool> {
+        let outcome = self.mep.scheme().sample(&[wa, wb], u)?;
+        out[0] += self.lstar.estimate(&self.mep, &outcome);
+        Ok(true)
+    }
+}
+
+/// The instance pairs encoding the two panel datasets.
+fn dataset_pairs() -> Vec<(Instance, Instance)> {
+    DATASETS
+        .iter()
+        .map(|v| {
+            (
+                Instance::from_pairs([(0u64, v[0])]),
+                Instance::from_pairs([(0u64, v[1])]),
+            )
+        })
+        .collect()
+}
 
 pub struct Example4;
 
@@ -55,36 +195,58 @@ impl Scenario for Example4 {
         PANELS.len()
     }
 
-    fn run_shard(&self, units: Range<usize>, _engine: &Engine) -> Result<Vec<UnitOut>> {
+    fn run_shard(&self, units: Range<usize>, engine: &Engine) -> Result<Vec<UnitOut>> {
+        // Per-shard prepared state: the dataset instance pairs (each
+        // panel's MEP and estimators are prepared once inside its kernels).
+        let datasets = dataset_pairs();
         units
             .map(|panel| {
                 let p = PANELS[panel];
-                let mep = Mep::new(RangePowPlus::new(p), TupleScheme::pps(&[1.0, 1.0])?)?;
-                let lstar = LStar::new();
-                let ustar_closed = RgPlusUStar::new(p, 1.0);
-                let ustar_generic = UStar::with_steps(128);
-                let vopt = VOptimal::with_resolution(1e-8, 3000);
-                let datasets: [[f64; 2]; 2] = [[0.6, 0.2], [0.6, 0.0]];
+                let curves = CurveKernel::new(p)?;
+
+                // The panel sweep: one fixed-seed job per (probe, dataset).
+                let jobs: Vec<PairJob> = (1..=120)
+                    .flat_map(|k| {
+                        let u = k as f64 * 0.005;
+                        datasets
+                            .iter()
+                            .map(move |(a, b)| PairJob::new(a, b, 0).with_seed(u))
+                    })
+                    .collect();
+                let batch = engine.run_kernel(&jobs, &curves)?;
+
+                // Generic-U* agreement probes at every 10th seed.
+                let gap_kernel = UStarGapKernel {
+                    mep: Mep::new(RangePowPlus::new(p), TupleScheme::pps(&[1.0, 1.0])?)?,
+                    ustar_generic: UStar::with_steps(128),
+                    ustar_closed: RgPlusUStar::new(p, 1.0),
+                };
+                let gap_jobs: Vec<PairJob> = (1..=12)
+                    .flat_map(|k| {
+                        let u = (10 * k) as f64 * 0.005;
+                        datasets
+                            .iter()
+                            .map(move |(a, b)| PairJob::new(a, b, 0).with_seed(u))
+                    })
+                    .collect();
+                let gaps = engine.run_kernel(&gap_jobs, &gap_kernel)?;
+                let max_generic_gap = gaps
+                    .pairs
+                    .iter()
+                    .map(|pair| pair.estimates[0])
+                    .fold(0.0f64, f64::max);
 
                 let mut out = UnitOut::default();
-                let mut max_generic_gap: f64 = 0.0;
-                for k in 1..=120 {
+                for k in 1..=120usize {
                     let u = k as f64 * 0.005;
                     let mut cells = vec![format!("{u:.4}")];
                     let mut shown = vec![fnum(u)];
-                    for v in &datasets {
-                        let outcome = mep.scheme().sample(v, u)?;
-                        let l = lstar.estimate(&mep, &outcome);
-                        let uc = ustar_closed.estimate(&mep, &outcome);
-                        let opt = vopt.estimate_for_data(&mep, v, u)?;
-                        if k % 10 == 0 {
-                            let ug = ustar_generic.estimate(&mep, &outcome);
-                            max_generic_gap = max_generic_gap.max((ug - uc).abs());
-                        }
-                        cells.push(format!("{l}"));
-                        cells.push(format!("{uc}"));
-                        cells.push(format!("{opt}"));
-                        shown.extend([fnum(l), fnum(uc), fnum(opt)]);
+                    for d in 0..DATASETS.len() {
+                        let est = &batch.pairs[(k - 1) * DATASETS.len() + d].estimates;
+                        cells.push(format!("{}", est[0]));
+                        cells.push(format!("{}", est[1]));
+                        cells.push(format!("{}", est[2]));
+                        shown.extend([fnum(est[0]), fnum(est[1]), fnum(est[2])]);
                     }
                     out.row(panel, cells);
                     if k % 20 == 0 {
@@ -97,24 +259,33 @@ impl Scenario for Example4 {
                 ));
 
                 // Paper captions: at v2 = 0 the U* estimates are v-optimal.
-                let v = [0.6, 0.0];
-                let mut max_gap: f64 = 0.0;
-                for k in 1..=11 {
-                    let u = k as f64 * 0.05;
-                    let outcome = mep.scheme().sample(&v, u)?;
-                    let uc = ustar_closed.estimate(&mep, &outcome);
-                    let opt = vopt.estimate_for_data(&mep, &v, u)?;
-                    max_gap = max_gap.max((uc - opt).abs());
-                }
+                let (a0, b0) = &datasets[1];
+                let caption_jobs: Vec<PairJob> = (1..=11)
+                    .map(|k| PairJob::new(a0, b0, 0).with_seed(k as f64 * 0.05))
+                    .collect();
+                let captions = engine.run_kernel(&caption_jobs, &curves)?;
+                let max_gap = captions
+                    .pairs
+                    .iter()
+                    .map(|pair| (pair.estimates[1] - pair.estimates[2]).abs())
+                    .fold(0.0f64, f64::max);
                 out.note(format!(
                     "  max |U* − v-opt| at v2=0: {} (paper: U* is v-optimal there)",
                     fnum(max_gap)
                 ));
 
                 // L* unbounded at v2 = 0: estimate grows as u → 0.
-                let small = mep.scheme().sample(&v, 1e-6)?;
-                let tiny = mep.scheme().sample(&v, 1e-9)?;
-                let (e_small, e_tiny) = (lstar.estimate(&mep, &small), lstar.estimate(&mep, &tiny));
+                let probe_kernel = LStarProbeKernel {
+                    mep: Mep::new(RangePowPlus::new(p), TupleScheme::pps(&[1.0, 1.0])?)?,
+                    lstar: LStar::new(),
+                };
+                let probe_jobs = [
+                    PairJob::new(a0, b0, 0).with_seed(1e-6),
+                    PairJob::new(a0, b0, 0).with_seed(1e-9),
+                ];
+                let probes = engine.run_kernel(&probe_jobs, &probe_kernel)?;
+                let (e_small, e_tiny) =
+                    (probes.pairs[0].estimates[0], probes.pairs[1].estimates[0]);
                 let grows = e_tiny > e_small;
                 out.note(format!(
                     "  L*(u=1e-6)={}, L*(u=1e-9)={} (unbounded growth: {})\n",

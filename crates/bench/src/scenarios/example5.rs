@@ -7,13 +7,23 @@
 //! unbiasedness and variance columns, and the cross-checks (unit 4:
 //! Theorem 4.3 agreement of the L\*-order estimator with closed-form L\*,
 //! plus the variance-by-order customization table).
+//!
+//! Every per-pair evaluation — lower bounds, order-optimal estimates per
+//! interval, exact moments, the Theorem 4.3 gap — runs as engine batches
+//! through discrete-MEP kernels: each job encodes one data vector, the
+//! item key carries the sampling interval. (The order objects memoize
+//! through `RefCell` and are rebuilt per evaluation — the memo is a pure
+//! cache, so the numbers are unchanged.)
 
 use std::ops::Range;
 
+use monotone_coord::instance::Instance;
 use monotone_core::discrete::{DiscreteMep, OrderOptimal};
-use monotone_core::func::RangePowPlus;
+use monotone_core::func::{ItemFn, RangePowPlus};
 use monotone_core::Result;
-use monotone_engine::{CsvSpec, Engine, FinishOut, Scenario, UnitOut};
+use monotone_engine::{
+    CsvSpec, Engine, EstimationKernel, FinishOut, KernelScratch, PairJob, Scenario, UnitOut,
+};
 
 use crate::{fnum, table::Table};
 
@@ -72,6 +82,195 @@ fn order_for<'a>(mep: &'a DiscreteMep<RangePowPlus>, idx: usize) -> OrderOptimal
     }
 }
 
+/// The single-item job encoding one discrete data vector: the item key is
+/// the sampling-interval index, the weights are the vector entries.
+fn interval_job(v: &[f64], interval: usize) -> (Instance, Instance) {
+    (
+        Instance::from_pairs([(interval as u64, v[0])]),
+        Instance::from_pairs([(interval as u64, v[1])]),
+    )
+}
+
+/// Runs `kernel` over the cross product (vectors × intervals), vectors
+/// inner — the row layout of the Example 5 tables — and returns the
+/// first-column estimates in job order.
+fn interval_sweep(
+    engine: &Engine,
+    kernel: &dyn EstimationKernel,
+    vectors: &[Vec<f64>],
+    intervals: usize,
+) -> Result<Vec<f64>> {
+    let pairs: Vec<_> = (0..intervals)
+        .flat_map(|k| vectors.iter().map(move |v| interval_job(v, k)))
+        .collect();
+    let jobs: Vec<PairJob> = pairs
+        .iter()
+        .map(|(a, b)| PairJob::new(a, b, 0).with_seed(1.0))
+        .collect();
+    let batch = engine.run_kernel(&jobs, kernel)?;
+    Ok(batch.pairs.iter().map(|p| p.estimates[0]).collect())
+}
+
+/// Lower bound `f̄` at the item's vector and interval (Example 5's first
+/// table).
+struct LowerBoundKernel<'a> {
+    mep: &'a DiscreteMep<RangePowPlus>,
+}
+
+impl EstimationKernel for LowerBoundKernel<'_> {
+    fn labels(&self) -> Vec<String> {
+        vec!["lower_bound".to_owned()]
+    }
+
+    fn truth(&self, wa: f64, wb: f64) -> f64 {
+        self.mep.f().eval(&[wa, wb])
+    }
+
+    fn evaluate(
+        &self,
+        key: u64,
+        wa: f64,
+        wb: f64,
+        _u: f64,
+        _scratch: &mut KernelScratch,
+        out: &mut [f64],
+    ) -> Result<bool> {
+        let o = self.mep.outcome_at_interval(&[wa, wb], key as usize);
+        out[0] += self.mep.lower_bound(&o);
+        Ok(true)
+    }
+}
+
+/// One ≺⁺-optimal order's estimate at the item's vector and interval.
+struct OrderEstimateKernel<'a> {
+    mep: &'a DiscreteMep<RangePowPlus>,
+    order: usize,
+}
+
+impl EstimationKernel for OrderEstimateKernel<'_> {
+    fn labels(&self) -> Vec<String> {
+        vec!["order_estimate".to_owned()]
+    }
+
+    fn truth(&self, wa: f64, wb: f64) -> f64 {
+        self.mep.f().eval(&[wa, wb])
+    }
+
+    fn evaluate(
+        &self,
+        key: u64,
+        wa: f64,
+        wb: f64,
+        _u: f64,
+        _scratch: &mut KernelScratch,
+        out: &mut [f64],
+    ) -> Result<bool> {
+        let est = order_for(self.mep, self.order);
+        out[0] += est.estimate(&self.mep.outcome_at_interval(&[wa, wb], key as usize));
+        Ok(true)
+    }
+}
+
+/// One order's exact moments (expectation and variance) on the item's
+/// vector.
+struct OrderMomentsKernel<'a> {
+    mep: &'a DiscreteMep<RangePowPlus>,
+    order: usize,
+}
+
+impl EstimationKernel for OrderMomentsKernel<'_> {
+    fn labels(&self) -> Vec<String> {
+        vec!["mean".to_owned(), "variance".to_owned()]
+    }
+
+    fn truth(&self, wa: f64, wb: f64) -> f64 {
+        self.mep.f().eval(&[wa, wb])
+    }
+
+    fn evaluate(
+        &self,
+        _key: u64,
+        wa: f64,
+        wb: f64,
+        _u: f64,
+        _scratch: &mut KernelScratch,
+        out: &mut [f64],
+    ) -> Result<bool> {
+        let est = order_for(self.mep, self.order);
+        let v = [wa, wb];
+        out[0] += est.expected(&v)?;
+        out[1] += est.variance(&v)?;
+        Ok(true)
+    }
+}
+
+/// Theorem 4.3 probe: |order-opt(f ascending) − closed-form L\*| at the
+/// item's vector and interval.
+struct Theorem43Kernel<'a> {
+    mep: &'a DiscreteMep<RangePowPlus>,
+}
+
+impl EstimationKernel for Theorem43Kernel<'_> {
+    fn labels(&self) -> Vec<String> {
+        vec!["lstar_gap".to_owned()]
+    }
+
+    fn truth(&self, wa: f64, wb: f64) -> f64 {
+        self.mep.f().eval(&[wa, wb])
+    }
+
+    fn evaluate(
+        &self,
+        key: u64,
+        wa: f64,
+        wb: f64,
+        _u: f64,
+        _scratch: &mut KernelScratch,
+        out: &mut [f64],
+    ) -> Result<bool> {
+        let asc = OrderOptimal::f_ascending(self.mep);
+        let o = self.mep.outcome_at_interval(&[wa, wb], key as usize);
+        out[0] += (asc.estimate(&o) - self.mep.lstar_estimate(&o)).abs();
+        Ok(true)
+    }
+}
+
+/// Variance of all three orders on the item's vector (the customization
+/// table).
+struct VarianceByOrderKernel<'a> {
+    mep: &'a DiscreteMep<RangePowPlus>,
+}
+
+impl EstimationKernel for VarianceByOrderKernel<'_> {
+    fn labels(&self) -> Vec<String> {
+        vec![
+            "var_lstar_order".to_owned(),
+            "var_ustar_order".to_owned(),
+            "var_custom_order".to_owned(),
+        ]
+    }
+
+    fn truth(&self, wa: f64, wb: f64) -> f64 {
+        self.mep.f().eval(&[wa, wb])
+    }
+
+    fn evaluate(
+        &self,
+        _key: u64,
+        wa: f64,
+        wb: f64,
+        _u: f64,
+        _scratch: &mut KernelScratch,
+        out: &mut [f64],
+    ) -> Result<bool> {
+        let v = [wa, wb];
+        for (slot, order) in out.iter_mut().zip(0..3) {
+            *slot += order_for(self.mep, order).variance(&v)?;
+        }
+        Ok(true)
+    }
+}
+
 pub struct Example5;
 
 impl Scenario for Example5 {
@@ -101,8 +300,9 @@ impl Scenario for Example5 {
         5
     }
 
-    fn run_shard(&self, units: Range<usize>, _engine: &Engine) -> Result<Vec<UnitOut>> {
-        // Per-shard prepared state: the discrete MEP and probe vectors.
+    fn run_shard(&self, units: Range<usize>, engine: &Engine) -> Result<Vec<UnitOut>> {
+        // Per-shard prepared state: the discrete MEP and probe vectors
+        // (shared read-only by every kernel batch).
         let mep = example5()?;
         let positive = positive_vectors();
         units
@@ -111,10 +311,16 @@ impl Scenario for Example5 {
                 match unit {
                     // Lower-bound table (paper's first Example 5 table).
                     0 => {
+                        let lbs = interval_sweep(
+                            engine,
+                            &LowerBoundKernel { mep: &mep },
+                            &positive,
+                            mep.interval_count(),
+                        )?;
                         for k in 0..mep.interval_count() {
                             let mut cells = vec![INTERVALS[k].to_owned()];
-                            for v in &positive {
-                                cells.push(fnum(mep.lower_bound(&mep.outcome_at_interval(v, k))));
+                            for j in 0..positive.len() {
+                                cells.push(fnum(lbs[k * positive.len() + j]));
                             }
                             out.row(0, cells.clone());
                             out.show(SHOW_LOWER, cells);
@@ -123,48 +329,83 @@ impl Scenario for Example5 {
                     // One ≺⁺-optimal order: estimates per interval + exact moments.
                     1..=3 => {
                         let order = unit - 1;
-                        let est = order_for(&mep, order);
+                        let ests = interval_sweep(
+                            engine,
+                            &OrderEstimateKernel { mep: &mep, order },
+                            &positive,
+                            mep.interval_count(),
+                        )?;
                         for k in 0..mep.interval_count() {
                             let mut cells = vec![INTERVALS[k].to_owned()];
-                            for v in &positive {
-                                cells.push(fnum(est.estimate(&mep.outcome_at_interval(v, k))));
+                            for j in 0..positive.len() {
+                                cells.push(fnum(ests[k * positive.len() + j]));
                             }
                             out.row(unit, cells.clone());
                             out.show(SHOW_EST + order, cells);
                         }
-                        for v in &positive {
-                            let meanv = est.expected(v)?;
-                            let var = est.variance(v)?;
+                        let pairs: Vec<_> = positive.iter().map(|v| interval_job(v, 0)).collect();
+                        let jobs: Vec<PairJob> = pairs
+                            .iter()
+                            .map(|(a, b)| PairJob::new(a, b, 0).with_seed(1.0))
+                            .collect();
+                        let moments =
+                            engine.run_kernel(&jobs, &OrderMomentsKernel { mep: &mep, order })?;
+                        for (v, pair) in positive.iter().zip(&moments.pairs) {
                             let f = (v[0] - v[1]).max(0.0);
                             out.show(
                                 SHOW_MOMENTS + order,
-                                vec![format!("{v:?}"), fnum(meanv), fnum(f), fnum(var)],
+                                vec![
+                                    format!("{v:?}"),
+                                    fnum(pair.estimates[0]),
+                                    fnum(f),
+                                    fnum(pair.estimates[1]),
+                                ],
                             );
                         }
                     }
                     // Cross-checks: Theorem 4.3 agreement and the
                     // variance-by-order customization table.
                     _ => {
+                        // The all-zero vector has no active item to encode
+                        // as a pair job; probe it directly so the Theorem
+                        // 4.3 check still covers every domain vector.
                         let asc = OrderOptimal::f_ascending(&mep);
-                        let mut max_gap: f64 = 0.0;
-                        for v in mep.vectors().to_vec() {
-                            for k in 0..mep.interval_count() {
-                                let o = mep.outcome_at_interval(&v, k);
-                                max_gap =
-                                    max_gap.max((asc.estimate(&o) - mep.lstar_estimate(&o)).abs());
-                            }
-                        }
+                        let mut max_gap = (0..mep.interval_count())
+                            .map(|k| {
+                                let o = mep.outcome_at_interval(&[0.0, 0.0], k);
+                                (asc.estimate(&o) - mep.lstar_estimate(&o)).abs()
+                            })
+                            .fold(0.0f64, f64::max);
+                        let nonzero: Vec<Vec<f64>> = mep
+                            .vectors()
+                            .iter()
+                            .filter(|v| v.iter().any(|&w| w > 0.0))
+                            .cloned()
+                            .collect();
+                        let gaps = interval_sweep(
+                            engine,
+                            &Theorem43Kernel { mep: &mep },
+                            &nonzero,
+                            mep.interval_count(),
+                        )?;
+                        max_gap = gaps.into_iter().fold(max_gap, f64::max);
                         out.note(format!(
                             "max |order-opt(f asc) − L*| over all outcomes: {} (Theorem 4.3)",
                             fnum(max_gap)
                         ));
                         out.metric(f64::from(u8::from(max_gap < 1e-9)));
-                        let orders: Vec<OrderOptimal<'_, RangePowPlus>> =
-                            (0..3).map(|i| order_for(&mep, i)).collect();
-                        for v in &positive {
+
+                        let pairs: Vec<_> = positive.iter().map(|v| interval_job(v, 0)).collect();
+                        let jobs: Vec<PairJob> = pairs
+                            .iter()
+                            .map(|(a, b)| PairJob::new(a, b, 0).with_seed(1.0))
+                            .collect();
+                        let vars =
+                            engine.run_kernel(&jobs, &VarianceByOrderKernel { mep: &mep })?;
+                        for (v, pair) in positive.iter().zip(&vars.pairs) {
                             let mut cells = vec![format!("{v:?}")];
-                            for est in &orders {
-                                cells.push(fnum(est.variance(v)?));
+                            for &var in &pair.estimates {
+                                cells.push(fnum(var));
                             }
                             out.show(SHOW_VARIANCE, cells);
                         }

@@ -1,0 +1,256 @@
+//! Oracle kernels shared by the variance/ratio scenarios.
+//!
+//! These [`EstimationKernel`]s treat each job's single item as a *fully
+//! known data vector* `(wa, wb)` and ignore the shared seed: the columns
+//! are per-data functionals (exact variances, second-moment competitive
+//! ratios) of the kernel's prepared MEP, computed by the same
+//! [`VarianceCalc`] calls the scenarios used to hand-roll per unit. The
+//! engine contributes what it always contributes — prepare-once state,
+//! deterministic sharded parallelism over the data grid — while the
+//! scenario keeps its aggregation logic.
+//!
+//! Encode a vector as a job with [`vector_pair`]; the item key is free
+//! for scenario use (e.g. interval indices, payload indices). Sweeps
+//! whose unit axis groups consecutive units under one prepared family
+//! (one exponent, one function) batch each family's contiguous run with
+//! [`family_chunks`].
+
+use std::ops::Range;
+
+use monotone_coord::instance::Instance;
+use monotone_core::estimate::{DyadicJ, HorvitzThompson};
+use monotone_core::func::ItemFn;
+use monotone_core::problem::Mep;
+use monotone_core::scheme::{LinearThreshold, TupleScheme};
+use monotone_core::variance::VarianceCalc;
+use monotone_core::Result;
+use monotone_engine::{EstimationKernel, KernelScratch};
+
+/// The single-item instance pair encoding one data vector `v` under item
+/// key `key` — the job shape of every oracle kernel. Zero entries become
+/// absent items, which the engine merges back as weight 0.
+///
+/// # Panics
+///
+/// Panics on the all-zero vector: with no active entry the pair has no
+/// item, the kernel's `evaluate` never runs, and every column would
+/// silently read 0.0 — a sweep that needs the all-zero boundary cell must
+/// probe it directly (as `example5`'s Theorem 4.3 check does).
+pub fn vector_pair(key: u64, v: [f64; 2]) -> (Instance, Instance) {
+    assert!(
+        v.iter().any(|&w| w > 0.0),
+        "vector_pair cannot encode the all-zero vector (no active item to visit)"
+    );
+    (
+        Instance::from_pairs([(key, v[0])]),
+        Instance::from_pairs([(key, v[1])]),
+    )
+}
+
+/// Splits a contiguous unit range into its per-family sub-ranges, where
+/// units `f·family_size .. (f+1)·family_size` share prepared family `f`:
+/// yields `(family, unit_range)` pairs in ascending unit order. The
+/// batching shape of every family-grouped oracle sweep — one engine batch
+/// per yielded chunk.
+pub fn family_chunks(
+    units: Range<usize>,
+    family_size: usize,
+) -> impl Iterator<Item = (usize, Range<usize>)> {
+    assert!(
+        family_size > 0,
+        "family_chunks needs a positive family size"
+    );
+    let (mut start, end) = (units.start, units.end);
+    std::iter::from_fn(move || {
+        if start >= end {
+            return None;
+        }
+        let family = start / family_size;
+        let stop = end.min((family + 1) * family_size);
+        let chunk = (family, start..stop);
+        start = stop;
+        Some(chunk)
+    })
+}
+
+/// One column: the L\* competitive ratio `E[(f̂ᴸ)²]/E[(f̂⁽ᵛ⁾)²]` on the
+/// item's data vector (NaN when the optimum is numerically zero) —
+/// the E7 sweep cell.
+pub struct LStarRatioKernel<F: ItemFn + Sync> {
+    mep: Mep<F, LinearThreshold>,
+    calc: VarianceCalc,
+}
+
+impl<F: ItemFn + Sync> LStarRatioKernel<F> {
+    /// Prepares the MEP for `f` under common-scale PPS(1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates MEP construction errors.
+    pub fn new(f: F, calc: VarianceCalc) -> Result<LStarRatioKernel<F>> {
+        Ok(LStarRatioKernel {
+            mep: Mep::new(f, TupleScheme::pps(&[1.0, 1.0])?)?,
+            calc,
+        })
+    }
+}
+
+impl<F: ItemFn + Sync> EstimationKernel for LStarRatioKernel<F> {
+    fn labels(&self) -> Vec<String> {
+        vec!["ratio_lstar".to_owned()]
+    }
+
+    fn truth(&self, wa: f64, wb: f64) -> f64 {
+        self.mep.f().eval(&[wa, wb])
+    }
+
+    fn evaluate(
+        &self,
+        _key: u64,
+        wa: f64,
+        wb: f64,
+        _u: f64,
+        _scratch: &mut KernelScratch,
+        out: &mut [f64],
+    ) -> Result<bool> {
+        out[0] += self
+            .calc
+            .lstar_competitive_ratio(&self.mep, &[wa, wb])?
+            .unwrap_or(f64::NAN);
+        Ok(true)
+    }
+}
+
+/// Two columns: the dyadic-J and L\* competitive ratios on the item's
+/// data vector — the E11 sweep cell.
+pub struct JVsLStarRatioKernel<F: ItemFn + Sync> {
+    mep: Mep<F, LinearThreshold>,
+    calc: VarianceCalc,
+    j: DyadicJ,
+}
+
+impl<F: ItemFn + Sync> JVsLStarRatioKernel<F> {
+    /// Prepares the MEP for `f` under common-scale PPS(1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates MEP construction errors.
+    pub fn new(f: F, calc: VarianceCalc) -> Result<JVsLStarRatioKernel<F>> {
+        Ok(JVsLStarRatioKernel {
+            mep: Mep::new(f, TupleScheme::pps(&[1.0, 1.0])?)?,
+            calc,
+            j: DyadicJ::new(),
+        })
+    }
+}
+
+impl<F: ItemFn + Sync> EstimationKernel for JVsLStarRatioKernel<F> {
+    fn labels(&self) -> Vec<String> {
+        vec!["ratio_j".to_owned(), "ratio_lstar".to_owned()]
+    }
+
+    fn truth(&self, wa: f64, wb: f64) -> f64 {
+        self.mep.f().eval(&[wa, wb])
+    }
+
+    fn evaluate(
+        &self,
+        _key: u64,
+        wa: f64,
+        wb: f64,
+        _u: f64,
+        _scratch: &mut KernelScratch,
+        out: &mut [f64],
+    ) -> Result<bool> {
+        let v = [wa, wb];
+        out[0] += self
+            .calc
+            .competitive_ratio(&self.mep, &self.j, &v)?
+            .unwrap_or(f64::NAN);
+        out[1] += self
+            .calc
+            .lstar_competitive_ratio(&self.mep, &v)?
+            .unwrap_or(f64::NAN);
+        Ok(true)
+    }
+}
+
+/// Four columns: exact variances of L\*, HT, and J on the item's data
+/// vector plus the HT applicability indicator — the E8 dominance cell.
+pub struct VarianceStatsKernel<F: ItemFn + Sync> {
+    mep: Mep<F, LinearThreshold>,
+    calc: VarianceCalc,
+    ht: HorvitzThompson,
+    j: DyadicJ,
+}
+
+impl<F: ItemFn + Sync> VarianceStatsKernel<F> {
+    /// Prepares the MEP for `f` under common-scale PPS(1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates MEP construction errors.
+    pub fn new(f: F, calc: VarianceCalc) -> Result<VarianceStatsKernel<F>> {
+        Ok(VarianceStatsKernel {
+            mep: Mep::new(f, TupleScheme::pps(&[1.0, 1.0])?)?,
+            calc,
+            ht: HorvitzThompson::new(),
+            j: DyadicJ::new(),
+        })
+    }
+}
+
+impl<F: ItemFn + Sync> EstimationKernel for VarianceStatsKernel<F> {
+    fn labels(&self) -> Vec<String> {
+        ["var_lstar", "var_ht", "var_j", "ht_applicable"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect()
+    }
+
+    fn truth(&self, wa: f64, wb: f64) -> f64 {
+        self.mep.f().eval(&[wa, wb])
+    }
+
+    fn evaluate(
+        &self,
+        _key: u64,
+        wa: f64,
+        wb: f64,
+        _u: f64,
+        _scratch: &mut KernelScratch,
+        out: &mut [f64],
+    ) -> Result<bool> {
+        let v = [wa, wb];
+        let l = self.calc.lstar_stats(&self.mep, &v)?;
+        let h = self.calc.stats(&self.mep, &self.ht, &v)?;
+        let jv = self.calc.stats(&self.mep, &self.j, &v)?;
+        let applicable = self.ht.is_applicable(&self.mep, &v)?;
+        out[0] += l.variance;
+        out[1] += h.variance;
+        out[2] += jv.variance;
+        out[3] += f64::from(u8::from(applicable));
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_chunks_partition_and_cap() {
+        // A shard range straddling three families of size 4.
+        let chunks: Vec<_> = family_chunks(3..11, 4).collect();
+        assert_eq!(chunks, vec![(0, 3..4), (1, 4..8), (2, 8..11)]);
+        // Aligned, single-family, and empty ranges.
+        assert_eq!(family_chunks(4..8, 4).collect::<Vec<_>>(), vec![(1, 4..8)]);
+        assert_eq!(family_chunks(5..5, 4).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero vector")]
+    fn vector_pair_rejects_all_zero() {
+        let _ = vector_pair(0, [0.0, 0.0]);
+    }
+}

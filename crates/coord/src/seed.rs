@@ -41,10 +41,47 @@ impl SeedHasher {
     }
 
     /// The shared seed of an item key, uniform on `(0, 1]` over keys.
+    #[inline]
     pub fn seed(&self, key: u64) -> f64 {
         let x = splitmix64(key ^ self.salt.rotate_left(17) ^ 0x9e37_79b9_7f4a_7c15);
         // Map the top 53 bits into (0, 1]: (bits + 1) / 2^53.
         (((x >> 11) + 1) as f64) * (1.0 / 9007199254740992.0)
+    }
+
+    /// Bulk [`seed`](SeedHasher::seed): hashes every key of a batch into
+    /// `out` (same values as per-key calls, bit for bit). Batch loops that
+    /// visit a merged key stream — the engine's kernel evaluate loop —
+    /// hash whole chunks at once: the salt pre-mix is hoisted out of the
+    /// loop and the independent per-key pipelines let the compiler
+    /// interleave the SplitMix64 stages across keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != keys.len()`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use monotone_coord::seed::SeedHasher;
+    ///
+    /// let h = SeedHasher::new(42);
+    /// let keys = [3u64, 7, 11];
+    /// let mut seeds = [0.0; 3];
+    /// h.seed_many(&keys, &mut seeds);
+    /// assert!(keys.iter().zip(&seeds).all(|(&k, &u)| u == h.seed(k)));
+    /// ```
+    #[inline]
+    pub fn seed_many(&self, keys: &[u64], out: &mut [f64]) {
+        assert_eq!(keys.len(), out.len(), "seed_many buffer length mismatch");
+        let pre = self.salt.rotate_left(17) ^ 0x9e37_79b9_7f4a_7c15;
+        // Equal-length re-slices + indexed loop: the shape LLVM unrolls
+        // and pipelines across the independent per-key hash chains.
+        let n = keys.len();
+        let (keys, out) = (&keys[..n], &mut out[..n]);
+        for i in 0..n {
+            let x = splitmix64(keys[i] ^ pre);
+            out[i] = (((x >> 11) + 1) as f64) * (1.0 / 9007199254740992.0);
+        }
     }
 
     /// An independent per-instance seed for the same item (used to contrast
@@ -125,6 +162,27 @@ mod tests {
                 "bucket {i}: {b} vs {expect}"
             );
         }
+    }
+
+    #[test]
+    fn seed_many_matches_per_key_hashing() {
+        // The bulk path must be the same hash, bit for bit, for every salt
+        // — including the edge salts exercised by key_for_raw tests.
+        for salt in [0u64, 1, 42, u64::MAX] {
+            let h = SeedHasher::new(salt);
+            let keys: Vec<u64> = (0..257).chain([u64::MAX, 1 << 63]).collect();
+            let mut seeds = vec![0.0; keys.len()];
+            h.seed_many(&keys, &mut seeds);
+            for (&k, &u) in keys.iter().zip(&seeds) {
+                assert_eq!(u, h.seed(k), "salt {salt} key {k}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn seed_many_rejects_mismatched_buffers() {
+        SeedHasher::new(1).seed_many(&[1, 2, 3], &mut [0.0; 2]);
     }
 
     #[test]

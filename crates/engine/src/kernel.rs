@@ -1,0 +1,553 @@
+//! Pluggable estimation kernels: the prepare-once / evaluate-per-item
+//! layer behind [`Engine::run`](crate::Engine::run).
+//!
+//! A *kernel* is everything a query derives exactly once — the MEP, the
+//! per-estimator dispatch (closed form where one is registered, generic
+//! fallback otherwise), quadrature configuration — packaged behind the
+//! [`EstimationKernel`] trait so the engine's batch loop is the same for
+//! every function family, scheme, and estimator set. Workers share the
+//! kernel read-only and thread a [`KernelScratch`] through the item loop,
+//! so the hot path stays allocation-free.
+//!
+//! Three layers of customization:
+//!
+//! * **queries** ([`EngineQuery`](crate::EngineQuery)) cover the built-in
+//!   function families over per-instance PPS scales — most callers stop
+//!   here;
+//! * **[`FuncKernel`]** accepts *any* [`ItemFn`] plus an explicit
+//!   [`ClosedForms`] registration, for function families the query
+//!   builder does not know about;
+//! * **custom [`EstimationKernel`] impls** interpret the per-item
+//!   `(key, w1, w2, seed)` stream however they like — the scenario
+//!   registry uses this for variance sweeps, estimate curves at probe
+//!   seeds, and sketch-pair workloads.
+//!
+//! Closed forms are not special-cased in the engine: each function family
+//! *registers* the fast paths it has for a given scheme via
+//! [`KernelFunc::closed_forms`], and [`FuncKernel`] resolves every
+//! requested [`EstimatorKind`] against that registration when the kernel
+//! is built — `RGp+` under a common scale registers
+//! [`RgPlusLStar`]/[`RgPlusUStar`], the distinct-count indicator registers
+//! its inverse-probability form for any scale pair, and everything else
+//! falls back to the generic quadrature/integration estimators.
+//!
+//! # Examples
+//!
+//! A custom kernel that treats each item's weights as a full data vector
+//! and "estimates" with the exact value — the oracle pattern the variance
+//! and ratio scenarios build on:
+//!
+//! ```
+//! use monotone_coord::instance::Instance;
+//! use monotone_engine::{Engine, EstimationKernel, KernelScratch, PairJob};
+//!
+//! struct ExactOracle;
+//! impl EstimationKernel for ExactOracle {
+//!     fn labels(&self) -> Vec<String> {
+//!         vec!["exact".to_owned()]
+//!     }
+//!     fn truth(&self, wa: f64, wb: f64) -> f64 {
+//!         (wa - wb).max(0.0)
+//!     }
+//!     fn evaluate(
+//!         &self,
+//!         _key: u64,
+//!         wa: f64,
+//!         wb: f64,
+//!         _u: f64,
+//!         _scratch: &mut KernelScratch,
+//!         out: &mut [f64],
+//!     ) -> monotone_core::Result<bool> {
+//!         out[0] += (wa - wb).max(0.0);
+//!         Ok(true)
+//!     }
+//! }
+//!
+//! let a = Instance::from_pairs([(1u64, 0.9), (2, 0.4)]);
+//! let b = Instance::from_pairs([(1u64, 0.2)]);
+//! let jobs = [PairJob::new(&a, &b, 0)];
+//! let batch = Engine::with_threads(1).run_kernel(&jobs, &ExactOracle).unwrap();
+//! assert_eq!(batch.pairs[0].estimates[0], batch.pairs[0].truth);
+//! assert_eq!(batch.summaries[0].label, "exact");
+//! ```
+//!
+//! [`RgPlusLStar`]: monotone_core::estimate::RgPlusLStar
+//! [`RgPlusUStar`]: monotone_core::estimate::RgPlusUStar
+
+use monotone_core::estimate::{
+    DyadicJ, HorvitzThompson, LStar, MonotoneEstimator, RgPlusLStar, RgPlusUStar, UStar,
+};
+use monotone_core::func::{DistinctOr, ItemFn, LinearAbsPow, RangePowPlus, TupleMax, TupleMin};
+use monotone_core::problem::{LbScratch, Mep};
+use monotone_core::quad::QuadConfig;
+use monotone_core::scheme::{EntryState, LinearThreshold, Outcome, TupleScheme};
+use monotone_core::{Error, Result};
+
+use super::EstimatorKind;
+
+/// Reusable per-worker buffers threaded through a kernel's item loop:
+/// a recycled [`Outcome`] entry vector and the lower-bound work vectors
+/// of the generic estimators. One scratch lives per in-flight job, so
+/// batch loops pay zero allocations per sampled item.
+#[derive(Debug, Default)]
+pub struct KernelScratch {
+    /// Recycled outcome entry buffer (take with [`std::mem::take`], hand
+    /// back via [`Outcome::into_parts`]).
+    pub entries: Vec<EntryState>,
+    /// Recycled lower-bound buffers for quadrature-backed estimators.
+    pub lb: LbScratch,
+}
+
+impl KernelScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> KernelScratch {
+        KernelScratch::default()
+    }
+}
+
+/// Prepare-once per-query state with a per-item evaluation hot path —
+/// what [`Engine::run_kernel`](crate::Engine::run_kernel) executes over a
+/// batch of [`PairJob`](crate::PairJob)s.
+///
+/// The engine walks each job's item stream (the merged key union, or the
+/// job's domain), hashes the shared seeds in bulk, and calls
+/// [`evaluate`](EstimationKernel::evaluate) once per active item. How the
+/// `(key, w1, w2, seed)` tuple is interpreted is the kernel's business:
+/// the built-in [`FuncKernel`] treats the weights as a sampled data tuple,
+/// while oracle kernels (variance, ratio, curve scenarios) treat them as
+/// fully known data and ignore the seed, and payload kernels index
+/// kernel-held state by `key`.
+///
+/// # Contract
+///
+/// * Implementations must be deterministic functions of their inputs —
+///   results land in index-preassigned slots, and the batch output must
+///   be identical for every worker count.
+/// * `evaluate` **adds** into `out` (one slot per label) and reports
+///   whether the item carried sampled evidence.
+pub trait EstimationKernel: Sync {
+    /// Estimator column labels, in result order — fixes the width of
+    /// [`PairResult::estimates`](crate::PairResult::estimates) and names
+    /// the batch summaries.
+    fn labels(&self) -> Vec<String>;
+
+    /// The exact contribution of one item to the pair's target value
+    /// (accumulated into [`PairResult::truth`](crate::PairResult::truth)).
+    fn truth(&self, wa: f64, wb: f64) -> f64;
+
+    /// Evaluates every estimator column on one item at shared seed `u`,
+    /// adding into `out`. Returns `Ok(true)` when the item carried
+    /// sampled evidence (counted in `sampled_items`), `Ok(false)` when
+    /// every estimator is an exact zero for it.
+    ///
+    /// # Errors
+    ///
+    /// Implementations propagate outcome-assembly or estimator errors;
+    /// the engine aborts the batch on the first error.
+    fn evaluate(
+        &self,
+        key: u64,
+        wa: f64,
+        wb: f64,
+        u: f64,
+        scratch: &mut KernelScratch,
+        out: &mut [f64],
+    ) -> Result<bool>;
+}
+
+/// A closed-form per-item evaluator from raw sampled values (`None` =
+/// capped entry) and the shared seed — the allocation-free fast path a
+/// function family can register for a scheme.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClosedPairForm {
+    /// [`RgPlusLStar`]: L\* for `RGp+`, `p ∈ {1, 2}`, common PPS scale.
+    RgPlusL(RgPlusLStar),
+    /// [`RgPlusUStar`]: U\* for `RGp+`, any `p > 0`, common PPS scale.
+    RgPlusU(RgPlusUStar),
+    /// L\* for the distinct-count OR indicator under per-instance PPS
+    /// scales: the lower bound is a 0/1 step, so Eq. (31) collapses to
+    /// the inverse of the largest inclusion probability among sampled
+    /// entries (and coincides with Horvitz-Thompson).
+    DistinctL {
+        /// The per-instance PPS scales.
+        scales: [f64; 2],
+    },
+}
+
+impl ClosedPairForm {
+    /// The estimate from raw sampled values plus the shared seed.
+    pub fn eval(&self, v1: Option<f64>, v2: Option<f64>, u: f64) -> f64 {
+        match self {
+            ClosedPairForm::RgPlusL(c) => c.estimate_values(v1, v2, u),
+            ClosedPairForm::RgPlusU(c) => c.estimate_values(v1, v2, u),
+            ClosedPairForm::DistinctL { scales } => {
+                let prob = |v: Option<f64>, s: f64| v.map_or(0.0, |w| (w / s).min(1.0));
+                let q = prob(v1, scales[0]).max(prob(v2, scales[1]));
+                if q > 0.0 {
+                    1.0 / q
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+/// The closed forms a function family registers for a pair scheme: the
+/// fast paths [`FuncKernel`] dispatches to instead of the generic
+/// quadrature/integration estimators.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ClosedForms {
+    /// Closed-form L\*, when the family has one for the scheme.
+    pub lstar: Option<ClosedPairForm>,
+    /// Closed-form U\*.
+    pub ustar: Option<ClosedPairForm>,
+}
+
+impl ClosedForms {
+    /// No closed forms: every estimator uses its generic fallback.
+    pub fn none() -> ClosedForms {
+        ClosedForms::default()
+    }
+}
+
+/// Closed-form registration hook: a function family inspects the pair
+/// scheme's per-instance PPS scales and registers whatever fast paths it
+/// has. The default registers nothing — generic fallbacks handle any
+/// [`ItemFn`] — so families only implement this when they have something
+/// to say.
+pub trait KernelFunc: ItemFn {
+    /// The closed forms this family offers under per-instance PPS scales.
+    fn closed_forms(&self, scales: [f64; 2]) -> ClosedForms {
+        let _ = scales;
+        ClosedForms::none()
+    }
+}
+
+impl KernelFunc for RangePowPlus {
+    /// `RGp+` registers its L\* closed form for `p ∈ {1, 2}` and its U\*
+    /// closed form for every `p > 0` — but only under a *common* scale,
+    /// where the Example 4 derivations hold.
+    fn closed_forms(&self, scales: [f64; 2]) -> ClosedForms {
+        // Degenerate scales register nothing — kernel construction reports
+        // them as typed errors rather than closed-form constructor panics.
+        if scales[0] != scales[1] || !(scales[0].is_finite() && scales[0] > 0.0) {
+            return ClosedForms::none();
+        }
+        let (p, scale) = (self.p(), scales[0]);
+        let lstar = if p == 1.0 {
+            Some(ClosedPairForm::RgPlusL(RgPlusLStar::new(1, scale)))
+        } else if p == 2.0 {
+            Some(ClosedPairForm::RgPlusL(RgPlusLStar::new(2, scale)))
+        } else {
+            None
+        };
+        ClosedForms {
+            lstar,
+            ustar: Some(ClosedPairForm::RgPlusU(RgPlusUStar::new(p, scale))),
+        }
+    }
+}
+
+impl KernelFunc for DistinctOr {
+    /// The OR indicator's L\* collapses to inverse inclusion probability
+    /// under any per-instance scale pair.
+    fn closed_forms(&self, scales: [f64; 2]) -> ClosedForms {
+        ClosedForms {
+            lstar: Some(ClosedPairForm::DistinctL { scales }),
+            ustar: None,
+        }
+    }
+}
+
+impl KernelFunc for TupleMin {}
+impl KernelFunc for TupleMax {}
+impl KernelFunc for LinearAbsPow {}
+
+/// Resolved dispatch for one requested estimator slot.
+#[derive(Debug)]
+enum KindEval {
+    /// A registered closed form (no outcome materialization needed).
+    Closed(ClosedPairForm),
+    /// Generic quadrature-backed L\* (Eq. (31)).
+    GenericL(LStar),
+    /// Generic backward-integration U\* (Eq. (48)).
+    GenericU(UStar),
+    /// Horvitz-Thompson reveal detection.
+    Ht(HorvitzThompson),
+    /// The dyadic J baseline.
+    J(DyadicJ),
+}
+
+/// The engine's standard kernel: any [`ItemFn`] over a coordinated pair
+/// scheme with per-instance PPS scales, evaluating a set of
+/// [`EstimatorKind`]s with closed-form fast paths where the family
+/// registered them.
+///
+/// # Examples
+///
+/// ```
+/// use monotone_core::func::TupleMax;
+/// use monotone_core::quad::QuadConfig;
+/// use monotone_coord::instance::Instance;
+/// use monotone_engine::{Engine, EstimatorKind, FuncKernel, PairJob};
+///
+/// // max(v1, v2) aggregates under asymmetric PPS scales — no closed
+/// // form registered, so L* runs through the generic quadrature path.
+/// let kernel = FuncKernel::auto(
+///     TupleMax::new(2),
+///     [1.0, 2.0],
+///     &[EstimatorKind::LStar],
+///     QuadConfig::fast(),
+/// )
+/// .unwrap();
+/// let a = Instance::from_pairs((0..40u64).map(|k| (k, 0.3 + (k % 5) as f64 / 10.0)));
+/// let b = Instance::from_pairs((0..40u64).map(|k| (k, 0.2 + (k % 7) as f64 / 10.0)));
+/// let jobs: Vec<PairJob> = (0..8).map(|salt| PairJob::new(&a, &b, salt)).collect();
+/// let batch = Engine::with_threads(2).run_kernel(&jobs, &kernel).unwrap();
+/// assert!(batch.summaries[0].mean_truth > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct FuncKernel<F: ItemFn> {
+    mep: Mep<F, LinearThreshold>,
+    scales: [f64; 2],
+    kinds: Vec<EstimatorKind>,
+    evals: Vec<KindEval>,
+    /// Whether any slot needs a materialized [`Outcome`] (closed forms
+    /// work from raw values).
+    needs_outcome: bool,
+}
+
+impl<F: ItemFn + Sync> FuncKernel<F> {
+    /// Builds a kernel from a function, per-instance scales, an estimator
+    /// set, the quadrature configuration for generic fallbacks, and an
+    /// explicit closed-form registration (use [`FuncKernel::auto`] to let
+    /// the family register its own).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidScale`] for non-finite or non-positive
+    /// scales and [`Error::ArityMismatch`] when `f` is not a pair
+    /// function.
+    pub fn new(
+        f: F,
+        scales: [f64; 2],
+        kinds: &[EstimatorKind],
+        quad: QuadConfig,
+        closed: ClosedForms,
+    ) -> Result<FuncKernel<F>> {
+        for &s in &scales {
+            if !(s.is_finite() && s > 0.0) {
+                return Err(Error::InvalidScale(s));
+            }
+        }
+        let mep = Mep::new(f, TupleScheme::pps(&scales)?)?;
+        let evals: Vec<KindEval> = kinds
+            .iter()
+            .map(|kind| match kind {
+                EstimatorKind::LStar => closed
+                    .lstar
+                    .map(KindEval::Closed)
+                    .unwrap_or_else(|| KindEval::GenericL(LStar::with_quad(quad))),
+                EstimatorKind::UStar => closed
+                    .ustar
+                    .map(KindEval::Closed)
+                    .unwrap_or_else(|| KindEval::GenericU(UStar::new())),
+                EstimatorKind::HorvitzThompson => KindEval::Ht(HorvitzThompson::new()),
+                EstimatorKind::DyadicJ => KindEval::J(DyadicJ::new()),
+            })
+            .collect();
+        let needs_outcome = evals.iter().any(|e| !matches!(e, KindEval::Closed(_)));
+        Ok(FuncKernel {
+            mep,
+            scales,
+            kinds: kinds.to_vec(),
+            evals,
+            needs_outcome,
+        })
+    }
+
+    /// [`FuncKernel::new`] with the closed forms the function family
+    /// registers for these scales ([`KernelFunc::closed_forms`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`FuncKernel::new`].
+    pub fn auto(
+        f: F,
+        scales: [f64; 2],
+        kinds: &[EstimatorKind],
+        quad: QuadConfig,
+    ) -> Result<FuncKernel<F>>
+    where
+        F: KernelFunc,
+    {
+        let closed = f.closed_forms(scales);
+        FuncKernel::new(f, scales, kinds, quad, closed)
+    }
+
+    /// The estimator kinds, in result order.
+    pub fn kinds(&self) -> &[EstimatorKind] {
+        &self.kinds
+    }
+
+    /// Which slots resolved to a registered closed form.
+    pub fn closed_slots(&self) -> Vec<bool> {
+        self.evals
+            .iter()
+            .map(|e| matches!(e, KindEval::Closed(_)))
+            .collect()
+    }
+}
+
+impl<F: ItemFn + Sync> EstimationKernel for FuncKernel<F> {
+    fn labels(&self) -> Vec<String> {
+        self.kinds.iter().map(|k| k.name().to_owned()).collect()
+    }
+
+    fn truth(&self, wa: f64, wb: f64) -> f64 {
+        self.mep.f().eval(&[wa, wb])
+    }
+
+    fn evaluate(
+        &self,
+        _key: u64,
+        wa: f64,
+        wb: f64,
+        u: f64,
+        scratch: &mut KernelScratch,
+        out: &mut [f64],
+    ) -> Result<bool> {
+        let v1 = (wa > 0.0 && wa >= u * self.scales[0]).then_some(wa);
+        let v2 = (wb > 0.0 && wb >= u * self.scales[1]).then_some(wb);
+        if v1.is_none() && v2.is_none() {
+            // No sampled evidence: every estimator here yields 0 (all-capped
+            // outcomes have zero lower bound), exactly as the per-call query
+            // path skips items absent from all samples.
+            return Ok(false);
+        }
+        let outcome = if self.needs_outcome {
+            // Recycle the entry buffer across items: from_parts consumes a
+            // Vec, into_parts below hands it back.
+            let state = |v: Option<f64>| v.map_or(EntryState::Capped, EntryState::Known);
+            let mut entries = std::mem::take(&mut scratch.entries);
+            entries.clear();
+            entries.push(state(v1));
+            entries.push(state(v2));
+            Some(Outcome::from_parts(u, entries)?)
+        } else {
+            None
+        };
+        {
+            let outcome = outcome.as_ref();
+            for (slot, eval) in self.evals.iter().enumerate() {
+                out[slot] += match eval {
+                    KindEval::Closed(form) => form.eval(v1, v2, u),
+                    KindEval::GenericL(l) => l.estimate_with(
+                        &self.mep,
+                        outcome.expect("outcome prepared"),
+                        &mut scratch.lb,
+                    ),
+                    KindEval::GenericU(us) => {
+                        us.estimate(&self.mep, outcome.expect("outcome prepared"))
+                    }
+                    KindEval::Ht(ht) => ht.estimate(&self.mep, outcome.expect("outcome prepared")),
+                    KindEval::J(j) => j.estimate(&self.mep, outcome.expect("outcome prepared")),
+                };
+            }
+        }
+        if let Some(outcome) = outcome {
+            scratch.entries = outcome.into_parts().1;
+        }
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rg_plus_registers_closed_forms_under_common_scale() {
+        let forms = RangePowPlus::new(1.0).closed_forms([2.0, 2.0]);
+        assert!(matches!(forms.lstar, Some(ClosedPairForm::RgPlusL(_))));
+        assert!(matches!(forms.ustar, Some(ClosedPairForm::RgPlusU(_))));
+        // No L* closed form away from p in {1, 2}; U* covers every p.
+        let forms = RangePowPlus::new(1.5).closed_forms([1.0, 1.0]);
+        assert!(forms.lstar.is_none());
+        assert!(forms.ustar.is_some());
+        // Per-instance scales: the Example 4 derivations do not apply.
+        let forms = RangePowPlus::new(1.0).closed_forms([1.0, 2.0]);
+        assert_eq!(forms, ClosedForms::none());
+    }
+
+    #[test]
+    fn distinct_closed_form_is_inverse_inclusion_probability() {
+        let forms = DistinctOr::new(2).closed_forms([1.0, 2.0]);
+        let lstar = forms.lstar.expect("registered");
+        assert!(forms.ustar.is_none());
+        // Known entries 0.4 (prob 0.4) and 0.7 (prob 0.35): q = 0.4.
+        let e = lstar.eval(Some(0.4), Some(0.7), 0.1);
+        assert!((e - 1.0 / 0.4).abs() < 1e-15, "got {e}");
+        // Single known entry above its scale: prob 1, estimate 1.
+        assert_eq!(lstar.eval(None, Some(2.5), 0.9), 1.0);
+        assert_eq!(lstar.eval(None, None, 0.5), 0.0);
+    }
+
+    #[test]
+    fn distinct_closed_form_matches_generic_lstar() {
+        use monotone_core::estimate::{LStar, MonotoneEstimator};
+        let scales = [1.0, 2.0];
+        let f = DistinctOr::new(2);
+        let closed = f.closed_forms(scales).lstar.unwrap();
+        let mep = Mep::new(f, TupleScheme::pps(&scales).unwrap()).unwrap();
+        let generic = LStar::new();
+        for &v in &[[0.4, 0.7], [0.4, 0.0], [0.0, 1.9], [2.0, 3.0]] {
+            for k in 1..=20 {
+                let u = k as f64 / 20.0;
+                let out = mep.scheme().sample(&v, u).unwrap();
+                let a = closed.eval(out.known(0), out.known(1), u);
+                let b = generic.estimate(&mep, &out);
+                assert!((a - b).abs() < 1e-9, "v={v:?} u={u}: closed {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn func_kernel_rejects_bad_scales() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(FuncKernel::auto(
+                RangePowPlus::new(1.0),
+                [1.0, bad],
+                &[EstimatorKind::LStar],
+                QuadConfig::fast(),
+            )
+            .is_err());
+        }
+    }
+
+    #[test]
+    fn closed_slots_reflect_registration() {
+        let kernel = FuncKernel::auto(
+            RangePowPlus::new(1.0),
+            [1.0, 1.0],
+            &[
+                EstimatorKind::LStar,
+                EstimatorKind::UStar,
+                EstimatorKind::HorvitzThompson,
+            ],
+            QuadConfig::fast(),
+        )
+        .unwrap();
+        assert_eq!(kernel.closed_slots(), vec![true, true, false]);
+        let generic = FuncKernel::new(
+            RangePowPlus::new(1.0),
+            [1.0, 1.0],
+            &[EstimatorKind::LStar],
+            QuadConfig::fast(),
+            ClosedForms::none(),
+        )
+        .unwrap();
+        assert_eq!(generic.closed_slots(), vec![false]);
+    }
+}

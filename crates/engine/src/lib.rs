@@ -10,14 +10,24 @@
 //! collections. The naive pattern — one [`Mep`] construction, one
 //! quadrature-backed estimate, one instance pair at a time — re-derives the
 //! same per-MEP state for every outcome. The [`Engine`] amortizes that
-//! setup once per batch:
+//! setup once per batch through a pluggable **kernel** layer:
 //!
-//! * **closed-form dispatch** — `RGp+` under common-scale PPS uses
-//!   [`RgPlusLStar`] (`p ∈ {1, 2}`) and [`RgPlusUStar`] automatically; only
-//!   genuinely generic problems pay for quadrature;
+//! * **kernels** — an [`EngineQuery`] builder selects a function family
+//!   ([`RGp+`](monotone_core::func::RangePowPlus), distinct-count OR,
+//!   min/max, linear forms) over per-instance PPS scales and compiles it
+//!   into an [`EstimationKernel`]: prepare-once state, per-item `evaluate`
+//!   with reusable scratch. Custom kernels plug straight into
+//!   [`Engine::run_kernel`] — the scenario registry runs variance sweeps,
+//!   probe-seed estimate curves, and sketch-pair similarity through the
+//!   same batch loop;
+//! * **closed-form registration** — function families register their
+//!   closed forms per scheme ([`KernelFunc`]); `RGp+` under a common scale
+//!   dispatches to [`RgPlusLStar`] (`p ∈ {1, 2}`) and [`RgPlusUStar`]
+//!   automatically, so only genuinely generic problems pay for quadrature;
 //! * **bulk sampling** — each item's shared seed is hashed exactly once per
-//!   pair (not once per instance per estimator) by merging the two sorted
-//!   instances in a single pass ([`merged_weights`]);
+//!   pair (not once per instance per estimator), in chunks via
+//!   [`SeedHasher::seed_many`] over the merged key stream
+//!   ([`merged_weights`]);
 //! * **deterministic parallelism** — jobs are split into contiguous chunks
 //!   over a [`std::thread::scope`] worker pool; results land in
 //!   preassigned slots, so the output is identical for every thread count.
@@ -34,37 +44,49 @@
 //! let batch = Engine::new().run(&jobs, &query).unwrap();
 //! assert_eq!(batch.pairs.len(), 16);
 //! let lstar = &batch.summaries[0];
+//! assert_eq!(lstar.label, "L*");
 //! assert!(lstar.nrmse < 1.0);
+//!
+//! // The builder reaches past RGp+: distinct counts under per-instance
+//! // scales route through the kernel the OR indicator registers.
+//! let distinct = EngineQuery::distinct(1.0).with_scales(1.0, 2.0);
+//! let batch = Engine::new().run(&jobs, &distinct).unwrap();
+//! assert!(batch.summaries[0].mean_truth > 0.0);
 //! ```
 //!
 //! [`Mep`]: monotone_core::problem::Mep
 //! [`RgPlusLStar`]: monotone_core::estimate::RgPlusLStar
 //! [`RgPlusUStar`]: monotone_core::estimate::RgPlusUStar
+//! [`SeedHasher::seed_many`]: monotone_coord::seed::SeedHasher::seed_many
 //! [`merged_weights`]: monotone_coord::instance::merged_weights
 
+pub mod kernel;
 mod pool;
-mod prepared;
 pub mod runner;
 pub mod scenario;
 pub mod workload;
 
+pub use kernel::{
+    ClosedForms, ClosedPairForm, EstimationKernel, FuncKernel, KernelFunc, KernelScratch,
+};
 pub use pool::chunk_bounds;
 pub use runner::{CsvArtifact, Runner, ScenarioRun, ScenarioTiming};
 pub use scenario::{CsvSpec, FinishOut, Registry, Scenario, UnitOut};
 
-use monotone_coord::instance::Instance;
+use monotone_coord::instance::{merged_weights, Instance};
+use monotone_coord::seed::SeedHasher;
+use monotone_core::func::{DistinctOr, LinearAbsPow, RangePowPlus, TupleMax, TupleMin};
 use monotone_core::quad::QuadConfig;
 use monotone_core::Result;
-
-use prepared::PreparedQuery;
 
 /// Which estimator to run for each item of a pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EstimatorKind {
-    /// The paper's L\* (Section 4): closed form for `RGp+` with
-    /// `p ∈ {1, 2}`, breakpoint-aware quadrature otherwise.
+    /// The paper's L\* (Section 4): closed form where the function family
+    /// registered one, breakpoint-aware quadrature otherwise.
     LStar,
-    /// The upper-extreme U\* (Section 6): closed form for `RGp+`.
+    /// The upper-extreme U\* (Section 6): closed form where registered,
+    /// backward integration of Eq. (48) otherwise.
     UStar,
     /// Horvitz-Thompson, the inverse-probability baseline.
     HorvitzThompson,
@@ -84,38 +106,115 @@ impl EstimatorKind {
     }
 }
 
-/// What to estimate over each pair: the `RGp+` sum aggregate
-/// `Σ_k max(0, v1_k − v2_k)^p` under coordinated PPS with a common scale,
-/// for a set of estimators.
+/// The function family a query estimates over each pair — the sum
+/// aggregate is `Σ_k f(v1_k, v2_k)` over the job's item domain.
+#[derive(Debug, Clone, PartialEq)]
+enum FuncSpec {
+    /// `max(0, v1 − v2)^p`.
+    RgPlus { p: f64 },
+    /// The OR indicator (distinct count).
+    Distinct,
+    /// `min(v1, v2)`.
+    TupleMin,
+    /// `max(v1, v2)`.
+    TupleMax,
+    /// `|a·v1 + b·v2 + offset|^p`.
+    LinearAbs { a: f64, b: f64, offset: f64, p: f64 },
+}
+
+/// What to estimate over each pair: a function-family sum aggregate under
+/// coordinated PPS with per-instance scales, for a set of estimators.
+///
+/// A query is a *builder* for an [`EstimationKernel`]: constructors pick
+/// the function family, [`with_scales`](EngineQuery::with_scales) sets
+/// per-instance sampling scales,
+/// [`with_estimators`](EngineQuery::with_estimators) the estimator set,
+/// and [`kernel`](EngineQuery::kernel) compiles the prepared state
+/// [`Engine::run`] executes. Closed forms registered by the family are
+/// used automatically;
+/// [`without_closed_forms`](EngineQuery::without_closed_forms) forces the
+/// generic paths (agreement checks, baseline measurements).
 #[derive(Debug, Clone, PartialEq)]
 pub struct EngineQuery {
-    p: f64,
-    scale: f64,
+    func: FuncSpec,
+    scales: [f64; 2],
     estimators: Vec<EstimatorKind>,
     quad: QuadConfig,
+    closed_forms: bool,
 }
 
 impl EngineQuery {
-    /// An `RGp+` query with exponent `p` and PPS scale `τ*`, estimated with
-    /// L\* only (customize via [`with_estimators`](EngineQuery::with_estimators)).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `p` is not finite positive (the scale is validated at run
-    /// time, where it can be reported as a typed error).
-    pub fn rg_plus(p: f64, scale: f64) -> EngineQuery {
-        assert!(p.is_finite() && p > 0.0, "RGp+ exponent must be positive");
+    fn with_func(func: FuncSpec, scale: f64) -> EngineQuery {
         EngineQuery {
-            p,
-            scale,
+            func,
+            scales: [scale, scale],
             estimators: vec![EstimatorKind::LStar],
             quad: QuadConfig::fast(),
+            closed_forms: true,
         }
     }
 
+    /// An `RGp+` query with exponent `p` and common PPS scale `τ*`,
+    /// estimated with L\* only (customize via
+    /// [`with_estimators`](EngineQuery::with_estimators)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not finite positive (scales are validated at
+    /// kernel-build time, where they can be reported as typed errors).
+    pub fn rg_plus(p: f64, scale: f64) -> EngineQuery {
+        assert!(p.is_finite() && p > 0.0, "RGp+ exponent must be positive");
+        EngineQuery::with_func(FuncSpec::RgPlus { p }, scale)
+    }
+
+    /// A distinct-count (OR indicator) query: the sum aggregate counts
+    /// items active in at least one instance.
+    pub fn distinct(scale: f64) -> EngineQuery {
+        EngineQuery::with_func(FuncSpec::Distinct, scale)
+    }
+
+    /// A `min(v1, v2)` query (e.g. the numerator of weighted Jaccard).
+    pub fn tuple_min(scale: f64) -> EngineQuery {
+        EngineQuery::with_func(FuncSpec::TupleMin, scale)
+    }
+
+    /// A `max(v1, v2)` query (e.g. the denominator of weighted Jaccard).
+    pub fn tuple_max(scale: f64) -> EngineQuery {
+        EngineQuery::with_func(FuncSpec::TupleMax, scale)
+    }
+
+    /// An `|a·v1 + b·v2 + offset|^p` query (Example 1's `G`-style forms).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not finite positive or a coefficient is
+    /// non-finite (the underlying [`LinearAbsPow`] constructor's
+    /// contract).
+    pub fn linear_abs(a: f64, b: f64, offset: f64, p: f64, scale: f64) -> EngineQuery {
+        let _ = LinearAbsPow::new(vec![a, b], offset, p); // validate eagerly
+        EngineQuery::with_func(FuncSpec::LinearAbs { a, b, offset, p }, scale)
+    }
+
+    /// Sets per-instance PPS scales (constructors start from a common
+    /// scale). Closed forms that require a common scale deregister
+    /// themselves automatically.
+    pub fn with_scales(mut self, scale_a: f64, scale_b: f64) -> EngineQuery {
+        self.scales = [scale_a, scale_b];
+        self
+    }
+
     /// Replaces the estimator set (order is preserved in the results).
+    /// Duplicate kinds are dropped after their first occurrence — a
+    /// repeated kind would evaluate identically and double-count in
+    /// [`BatchResult::summaries`].
     pub fn with_estimators(mut self, kinds: &[EstimatorKind]) -> EngineQuery {
-        self.estimators = kinds.to_vec();
+        let mut deduped: Vec<EstimatorKind> = Vec::with_capacity(kinds.len());
+        for &kind in kinds {
+            if !deduped.contains(&kind) {
+                deduped.push(kind);
+            }
+        }
+        self.estimators = deduped;
         self
     }
 
@@ -125,14 +224,17 @@ impl EngineQuery {
         self
     }
 
-    /// The `RGp+` exponent.
-    pub fn p(&self) -> f64 {
-        self.p
+    /// Disables registered closed forms: every estimator runs its generic
+    /// path. Used by agreement checks and by the benchmark that prices
+    /// what closed-form registration saves.
+    pub fn without_closed_forms(mut self) -> EngineQuery {
+        self.closed_forms = false;
+        self
     }
 
-    /// The common PPS scale.
-    pub fn scale(&self) -> f64 {
-        self.scale
+    /// The per-instance PPS scales.
+    pub fn scales(&self) -> [f64; 2] {
+        self.scales
     }
 
     /// The estimators run per pair, in result order.
@@ -144,10 +246,47 @@ impl EngineQuery {
     pub fn quad(&self) -> &QuadConfig {
         &self.quad
     }
+
+    /// Compiles the query into its prepared kernel: function family plus
+    /// scheme resolved, closed forms registered (unless disabled), one
+    /// dispatch decision per estimator slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a scale is invalid (zero, negative, infinite,
+    /// or NaN).
+    pub fn kernel(&self) -> Result<Box<dyn EstimationKernel>> {
+        fn build<F: kernel::KernelFunc + Sync + 'static>(
+            f: F,
+            q: &EngineQuery,
+        ) -> Result<Box<dyn EstimationKernel>> {
+            let closed = if q.closed_forms {
+                f.closed_forms(q.scales)
+            } else {
+                ClosedForms::none()
+            };
+            Ok(Box::new(FuncKernel::new(
+                f,
+                q.scales,
+                &q.estimators,
+                q.quad,
+                closed,
+            )?))
+        }
+        match &self.func {
+            FuncSpec::RgPlus { p } => build(RangePowPlus::new(*p), self),
+            FuncSpec::Distinct => build(DistinctOr::new(2), self),
+            FuncSpec::TupleMin => build(TupleMin::new(2), self),
+            FuncSpec::TupleMax => build(TupleMax::new(2), self),
+            FuncSpec::LinearAbs { a, b, offset, p } => {
+                build(LinearAbsPow::new(vec![*a, *b], *offset, *p), self)
+            }
+        }
+    }
 }
 
-/// One unit of work: an instance pair, the randomization salt that seeds
-/// its coordinated sample, and an optional query domain.
+/// One unit of work: an instance pair, the randomization that seeds its
+/// coordinated sample, and an optional query domain.
 #[derive(Debug, Clone, Copy)]
 pub struct PairJob<'a> {
     /// First instance (entry 1 of every item tuple).
@@ -156,20 +295,31 @@ pub struct PairJob<'a> {
     pub b: &'a Instance,
     /// Salt of the shared seed hash — one coordinated sampling run.
     pub salt: u64,
+    /// Fixed shared seed overriding the hash: every item of the pair is
+    /// sampled at exactly this seed (`None` = hash per item key). The
+    /// probe-curve pattern: sweep estimate curves at chosen seeds.
+    pub seed: Option<f64>,
     /// Restrict the sum aggregate to these keys (`None` = union of active
     /// items).
     pub domain: Option<&'a [u64]>,
 }
 
 impl<'a> PairJob<'a> {
-    /// A job over the full union domain.
+    /// A job over the full union domain with hashed per-item seeds.
     pub fn new(a: &'a Instance, b: &'a Instance, salt: u64) -> PairJob<'a> {
         PairJob {
             a,
             b,
             salt,
+            seed: None,
             domain: None,
         }
+    }
+
+    /// Fixes the shared seed of every item (instead of hashing keys).
+    pub fn with_seed(mut self, seed: f64) -> PairJob<'a> {
+        self.seed = Some(seed);
+        self
     }
 
     /// Restricts the query to a key domain.
@@ -179,11 +329,13 @@ impl<'a> PairJob<'a> {
     }
 }
 
-/// Per-pair output: one estimate per requested estimator, plus the exact
-/// value (cheap to carry along — the engine already visits every item).
+/// Per-pair output: one estimate per kernel column, plus the exact value
+/// (cheap to carry along — the engine already visits every item).
 #[derive(Debug, Clone, PartialEq)]
 pub struct PairResult {
-    /// Estimates, parallel to [`EngineQuery::estimators`].
+    /// Estimates, parallel to the kernel's
+    /// [`labels`](EstimationKernel::labels) (for query-built kernels:
+    /// [`EngineQuery::estimators`]).
     pub estimates: Vec<f64>,
     /// The exact sum aggregate over the job's domain.
     pub truth: f64,
@@ -191,11 +343,12 @@ pub struct PairResult {
     pub sampled_items: usize,
 }
 
-/// Accuracy summary of one estimator over a batch.
+/// Accuracy summary of one estimator column over a batch.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EstimatorSummary {
-    /// Which estimator.
-    pub kind: EstimatorKind,
+    /// Kernel column label (for query-built kernels:
+    /// [`EstimatorKind::name`]).
+    pub label: String,
     /// Mean estimate across pairs.
     pub mean_estimate: f64,
     /// Mean exact value across pairs.
@@ -207,20 +360,20 @@ pub struct EstimatorSummary {
     pub max_abs_error: f64,
 }
 
-/// A completed batch: per-pair results in job order plus per-estimator
+/// A completed batch: per-pair results in job order plus per-column
 /// summaries.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BatchResult {
     /// One entry per job, in input order regardless of thread count.
     pub pairs: Vec<PairResult>,
-    /// One entry per estimator, in query order.
+    /// One entry per kernel column, in label order.
     pub summaries: Vec<EstimatorSummary>,
     /// Total items with sampled evidence across the batch.
     pub total_sampled_items: usize,
 }
 
-/// The batched estimation engine: cached per-MEP state plus a scoped
-/// worker pool with deterministic chunked work-splitting.
+/// The batched estimation engine: a prepared kernel plus a scoped worker
+/// pool with deterministic chunked work-splitting.
 #[derive(Debug, Clone, Copy)]
 pub struct Engine {
     threads: usize,
@@ -252,18 +405,35 @@ impl Engine {
     }
 
     /// Runs a batch: every job through every estimator of the query, with
-    /// per-MEP state (closed-form dispatch, quadrature configuration,
-    /// outcome buffers) prepared once and shared read-only by the workers.
+    /// the query compiled into its kernel once
+    /// ([`EngineQuery::kernel`]) and shared read-only by the workers.
     ///
     /// # Errors
     ///
-    /// Returns an error if the query's scale is invalid or outcome assembly
+    /// Returns an error if a query scale is invalid or outcome assembly
     /// fails (corrupted instance data).
     pub fn run(&self, jobs: &[PairJob<'_>], query: &EngineQuery) -> Result<BatchResult> {
-        let prepared = PreparedQuery::new(query)?;
-        let results = self.map_chunked(jobs, |_, job| prepared.run_job(job));
+        let kernel = query.kernel()?;
+        self.run_kernel(jobs, kernel.as_ref())
+    }
+
+    /// Runs a batch through an explicit [`EstimationKernel`] — the entry
+    /// point for custom kernels (oracle sweeps, probe curves, payload
+    /// kernels). [`Engine::run`] is this with the query's own kernel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error any job's evaluation reports.
+    pub fn run_kernel(
+        &self,
+        jobs: &[PairJob<'_>],
+        kernel: &dyn EstimationKernel,
+    ) -> Result<BatchResult> {
+        let labels = kernel.labels();
+        let width = labels.len();
+        let results = self.map_chunked(jobs, |_, job| run_job(kernel, width, job));
         let pairs = results.into_iter().collect::<Result<Vec<PairResult>>>()?;
-        Ok(summarize(query, pairs))
+        Ok(summarize(labels, pairs))
     }
 }
 
@@ -273,14 +443,122 @@ impl Default for Engine {
     }
 }
 
-fn summarize(query: &EngineQuery, pairs: Vec<PairResult>) -> BatchResult {
+/// Chunk size of the bulk seed-hashing loop: big enough to amortize the
+/// per-chunk dispatch, small enough to stay in registers/L1.
+const SEED_CHUNK: usize = 64;
+
+/// Fixed-size item staging buffers for one job: keys and weights stream
+/// in, seeds are hashed in bulk ([`SeedHasher::seed_many`]), the kernel
+/// evaluates the chunk. Stack-allocated so the per-job allocation profile
+/// is one estimates vector, exactly as before the kernel layer.
+struct ChunkBufs {
+    keys: [u64; SEED_CHUNK],
+    was: [f64; SEED_CHUNK],
+    wbs: [f64; SEED_CHUNK],
+    seeds: [f64; SEED_CHUNK],
+    len: usize,
+}
+
+impl ChunkBufs {
+    fn new() -> ChunkBufs {
+        ChunkBufs {
+            keys: [0; SEED_CHUNK],
+            was: [0.0; SEED_CHUNK],
+            wbs: [0.0; SEED_CHUNK],
+            seeds: [0.0; SEED_CHUNK],
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, key: u64, wa: f64, wb: f64) {
+        self.keys[self.len] = key;
+        self.was[self.len] = wa;
+        self.wbs[self.len] = wb;
+        self.len += 1;
+    }
+
+    fn is_full(&self) -> bool {
+        self.len == SEED_CHUNK
+    }
+}
+
+/// Executes one job against a kernel: stream the item domain, hash seeds
+/// chunk-wise, evaluate.
+fn run_job(kernel: &dyn EstimationKernel, width: usize, job: &PairJob<'_>) -> Result<PairResult> {
+    let seeder = SeedHasher::new(job.salt);
+    let mut estimates = vec![0.0; width];
+    let mut truth = 0.0;
+    let mut sampled_items = 0usize;
+    let mut scratch = KernelScratch::new();
+    let mut bufs = ChunkBufs::new();
+
+    let flush = |bufs: &mut ChunkBufs,
+                 scratch: &mut KernelScratch,
+                 estimates: &mut [f64],
+                 sampled_items: &mut usize|
+     -> Result<()> {
+        let n = bufs.len;
+        match job.seed {
+            Some(u) => bufs.seeds[..n].fill(u),
+            None => seeder.seed_many(&bufs.keys[..n], &mut bufs.seeds[..n]),
+        }
+        for i in 0..n {
+            if kernel.evaluate(
+                bufs.keys[i],
+                bufs.was[i],
+                bufs.wbs[i],
+                bufs.seeds[i],
+                scratch,
+                estimates,
+            )? {
+                *sampled_items += 1;
+            }
+        }
+        bufs.len = 0;
+        Ok(())
+    };
+
+    match job.domain {
+        None => {
+            for (key, wa, wb) in merged_weights(job.a, job.b) {
+                truth += kernel.truth(wa, wb);
+                bufs.push(key, wa, wb);
+                if bufs.is_full() {
+                    flush(&mut bufs, &mut scratch, &mut estimates, &mut sampled_items)?;
+                }
+            }
+        }
+        Some(domain) => {
+            for &key in domain {
+                let wa = job.a.weight(key);
+                let wb = job.b.weight(key);
+                if wa <= 0.0 && wb <= 0.0 {
+                    continue;
+                }
+                truth += kernel.truth(wa, wb);
+                bufs.push(key, wa, wb);
+                if bufs.is_full() {
+                    flush(&mut bufs, &mut scratch, &mut estimates, &mut sampled_items)?;
+                }
+            }
+        }
+    }
+    flush(&mut bufs, &mut scratch, &mut estimates, &mut sampled_items)?;
+
+    Ok(PairResult {
+        estimates,
+        truth,
+        sampled_items,
+    })
+}
+
+fn summarize(labels: Vec<String>, pairs: Vec<PairResult>) -> BatchResult {
     let n = pairs.len().max(1) as f64;
     let mean_truth = pairs.iter().map(|p| p.truth).sum::<f64>() / n;
-    let summaries = query
-        .estimators()
-        .iter()
+    let summaries = labels
+        .into_iter()
         .enumerate()
-        .map(|(i, &kind)| {
+        .map(|(i, label)| {
             let mean_estimate = pairs.iter().map(|p| p.estimates[i]).sum::<f64>() / n;
             let mse = pairs
                 .iter()
@@ -296,7 +574,7 @@ fn summarize(query: &EngineQuery, pairs: Vec<PairResult>) -> BatchResult {
                 .fold(0.0, f64::max);
             let rmse = mse.sqrt();
             EstimatorSummary {
-                kind,
+                label,
                 mean_estimate,
                 mean_truth,
                 nrmse: if mean_truth.abs() > 0.0 {

@@ -133,7 +133,7 @@ fn summaries_track_unbiasedness() {
     let query = EngineQuery::rg_plus(1.0, 1.0);
     let batch = Engine::new().run(&jobs, &query).unwrap();
     let s = &batch.summaries[0];
-    assert_eq!(s.kind, EstimatorKind::LStar);
+    assert_eq!(s.label, EstimatorKind::LStar.name());
     assert!(
         (s.mean_estimate - s.mean_truth).abs() < 0.1 * s.mean_truth,
         "mean {} vs truth {}",
@@ -142,6 +142,76 @@ fn summaries_track_unbiasedness() {
     );
     assert!(s.nrmse < 0.5, "nrmse {}", s.nrmse);
     assert!(batch.total_sampled_items > 0);
+}
+
+#[test]
+fn with_estimators_dedups_repeated_kinds() {
+    // Regression: a duplicate kind used to keep both copies, double-
+    // counting its column in `summaries` (and paying the estimate twice).
+    let query = EngineQuery::rg_plus(1.0, 1.0).with_estimators(&[
+        EstimatorKind::LStar,
+        EstimatorKind::UStar,
+        EstimatorKind::LStar,
+        EstimatorKind::HorvitzThompson,
+        EstimatorKind::UStar,
+    ]);
+    assert_eq!(
+        query.estimators(),
+        &[
+            EstimatorKind::LStar,
+            EstimatorKind::UStar,
+            EstimatorKind::HorvitzThompson
+        ],
+        "first occurrence wins, duplicates dropped"
+    );
+    let (a, b) = instance_pair(60);
+    let jobs = [PairJob::new(&a, &b, 5)];
+    let batch = Engine::with_threads(1).run(&jobs, &query).unwrap();
+    assert_eq!(batch.summaries.len(), 3);
+    assert_eq!(batch.pairs[0].estimates.len(), 3);
+    let labels: Vec<&str> = batch.summaries.iter().map(|s| s.label.as_str()).collect();
+    assert_eq!(labels, vec!["L*", "U*", "HT"]);
+}
+
+#[test]
+fn fixed_seed_jobs_sample_every_item_at_that_seed() {
+    // A with_seed job must behave exactly like hashing if every item's
+    // hashed seed were the fixed value: compare against estimate_values
+    // at the shared probe seed.
+    let (a, b) = instance_pair(80);
+    let closed = RgPlusLStar::new(1, 1.0);
+    for &u in &[0.05, 0.35, 0.75, 1.0] {
+        let jobs = [PairJob::new(&a, &b, 9).with_seed(u)];
+        let query = EngineQuery::rg_plus(1.0, 1.0);
+        let batch = Engine::with_threads(2).run(&jobs, &query).unwrap();
+        let expect: f64 = monotone_coord::instance::merged_weights(&a, &b)
+            .map(|(_, wa, wb)| {
+                let v1 = (wa > 0.0 && wa >= u).then_some(wa);
+                let v2 = (wb > 0.0 && wb >= u).then_some(wb);
+                closed.estimate_values(v1, v2, u)
+            })
+            .sum();
+        assert_eq!(batch.pairs[0].estimates[0], expect, "u={u}");
+    }
+}
+
+#[test]
+fn distinct_query_counts_active_union() {
+    // Distinct-count queries run through the OR indicator's registered
+    // closed form; the truth is the union size and the mean estimate over
+    // many randomizations approaches it.
+    let (a, b) = instance_pair(300);
+    let union = monotone_coord::instance::merged_weights(&a, &b).count() as f64;
+    let jobs: Vec<PairJob> = (0..48).map(|salt| PairJob::new(&a, &b, salt)).collect();
+    let query = EngineQuery::distinct(2.0);
+    let batch = Engine::new().run(&jobs, &query).unwrap();
+    let s = &batch.summaries[0];
+    assert_eq!(s.mean_truth, union);
+    assert!(
+        (s.mean_estimate - union).abs() < 0.05 * union,
+        "mean {} vs union {union}",
+        s.mean_estimate
+    );
 }
 
 #[test]

@@ -1,7 +1,8 @@
-//! Doctest coverage gate: every public module of `monotone-core` and
-//! `monotone-coord` must carry at least one *runnable* doctest (a code
-//! fence not marked `ignore`, `no_run`, or `text`), so `cargo test -q`
-//! exercises every module's documented entry point.
+//! Doctest coverage gate: every public module of `monotone-core`,
+//! `monotone-coord`, and `monotone-engine` must carry at least one
+//! *runnable* doctest (a code fence not marked `ignore`, `no_run`, or
+//! `text`), so `cargo test -q` exercises every module's documented entry
+//! point.
 
 use std::path::{Path, PathBuf};
 
@@ -55,10 +56,10 @@ fn has_runnable_doctest(source: &str) -> bool {
 }
 
 #[test]
-fn every_public_module_in_core_and_coord_has_a_doctest() {
+fn every_public_module_in_core_coord_and_engine_has_a_doctest() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
     let mut missing = Vec::new();
-    for crate_dir in ["crates/core/src", "crates/coord/src"] {
+    for crate_dir in ["crates/core/src", "crates/coord/src", "crates/engine/src"] {
         let mut files = Vec::new();
         rust_files(&root.join(crate_dir), &mut files);
         assert!(!files.is_empty(), "no sources under {crate_dir}");
