@@ -60,24 +60,22 @@ impl EstimationKernel for CurveKernel {
         ]
     }
 
-    fn truth(&self, wa: f64, wb: f64) -> f64 {
-        self.mep.f().eval(&[wa, wb])
+    fn truth(&self, weights: &[f64]) -> f64 {
+        self.mep.f().eval(weights)
     }
 
     fn evaluate(
         &self,
         _key: u64,
-        wa: f64,
-        wb: f64,
+        weights: &[f64],
         u: f64,
         _scratch: &mut KernelScratch,
         out: &mut [f64],
     ) -> Result<bool> {
-        let v = [wa, wb];
-        let outcome = self.mep.scheme().sample(&v, u)?;
+        let outcome = self.mep.scheme().sample(weights, u)?;
         out[0] += self.lstar.estimate(&self.mep, &outcome);
         out[1] += self.ustar_closed.estimate(&self.mep, &outcome);
-        out[2] += self.vopt.estimate_for_data(&self.mep, &v, u)?;
+        out[2] += self.vopt.estimate_for_data(&self.mep, weights, u)?;
         Ok(true)
     }
 }
@@ -94,20 +92,19 @@ impl EstimationKernel for UStarGapKernel {
         vec!["ustar_gap".to_owned()]
     }
 
-    fn truth(&self, wa: f64, wb: f64) -> f64 {
-        self.mep.f().eval(&[wa, wb])
+    fn truth(&self, weights: &[f64]) -> f64 {
+        self.mep.f().eval(weights)
     }
 
     fn evaluate(
         &self,
         _key: u64,
-        wa: f64,
-        wb: f64,
+        weights: &[f64],
         u: f64,
         _scratch: &mut KernelScratch,
         out: &mut [f64],
     ) -> Result<bool> {
-        let outcome = self.mep.scheme().sample(&[wa, wb], u)?;
+        let outcome = self.mep.scheme().sample(weights, u)?;
         let ug = self.ustar_generic.estimate(&self.mep, &outcome);
         let uc = self.ustar_closed.estimate(&self.mep, &outcome);
         out[0] += (ug - uc).abs();
@@ -128,20 +125,19 @@ impl EstimationKernel for LStarProbeKernel {
         vec!["lstar".to_owned()]
     }
 
-    fn truth(&self, wa: f64, wb: f64) -> f64 {
-        self.mep.f().eval(&[wa, wb])
+    fn truth(&self, weights: &[f64]) -> f64 {
+        self.mep.f().eval(weights)
     }
 
     fn evaluate(
         &self,
         _key: u64,
-        wa: f64,
-        wb: f64,
+        weights: &[f64],
         u: f64,
         _scratch: &mut KernelScratch,
         out: &mut [f64],
     ) -> Result<bool> {
-        let outcome = self.mep.scheme().sample(&[wa, wb], u)?;
+        let outcome = self.mep.scheme().sample(weights, u)?;
         out[0] += self.lstar.estimate(&self.mep, &outcome);
         Ok(true)
     }

@@ -122,20 +122,19 @@ impl EstimationKernel for LowerBoundKernel<'_> {
         vec!["lower_bound".to_owned()]
     }
 
-    fn truth(&self, wa: f64, wb: f64) -> f64 {
-        self.mep.f().eval(&[wa, wb])
+    fn truth(&self, weights: &[f64]) -> f64 {
+        self.mep.f().eval(weights)
     }
 
     fn evaluate(
         &self,
         key: u64,
-        wa: f64,
-        wb: f64,
+        weights: &[f64],
         _u: f64,
         _scratch: &mut KernelScratch,
         out: &mut [f64],
     ) -> Result<bool> {
-        let o = self.mep.outcome_at_interval(&[wa, wb], key as usize);
+        let o = self.mep.outcome_at_interval(weights, key as usize);
         out[0] += self.mep.lower_bound(&o);
         Ok(true)
     }
@@ -152,21 +151,20 @@ impl EstimationKernel for OrderEstimateKernel<'_> {
         vec!["order_estimate".to_owned()]
     }
 
-    fn truth(&self, wa: f64, wb: f64) -> f64 {
-        self.mep.f().eval(&[wa, wb])
+    fn truth(&self, weights: &[f64]) -> f64 {
+        self.mep.f().eval(weights)
     }
 
     fn evaluate(
         &self,
         key: u64,
-        wa: f64,
-        wb: f64,
+        weights: &[f64],
         _u: f64,
         _scratch: &mut KernelScratch,
         out: &mut [f64],
     ) -> Result<bool> {
         let est = order_for(self.mep, self.order);
-        out[0] += est.estimate(&self.mep.outcome_at_interval(&[wa, wb], key as usize));
+        out[0] += est.estimate(&self.mep.outcome_at_interval(weights, key as usize));
         Ok(true)
     }
 }
@@ -183,23 +181,21 @@ impl EstimationKernel for OrderMomentsKernel<'_> {
         vec!["mean".to_owned(), "variance".to_owned()]
     }
 
-    fn truth(&self, wa: f64, wb: f64) -> f64 {
-        self.mep.f().eval(&[wa, wb])
+    fn truth(&self, weights: &[f64]) -> f64 {
+        self.mep.f().eval(weights)
     }
 
     fn evaluate(
         &self,
         _key: u64,
-        wa: f64,
-        wb: f64,
+        weights: &[f64],
         _u: f64,
         _scratch: &mut KernelScratch,
         out: &mut [f64],
     ) -> Result<bool> {
         let est = order_for(self.mep, self.order);
-        let v = [wa, wb];
-        out[0] += est.expected(&v)?;
-        out[1] += est.variance(&v)?;
+        out[0] += est.expected(weights)?;
+        out[1] += est.variance(weights)?;
         Ok(true)
     }
 }
@@ -215,21 +211,20 @@ impl EstimationKernel for Theorem43Kernel<'_> {
         vec!["lstar_gap".to_owned()]
     }
 
-    fn truth(&self, wa: f64, wb: f64) -> f64 {
-        self.mep.f().eval(&[wa, wb])
+    fn truth(&self, weights: &[f64]) -> f64 {
+        self.mep.f().eval(weights)
     }
 
     fn evaluate(
         &self,
         key: u64,
-        wa: f64,
-        wb: f64,
+        weights: &[f64],
         _u: f64,
         _scratch: &mut KernelScratch,
         out: &mut [f64],
     ) -> Result<bool> {
         let asc = OrderOptimal::f_ascending(self.mep);
-        let o = self.mep.outcome_at_interval(&[wa, wb], key as usize);
+        let o = self.mep.outcome_at_interval(weights, key as usize);
         out[0] += (asc.estimate(&o) - self.mep.lstar_estimate(&o)).abs();
         Ok(true)
     }
@@ -250,22 +245,20 @@ impl EstimationKernel for VarianceByOrderKernel<'_> {
         ]
     }
 
-    fn truth(&self, wa: f64, wb: f64) -> f64 {
-        self.mep.f().eval(&[wa, wb])
+    fn truth(&self, weights: &[f64]) -> f64 {
+        self.mep.f().eval(weights)
     }
 
     fn evaluate(
         &self,
         _key: u64,
-        wa: f64,
-        wb: f64,
+        weights: &[f64],
         _u: f64,
         _scratch: &mut KernelScratch,
         out: &mut [f64],
     ) -> Result<bool> {
-        let v = [wa, wb];
         for (slot, order) in out.iter_mut().zip(0..3) {
-            *slot += order_for(self.mep, order).variance(&v)?;
+            *slot += order_for(self.mep, order).variance(weights)?;
         }
         Ok(true)
     }

@@ -100,22 +100,21 @@ impl<F: ItemFn + Sync> EstimationKernel for LStarRatioKernel<F> {
         vec!["ratio_lstar".to_owned()]
     }
 
-    fn truth(&self, wa: f64, wb: f64) -> f64 {
-        self.mep.f().eval(&[wa, wb])
+    fn truth(&self, weights: &[f64]) -> f64 {
+        self.mep.f().eval(weights)
     }
 
     fn evaluate(
         &self,
         _key: u64,
-        wa: f64,
-        wb: f64,
+        weights: &[f64],
         _u: f64,
         _scratch: &mut KernelScratch,
         out: &mut [f64],
     ) -> Result<bool> {
         out[0] += self
             .calc
-            .lstar_competitive_ratio(&self.mep, &[wa, wb])?
+            .lstar_competitive_ratio(&self.mep, weights)?
             .unwrap_or(f64::NAN);
         Ok(true)
     }
@@ -149,27 +148,25 @@ impl<F: ItemFn + Sync> EstimationKernel for JVsLStarRatioKernel<F> {
         vec!["ratio_j".to_owned(), "ratio_lstar".to_owned()]
     }
 
-    fn truth(&self, wa: f64, wb: f64) -> f64 {
-        self.mep.f().eval(&[wa, wb])
+    fn truth(&self, weights: &[f64]) -> f64 {
+        self.mep.f().eval(weights)
     }
 
     fn evaluate(
         &self,
         _key: u64,
-        wa: f64,
-        wb: f64,
+        weights: &[f64],
         _u: f64,
         _scratch: &mut KernelScratch,
         out: &mut [f64],
     ) -> Result<bool> {
-        let v = [wa, wb];
         out[0] += self
             .calc
-            .competitive_ratio(&self.mep, &self.j, &v)?
+            .competitive_ratio(&self.mep, &self.j, weights)?
             .unwrap_or(f64::NAN);
         out[1] += self
             .calc
-            .lstar_competitive_ratio(&self.mep, &v)?
+            .lstar_competitive_ratio(&self.mep, weights)?
             .unwrap_or(f64::NAN);
         Ok(true)
     }
@@ -208,24 +205,22 @@ impl<F: ItemFn + Sync> EstimationKernel for VarianceStatsKernel<F> {
             .collect()
     }
 
-    fn truth(&self, wa: f64, wb: f64) -> f64 {
-        self.mep.f().eval(&[wa, wb])
+    fn truth(&self, weights: &[f64]) -> f64 {
+        self.mep.f().eval(weights)
     }
 
     fn evaluate(
         &self,
         _key: u64,
-        wa: f64,
-        wb: f64,
+        weights: &[f64],
         _u: f64,
         _scratch: &mut KernelScratch,
         out: &mut [f64],
     ) -> Result<bool> {
-        let v = [wa, wb];
-        let l = self.calc.lstar_stats(&self.mep, &v)?;
-        let h = self.calc.stats(&self.mep, &self.ht, &v)?;
-        let jv = self.calc.stats(&self.mep, &self.j, &v)?;
-        let applicable = self.ht.is_applicable(&self.mep, &v)?;
+        let l = self.calc.lstar_stats(&self.mep, weights)?;
+        let h = self.calc.stats(&self.mep, &self.ht, weights)?;
+        let jv = self.calc.stats(&self.mep, &self.j, weights)?;
+        let applicable = self.ht.is_applicable(&self.mep, weights)?;
         out[0] += l.variance;
         out[1] += h.variance;
         out[2] += jv.variance;

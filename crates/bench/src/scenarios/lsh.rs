@@ -5,16 +5,30 @@
 //! drift between two instances and compare the Jaccard overlap of their
 //! coordinated PPS samples against independently-seeded samples. One
 //! sweep unit per drift level.
+//!
+//! Each drift cell runs as **one arity-N group job**: the engine streams
+//! the group's merged item union once ([`Engine::run_group_kernel`]) and
+//! an overlap kernel counts, per randomization, the coordinated and
+//! independent sample intersections/unions of every instance pair in the
+//! group — membership is re-derived per salt from the kernel's own seed
+//! hashers, so the job runs on the fixed-seed fast path (no bulk hash).
+//! The sampling semantics are exactly [`CoordPps::sample_instance`] /
+//! [`sample_instance_independent`]: item `k` is in instance `i`'s sample
+//! iff `w_i(k) ≥ u^(k) · τ*`.
+//!
+//! [`CoordPps::sample_instance`]: monotone_coord::pps::CoordPps::sample_instance
+//! [`sample_instance_independent`]: monotone_coord::pps::CoordPps::sample_instance_independent
 
 use std::ops::Range;
 
 use monotone_coord::instance::{Dataset, Instance};
-use monotone_coord::pps::CoordPps;
-use monotone_coord::query::{sample_key_jaccard, weighted_jaccard};
+use monotone_coord::query::weighted_jaccard;
 use monotone_coord::seed::SeedHasher;
 use monotone_core::Result;
 use monotone_datagen::zipf::lognormal_factor;
-use monotone_engine::{CsvSpec, Engine, FinishOut, Scenario, UnitOut};
+use monotone_engine::{
+    CsvSpec, Engine, EstimationKernel, FinishOut, GroupJob, KernelScratch, Scenario, UnitOut,
+};
 use rand::SeedableRng;
 
 use crate::{fnum, stats::mean, table::Table};
@@ -22,6 +36,87 @@ use crate::{fnum, stats::mean, table::Table};
 const SIGMAS: [f64; 7] = [0.0, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0];
 const ITEMS: u64 = 3000;
 const SALTS: u64 = 12;
+const SCALE: f64 = 5.0;
+
+/// Sample-overlap kernel over an instance pair within a group: for every
+/// randomization it emits four counting columns — coordinated
+/// intersection/union and independent intersection/union of the two
+/// instances' PPS samples. The job's stream provides the item union; the
+/// kernel re-derives per-salt membership from its own hashers, so the
+/// shared seed of the stream is unused (the scenario pins it with a
+/// fixed-seed job).
+struct OverlapKernel {
+    seeders: Vec<SeedHasher>,
+    scale: f64,
+}
+
+impl OverlapKernel {
+    fn new(salts: Range<u64>, scale: f64) -> OverlapKernel {
+        OverlapKernel {
+            seeders: salts.map(SeedHasher::new).collect(),
+            scale,
+        }
+    }
+}
+
+impl EstimationKernel for OverlapKernel {
+    fn labels(&self) -> Vec<String> {
+        self.seeders
+            .iter()
+            .enumerate()
+            .flat_map(|(s, _)| {
+                [
+                    format!("coord_inter_{s}"),
+                    format!("coord_union_{s}"),
+                    format!("indep_inter_{s}"),
+                    format!("indep_union_{s}"),
+                ]
+            })
+            .collect()
+    }
+
+    fn arity(&self) -> Option<usize> {
+        Some(2)
+    }
+
+    fn truth(&self, weights: &[f64]) -> f64 {
+        // The union size of the pair — the overlap denominators' ceiling.
+        f64::from(u8::from(weights.iter().any(|&w| w > 0.0)))
+    }
+
+    fn evaluate(
+        &self,
+        key: u64,
+        weights: &[f64],
+        _u: f64,
+        _scratch: &mut KernelScratch,
+        out: &mut [f64],
+    ) -> Result<bool> {
+        let (wa, wb) = (weights[0], weights[1]);
+        for (s, seeder) in self.seeders.iter().enumerate() {
+            let u = seeder.seed(key);
+            let ca = wa >= u * self.scale;
+            let cb = wb >= u * self.scale;
+            out[4 * s] += f64::from(u8::from(ca && cb));
+            out[4 * s + 1] += f64::from(u8::from(ca || cb));
+            let ia = wa >= seeder.seed_independent(key, 0) * self.scale;
+            let ib = wb >= seeder.seed_independent(key, 1) * self.scale;
+            out[4 * s + 2] += f64::from(u8::from(ia && ib));
+            out[4 * s + 3] += f64::from(u8::from(ia || ib));
+        }
+        Ok(true)
+    }
+}
+
+/// Key-set Jaccard from the kernel's counting columns (`1.0` for two
+/// empty samples, matching `sample_key_jaccard`).
+fn jaccard(inter: f64, union: f64) -> f64 {
+    if union > 0.0 {
+        inter / union
+    } else {
+        1.0
+    }
+}
 
 pub struct Lsh;
 
@@ -50,7 +145,8 @@ impl Scenario for Lsh {
         SIGMAS.len()
     }
 
-    fn run_shard(&self, units: Range<usize>, _engine: &Engine) -> Result<Vec<UnitOut>> {
+    fn run_shard(&self, units: Range<usize>, engine: &Engine) -> Result<Vec<UnitOut>> {
+        let kernel = OverlapKernel::new(0..SALTS, SCALE);
         units
             .map(|unit| {
                 let sigma = SIGMAS[unit];
@@ -65,16 +161,16 @@ impl Scenario for Lsh {
                 let dj = weighted_jaccard(&a, &b);
                 let data = Dataset::new(vec![a, b]);
 
+                // One group job per drift cell: the kernel ignores the
+                // stream seed, so the job is pinned (fixed-seed fast path).
+                let jobs = [GroupJob::new(data.instances(), 0).with_seed(1.0)];
+                let batch = engine.run_group_kernel(&jobs, &kernel)?;
+                let counts = &batch.pairs[0].estimates;
                 let mut coord = Vec::new();
                 let mut indep = Vec::new();
-                for salt in 0..SALTS {
-                    let sampler = CoordPps::uniform_scale(2, 5.0, SeedHasher::new(salt));
-                    let ca = sampler.sample_instance(0, data.instance(0));
-                    let cb = sampler.sample_instance(1, data.instance(1));
-                    coord.push(sample_key_jaccard(&ca, &cb));
-                    let ia = sampler.sample_instance_independent(0, data.instance(0));
-                    let ib = sampler.sample_instance_independent(1, data.instance(1));
-                    indep.push(sample_key_jaccard(&ia, &ib));
+                for s in 0..SALTS as usize {
+                    coord.push(jaccard(counts[4 * s], counts[4 * s + 1]));
+                    indep.push(jaccard(counts[4 * s + 2], counts[4 * s + 3]));
                 }
                 let (mc, mi) = (mean(&coord), mean(&indep));
                 let mut out = UnitOut::default();

@@ -25,6 +25,7 @@ mod j_ratio;
 pub mod kernels;
 mod lp_difference;
 mod lsh;
+mod multiway;
 mod optimal_ratio;
 mod ratio4;
 mod rg_ratios;
@@ -55,6 +56,7 @@ pub fn registry() -> Registry {
     r.register(Box::new(error_scaling::ErrorScaling::new()));
     r.register(Box::new(optimal_ratio::OptimalRatio));
     r.register(Box::new(coordination_gain::CoordinationGain));
+    r.register(Box::new(multiway::Multiway));
     r
 }
 

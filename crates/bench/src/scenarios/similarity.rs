@@ -66,7 +66,7 @@ impl EstimationKernel for ClosenessKernel<'_> {
         vec!["similarity".to_owned()]
     }
 
-    fn truth(&self, _wa: f64, _wb: f64) -> f64 {
+    fn truth(&self, _weights: &[f64]) -> f64 {
         // The payload weights carry no data; exact truths live with the
         // scenario's graph cases.
         0.0
@@ -75,8 +75,7 @@ impl EstimationKernel for ClosenessKernel<'_> {
     fn evaluate(
         &self,
         key: u64,
-        _wa: f64,
-        _wb: f64,
+        _weights: &[f64],
         _u: f64,
         _scratch: &mut KernelScratch,
         out: &mut [f64],

@@ -84,3 +84,13 @@ fn j_ratio_regenerates_committed_csv() {
 fn similarity_regenerates_committed_csv() {
     assert_regenerates("similarity");
 }
+
+#[test]
+fn lsh_regenerates_committed_csv() {
+    assert_regenerates("lsh");
+}
+
+#[test]
+fn multiway_regenerates_committed_csv() {
+    assert_regenerates("multiway");
+}

@@ -125,7 +125,7 @@ fn emitting_a_run_writes_artifacts_and_a_positive_rate_timing_record() {
 }
 
 #[test]
-fn full_registry_serves_all_fifteen_experiments() {
+fn full_registry_serves_all_sixteen_experiments() {
     let registry = scenarios::registry();
     let names: Vec<&str> = registry.iter().map(|s| s.name()).collect();
     assert_eq!(
@@ -146,6 +146,7 @@ fn full_registry_serves_all_fifteen_experiments() {
             "error_scaling",
             "optimal_ratio",
             "coordination_gain",
+            "multiway",
         ]
     );
     for s in registry.iter() {
@@ -153,6 +154,42 @@ fn full_registry_serves_all_fifteen_experiments() {
         assert!(s.units() > 0, "{} has an empty sweep", s.name());
         assert!(!s.artifacts().is_empty(), "{} emits no CSVs", s.name());
     }
+}
+
+/// The two group-job scenarios must emit byte-identical CSV rows at every
+/// shard × worker geometry — the `GroupJob` determinism contract, pinned
+/// over the full 1/2/4 × 1/2/4 grid.
+fn assert_group_scenario_deterministic(name: &str) {
+    let registry = scenarios::registry();
+    let scenario = registry.get(name).expect("registered");
+    let reference = Runner::new(Engine::with_threads(1))
+        .with_shards(1)
+        .run(scenario)
+        .unwrap_or_else(|e| panic!("{name} at 1/1: {e}"));
+    assert!(reference.ok, "{name} paper-shape checks failed");
+    for shards in [1usize, 2, 4] {
+        for workers in [1usize, 2, 4] {
+            let run = Runner::new(Engine::with_threads(workers))
+                .with_shards(shards)
+                .run(scenario)
+                .unwrap_or_else(|e| panic!("{name} at {shards}/{workers}: {e}"));
+            assert_eq!(
+                run.artifacts, reference.artifacts,
+                "{name}: CSV rows differ at {shards} shards / {workers} workers"
+            );
+            assert_eq!(run.lines, reference.lines);
+        }
+    }
+}
+
+#[test]
+fn multiway_group_jobs_deterministic_across_shards_and_workers() {
+    assert_group_scenario_deterministic("multiway");
+}
+
+#[test]
+fn lsh_group_jobs_deterministic_across_shards_and_workers() {
+    assert_group_scenario_deterministic("lsh");
 }
 
 #[test]

@@ -140,6 +140,91 @@ pub fn merged_weights<'a>(
     })
 }
 
+/// Streaming N-way generalization of [`merged_weights`]: a cursor over
+/// the union of any number of instances' keys in ascending order, filling
+/// a caller-provided per-instance weight buffer for each item (`0.0`
+/// where an item is inactive).
+///
+/// This is the engine's item stream for arity-N group jobs: one merge
+/// pass over the sorted maps, no per-item allocation — the caller owns
+/// the weight buffer and reuses it across items.
+///
+/// # Examples
+///
+/// ```
+/// use monotone_coord::instance::{Instance, WeightMerger};
+///
+/// let a = Instance::from_pairs([(1u64, 0.9), (3, 0.4)]);
+/// let b = Instance::from_pairs([(1u64, 0.7), (2, 0.5)]);
+/// let c = Instance::from_pairs([(3u64, 0.1)]);
+/// let mut merger = WeightMerger::new([&a, &b, &c]);
+/// let mut w = [0.0; 3];
+/// assert_eq!(merger.next_into(&mut w), Some(1));
+/// assert_eq!(w, [0.9, 0.7, 0.0]);
+/// assert_eq!(merger.next_into(&mut w), Some(2));
+/// assert_eq!(w, [0.0, 0.5, 0.0]);
+/// assert_eq!(merger.next_into(&mut w), Some(3));
+/// assert_eq!(w, [0.4, 0.0, 0.1]);
+/// assert_eq!(merger.next_into(&mut w), None);
+/// ```
+pub struct WeightMerger<'a> {
+    iters: Vec<std::iter::Peekable<std::collections::btree_map::Iter<'a, u64, f64>>>,
+}
+
+impl<'a> WeightMerger<'a> {
+    /// A cursor over the key union of `instances` (any iterator of
+    /// instance references — a [`Dataset`]'s slice, a job's group, an
+    /// ad-hoc array).
+    pub fn new<I>(instances: I) -> WeightMerger<'a>
+    where
+        I: IntoIterator<Item = &'a Instance>,
+    {
+        WeightMerger {
+            iters: instances
+                .into_iter()
+                .map(|inst| inst.weights.iter().peekable())
+                .collect(),
+        }
+    }
+
+    /// Number of instances being merged (the required buffer length).
+    pub fn arity(&self) -> usize {
+        self.iters.len()
+    }
+
+    /// Advances to the next key of the union, writing each instance's
+    /// weight of that item into `weights` (`0.0` where inactive). Returns
+    /// `None` when every instance is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != self.arity()`.
+    pub fn next_into(&mut self, weights: &mut [f64]) -> Option<u64> {
+        assert_eq!(
+            weights.len(),
+            self.arity(),
+            "weight buffer length must equal the merge arity"
+        );
+        let mut min_key: Option<u64> = None;
+        for it in &mut self.iters {
+            if let Some(&(&k, _)) = it.peek() {
+                min_key = Some(min_key.map_or(k, |m| m.min(k)));
+            }
+        }
+        let key = min_key?;
+        for (slot, it) in weights.iter_mut().zip(&mut self.iters) {
+            *slot = match it.peek() {
+                Some(&(&k, &w)) if k == key => {
+                    it.next();
+                    w
+                }
+                _ => 0.0,
+            };
+        }
+        Some(key)
+    }
+}
+
 impl FromIterator<(u64, f64)> for Instance {
     fn from_iter<I: IntoIterator<Item = (u64, f64)>>(iter: I) -> Instance {
         Instance::from_pairs(iter)
@@ -281,6 +366,63 @@ mod tests {
         for (i, &k) in keys.iter().enumerate() {
             assert_eq!(merged[i], (k, a.weight(k), b.weight(k)));
         }
+    }
+
+    #[test]
+    fn weight_merger_matches_pair_merge_and_union_keys() {
+        let a = Instance::from_pairs(
+            (0..60u64)
+                .filter(|k| k % 2 == 0)
+                .map(|k| (k, 1.0 + k as f64)),
+        );
+        let b = Instance::from_pairs(
+            (0..60u64)
+                .filter(|k| k % 3 == 0)
+                .map(|k| (k, 2.0 + k as f64)),
+        );
+        let c = Instance::from_pairs(
+            (0..60u64)
+                .filter(|k| k % 5 == 0)
+                .map(|k| (k, 3.0 + k as f64)),
+        );
+        // Arity 2: identical stream to merged_weights.
+        let mut merger = WeightMerger::new([&a, &b]);
+        let mut w = [0.0; 2];
+        for (key, wa, wb) in merged_weights(&a, &b) {
+            assert_eq!(merger.next_into(&mut w), Some(key));
+            assert_eq!(w, [wa, wb]);
+        }
+        assert_eq!(merger.next_into(&mut w), None);
+        // Arity 3: visits exactly the dataset's union keys with the
+        // per-instance weights.
+        let d = Dataset::new(vec![a.clone(), b.clone(), c.clone()]);
+        let mut merger = WeightMerger::new(d.instances());
+        let mut w = [0.0; 3];
+        for key in d.union_keys() {
+            assert_eq!(merger.next_into(&mut w), Some(key));
+            assert_eq!(w.to_vec(), d.tuple(key));
+        }
+        assert_eq!(merger.next_into(&mut w), None);
+    }
+
+    #[test]
+    fn weight_merger_handles_empty_and_single() {
+        let mut empty = WeightMerger::new(std::iter::empty());
+        assert_eq!(empty.arity(), 0);
+        assert_eq!(empty.next_into(&mut []), None);
+        let a = Instance::from_pairs([(7u64, 0.5)]);
+        let mut one = WeightMerger::new([&a]);
+        let mut w = [0.0];
+        assert_eq!(one.next_into(&mut w), Some(7));
+        assert_eq!(w, [0.5]);
+        assert_eq!(one.next_into(&mut w), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn weight_merger_rejects_wrong_buffer() {
+        let a = Instance::from_pairs([(1u64, 1.0)]);
+        WeightMerger::new([&a]).next_into(&mut [0.0, 0.0]);
     }
 
     #[test]

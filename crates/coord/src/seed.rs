@@ -87,10 +87,20 @@ impl SeedHasher {
     /// An independent per-instance seed for the same item (used to contrast
     /// *independent* sampling with coordinated sampling in the LSH
     /// experiment).
+    ///
+    /// The instance index is mixed *additively before* the multiplicative
+    /// scramble: a bare `instance * C` mix collapses to zero for instance
+    /// 0, which would leave that instance's seed a plain double SplitMix64
+    /// of the key base — structurally unmixed, unlike every instance ≥ 1.
+    /// The key base uses the same rotated-salt premix as
+    /// [`seed`](SeedHasher::seed), so small keys and small salts disperse
+    /// instead of colliding through `key ^ salt`.
     pub fn seed_independent(&self, key: u64, instance: usize) -> f64 {
-        let x = splitmix64(
-            splitmix64(key ^ self.salt) ^ (instance as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9),
-        );
+        let base = splitmix64(key ^ self.salt.rotate_left(17) ^ 0x9e37_79b9_7f4a_7c15);
+        let mix = (instance as u64)
+            .wrapping_add(0x9e37_79b9_7f4a_7c15)
+            .wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        let x = splitmix64(base ^ mix);
         (((x >> 11) + 1) as f64) * (1.0 / 9007199254740992.0)
     }
 
@@ -191,6 +201,53 @@ mod tests {
         let a = h.seed_independent(5, 0);
         let b = h.seed_independent(5, 1);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn independent_seed_instance_zero_is_mixed() {
+        // Regression (collision structure): with a bare `instance * C`
+        // mix, instance 0's mix word is `0 * C = 0` and its seed collapses
+        // to the unmixed double SplitMix64 of the key base — verified
+        // matching on every key pre-fix. The additive pre-mix must break
+        // that identity for (essentially) every key.
+        for salt in [0u64, 3, 42] {
+            let h = SeedHasher::new(salt);
+            let collapsed = |key: u64| {
+                let base = splitmix64(key ^ salt.rotate_left(17) ^ 0x9e37_79b9_7f4a_7c15);
+                let x = splitmix64(base);
+                (((x >> 11) + 1) as f64) * (1.0 / 9007199254740992.0)
+            };
+            let matches = (0..2000u64)
+                .filter(|&k| h.seed_independent(k, 0) == collapsed(k))
+                .count();
+            assert!(
+                matches <= 1,
+                "salt {salt}: instance 0 still collapses to the unmixed hash ({matches}/2000 keys)"
+            );
+        }
+    }
+
+    #[test]
+    fn independent_seeds_pairwise_decorrelated_across_instances() {
+        // Instance 0 must behave like every other instance: under PPS at
+        // scale 1 on common weight 0.5 (inclusion probability 0.5), the
+        // joint inclusion rate of any two instances must be near the
+        // independent product 0.25 — in particular not structurally tied
+        // for the (0, j) pairs.
+        let h = SeedHasher::new(11);
+        let n = 20_000u64;
+        for i in 0..3usize {
+            for j in (i + 1)..4 {
+                let both = (0..n)
+                    .filter(|&k| h.seed_independent(k, i) <= 0.5 && h.seed_independent(k, j) <= 0.5)
+                    .count();
+                let rate = both as f64 / n as f64;
+                assert!(
+                    (rate - 0.25).abs() < 0.02,
+                    "instances ({i},{j}): joint rate {rate}"
+                );
+            }
+        }
     }
 
     #[test]

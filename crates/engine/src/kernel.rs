@@ -5,9 +5,13 @@
 //! per-estimator dispatch (closed form where one is registered, generic
 //! fallback otherwise), quadrature configuration — packaged behind the
 //! [`EstimationKernel`] trait so the engine's batch loop is the same for
-//! every function family, scheme, and estimator set. Workers share the
-//! kernel read-only and thread a [`KernelScratch`] through the item loop,
-//! so the hot path stays allocation-free.
+//! every function family, scheme, estimator set, **and arity**: the item
+//! stream hands each kernel one shared seed plus the item's weights in
+//! *every* instance of the job's group (a 2-slice for
+//! [`PairJob`](crate::PairJob)s, an N-slice for
+//! [`GroupJob`](crate::GroupJob)s). Workers share the kernel read-only
+//! and thread a [`KernelScratch`] through the item loop, so the hot path
+//! stays allocation-free.
 //!
 //! Three layers of customization:
 //!
@@ -18,18 +22,19 @@
 //!   [`ClosedForms`] registration, for function families the query
 //!   builder does not know about;
 //! * **custom [`EstimationKernel`] impls** interpret the per-item
-//!   `(key, w1, w2, seed)` stream however they like — the scenario
+//!   `(key, weights, seed)` stream however they like — the scenario
 //!   registry uses this for variance sweeps, estimate curves at probe
-//!   seeds, and sketch-pair workloads.
+//!   seeds, sample-overlap counting, and sketch-pair workloads.
 //!
 //! Closed forms are not special-cased in the engine: each function family
 //! *registers* the fast paths it has for a given scheme via
 //! [`KernelFunc::closed_forms`], and [`FuncKernel`] resolves every
 //! requested [`EstimatorKind`] against that registration when the kernel
 //! is built — `RGp+` under a common scale registers
-//! [`RgPlusLStar`]/[`RgPlusUStar`], the distinct-count indicator registers
-//! its inverse-probability form for any scale pair, and everything else
-//! falls back to the generic quadrature/integration estimators.
+//! [`RgPlusLStar`]/[`RgPlusUStar`] (pair schemes only), the distinct-count
+//! indicator registers its inverse-probability form for **any arity and
+//! scale vector**, and everything else falls back to the generic
+//! quadrature/integration estimators.
 //!
 //! # Examples
 //!
@@ -46,19 +51,18 @@
 //!     fn labels(&self) -> Vec<String> {
 //!         vec!["exact".to_owned()]
 //!     }
-//!     fn truth(&self, wa: f64, wb: f64) -> f64 {
-//!         (wa - wb).max(0.0)
+//!     fn truth(&self, weights: &[f64]) -> f64 {
+//!         (weights[0] - weights[1]).max(0.0)
 //!     }
 //!     fn evaluate(
 //!         &self,
 //!         _key: u64,
-//!         wa: f64,
-//!         wb: f64,
+//!         weights: &[f64],
 //!         _u: f64,
 //!         _scratch: &mut KernelScratch,
 //!         out: &mut [f64],
 //!     ) -> monotone_core::Result<bool> {
-//!         out[0] += (wa - wb).max(0.0);
+//!         out[0] += (weights[0] - weights[1]).max(0.0);
 //!         Ok(true)
 //!     }
 //! }
@@ -86,14 +90,18 @@ use monotone_core::{Error, Result};
 use super::EstimatorKind;
 
 /// Reusable per-worker buffers threaded through a kernel's item loop:
-/// a recycled [`Outcome`] entry vector and the lower-bound work vectors
-/// of the generic estimators. One scratch lives per in-flight job, so
-/// batch loops pay zero allocations per sampled item.
+/// a recycled [`Outcome`] entry vector, a sampled-values buffer, and the
+/// lower-bound work vectors of the generic estimators. One scratch lives
+/// per in-flight job, so batch loops pay zero allocations per sampled
+/// item.
 #[derive(Debug, Default)]
 pub struct KernelScratch {
     /// Recycled outcome entry buffer (take with [`std::mem::take`], hand
     /// back via [`Outcome::into_parts`]).
     pub entries: Vec<EntryState>,
+    /// Recycled per-instance sampled-value buffer (`Some(w)` where the
+    /// item cleared its instance's threshold at the shared seed).
+    pub values: Vec<Option<f64>>,
     /// Recycled lower-bound buffers for quadrature-backed estimators.
     pub lb: LbScratch,
 }
@@ -106,17 +114,19 @@ impl KernelScratch {
 }
 
 /// Prepare-once per-query state with a per-item evaluation hot path —
-/// what [`Engine::run_kernel`](crate::Engine::run_kernel) executes over a
-/// batch of [`PairJob`](crate::PairJob)s.
+/// what [`Engine::run_kernel`](crate::Engine::run_kernel) and
+/// [`Engine::run_group_kernel`](crate::Engine::run_group_kernel) execute
+/// over a batch of jobs.
 ///
-/// The engine walks each job's item stream (the merged key union, or the
-/// job's domain), hashes the shared seeds in bulk, and calls
-/// [`evaluate`](EstimationKernel::evaluate) once per active item. How the
-/// `(key, w1, w2, seed)` tuple is interpreted is the kernel's business:
-/// the built-in [`FuncKernel`] treats the weights as a sampled data tuple,
-/// while oracle kernels (variance, ratio, curve scenarios) treat them as
-/// fully known data and ignore the seed, and payload kernels index
-/// kernel-held state by `key`.
+/// The engine walks each job's item stream (the merged key union of the
+/// job's instance group, or the job's domain), hashes the shared seeds in
+/// bulk, and calls [`evaluate`](EstimationKernel::evaluate) once per
+/// active item with the item's weights in every instance. How the
+/// `(key, weights, seed)` tuple is interpreted is the kernel's business:
+/// the built-in [`FuncKernel`] treats the weights as a sampled data
+/// tuple, while oracle kernels (variance, ratio, curve scenarios) treat
+/// them as fully known data and ignore the seed, and payload kernels
+/// index kernel-held state by `key`.
 ///
 /// # Contract
 ///
@@ -125,15 +135,27 @@ impl KernelScratch {
 ///   be identical for every worker count.
 /// * `evaluate` **adds** into `out` (one slot per label) and reports
 ///   whether the item carried sampled evidence.
+/// * A kernel serves jobs of one arity: `weights.len()` is the job
+///   group's instance count, the same for every item of a batch.
 pub trait EstimationKernel: Sync {
     /// Estimator column labels, in result order — fixes the width of
     /// [`PairResult::estimates`](crate::PairResult::estimates) and names
     /// the batch summaries.
     fn labels(&self) -> Vec<String>;
 
-    /// The exact contribution of one item to the pair's target value
-    /// (accumulated into [`PairResult::truth`](crate::PairResult::truth)).
-    fn truth(&self, wa: f64, wb: f64) -> f64;
+    /// The group arity this kernel requires, when it requires one: the
+    /// engine rejects jobs whose instance count differs (as
+    /// [`Error::ArityMismatch`]) instead of streaming truncated weight
+    /// tuples. The default, `None`, accepts any arity — payload and
+    /// oracle kernels often ignore the weights entirely.
+    fn arity(&self) -> Option<usize> {
+        None
+    }
+
+    /// The exact contribution of one item (its weight in every instance
+    /// of the group) to the job's target value (accumulated into
+    /// [`PairResult::truth`](crate::PairResult::truth)).
+    fn truth(&self, weights: &[f64]) -> f64;
 
     /// Evaluates every estimator column on one item at shared seed `u`,
     /// adding into `out`. Returns `Ok(true)` when the item carried
@@ -147,8 +169,7 @@ pub trait EstimationKernel: Sync {
     fn evaluate(
         &self,
         key: u64,
-        wa: f64,
-        wb: f64,
+        weights: &[f64],
         u: f64,
         scratch: &mut KernelScratch,
         out: &mut [f64],
@@ -158,31 +179,53 @@ pub trait EstimationKernel: Sync {
 /// A closed-form per-item evaluator from raw sampled values (`None` =
 /// capped entry) and the shared seed — the allocation-free fast path a
 /// function family can register for a scheme.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum ClosedPairForm {
-    /// [`RgPlusLStar`]: L\* for `RGp+`, `p ∈ {1, 2}`, common PPS scale.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClosedForm {
+    /// [`RgPlusLStar`]: L\* for `RGp+`, `p ∈ {1, 2}`, common PPS scale
+    /// (pair schemes).
     RgPlusL(RgPlusLStar),
-    /// [`RgPlusUStar`]: U\* for `RGp+`, any `p > 0`, common PPS scale.
+    /// [`RgPlusUStar`]: U\* for `RGp+`, any `p > 0`, common PPS scale
+    /// (pair schemes).
     RgPlusU(RgPlusUStar),
     /// L\* for the distinct-count OR indicator under per-instance PPS
-    /// scales: the lower bound is a 0/1 step, so Eq. (31) collapses to
-    /// the inverse of the largest inclusion probability among sampled
-    /// entries (and coincides with Horvitz-Thompson).
+    /// scales of **any arity**: the lower bound is a 0/1 step, so
+    /// Eq. (31) collapses to the inverse of the largest inclusion
+    /// probability among sampled entries (and coincides with
+    /// Horvitz-Thompson).
     DistinctL {
         /// The per-instance PPS scales.
-        scales: [f64; 2],
+        scales: Vec<f64>,
     },
 }
 
-impl ClosedPairForm {
-    /// The estimate from raw sampled values plus the shared seed.
-    pub fn eval(&self, v1: Option<f64>, v2: Option<f64>, u: f64) -> f64 {
+/// Backward-compatible name from the pair-only kernel layer.
+pub type ClosedPairForm = ClosedForm;
+
+impl ClosedForm {
+    /// The estimate from the raw sampled values of every instance
+    /// (`known[i] = Some(w)` iff instance `i` sampled the item) plus the
+    /// shared seed.
+    ///
+    /// # Panics
+    ///
+    /// The `RGp+` forms are pair forms: they panic unless
+    /// `known.len() == 2`.
+    pub fn eval(&self, known: &[Option<f64>], u: f64) -> f64 {
         match self {
-            ClosedPairForm::RgPlusL(c) => c.estimate_values(v1, v2, u),
-            ClosedPairForm::RgPlusU(c) => c.estimate_values(v1, v2, u),
-            ClosedPairForm::DistinctL { scales } => {
-                let prob = |v: Option<f64>, s: f64| v.map_or(0.0, |w| (w / s).min(1.0));
-                let q = prob(v1, scales[0]).max(prob(v2, scales[1]));
+            ClosedForm::RgPlusL(c) => {
+                assert_eq!(known.len(), 2, "RGp+ closed forms are pair forms");
+                c.estimate_values(known[0], known[1], u)
+            }
+            ClosedForm::RgPlusU(c) => {
+                assert_eq!(known.len(), 2, "RGp+ closed forms are pair forms");
+                c.estimate_values(known[0], known[1], u)
+            }
+            ClosedForm::DistinctL { scales } => {
+                let q = known
+                    .iter()
+                    .zip(scales)
+                    .map(|(v, &s)| v.map_or(0.0, |w| (w / s).min(1.0)))
+                    .fold(0.0f64, f64::max);
                 if q > 0.0 {
                     1.0 / q
                 } else {
@@ -191,17 +234,23 @@ impl ClosedPairForm {
             }
         }
     }
+
+    /// Pair-shaped convenience over [`ClosedForm::eval`] (kept from the
+    /// arity-2 kernel layer).
+    pub fn eval_pair(&self, v1: Option<f64>, v2: Option<f64>, u: f64) -> f64 {
+        self.eval(&[v1, v2], u)
+    }
 }
 
-/// The closed forms a function family registers for a pair scheme: the
-/// fast paths [`FuncKernel`] dispatches to instead of the generic
+/// The closed forms a function family registers for a scheme: the fast
+/// paths [`FuncKernel`] dispatches to instead of the generic
 /// quadrature/integration estimators.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ClosedForms {
     /// Closed-form L\*, when the family has one for the scheme.
-    pub lstar: Option<ClosedPairForm>,
+    pub lstar: Option<ClosedForm>,
     /// Closed-form U\*.
-    pub ustar: Option<ClosedPairForm>,
+    pub ustar: Option<ClosedForm>,
 }
 
 impl ClosedForms {
@@ -211,14 +260,14 @@ impl ClosedForms {
     }
 }
 
-/// Closed-form registration hook: a function family inspects the pair
-/// scheme's per-instance PPS scales and registers whatever fast paths it
-/// has. The default registers nothing — generic fallbacks handle any
-/// [`ItemFn`] — so families only implement this when they have something
-/// to say.
+/// Closed-form registration hook: a function family inspects the
+/// scheme's per-instance PPS scales (one per instance of the group) and
+/// registers whatever fast paths it has. The default registers nothing —
+/// generic fallbacks handle any [`ItemFn`] — so families only implement
+/// this when they have something to say.
 pub trait KernelFunc: ItemFn {
     /// The closed forms this family offers under per-instance PPS scales.
-    fn closed_forms(&self, scales: [f64; 2]) -> ClosedForms {
+    fn closed_forms(&self, scales: &[f64]) -> ClosedForms {
         let _ = scales;
         ClosedForms::none()
     }
@@ -226,35 +275,40 @@ pub trait KernelFunc: ItemFn {
 
 impl KernelFunc for RangePowPlus {
     /// `RGp+` registers its L\* closed form for `p ∈ {1, 2}` and its U\*
-    /// closed form for every `p > 0` — but only under a *common* scale,
-    /// where the Example 4 derivations hold.
-    fn closed_forms(&self, scales: [f64; 2]) -> ClosedForms {
+    /// closed form for every `p > 0` — but only for pair schemes under a
+    /// *common* scale, where the Example 4 derivations hold.
+    fn closed_forms(&self, scales: &[f64]) -> ClosedForms {
         // Degenerate scales register nothing — kernel construction reports
         // them as typed errors rather than closed-form constructor panics.
-        if scales[0] != scales[1] || !(scales[0].is_finite() && scales[0] > 0.0) {
+        if scales.len() != 2
+            || scales[0] != scales[1]
+            || !(scales[0].is_finite() && scales[0] > 0.0)
+        {
             return ClosedForms::none();
         }
         let (p, scale) = (self.p(), scales[0]);
         let lstar = if p == 1.0 {
-            Some(ClosedPairForm::RgPlusL(RgPlusLStar::new(1, scale)))
+            Some(ClosedForm::RgPlusL(RgPlusLStar::new(1, scale)))
         } else if p == 2.0 {
-            Some(ClosedPairForm::RgPlusL(RgPlusLStar::new(2, scale)))
+            Some(ClosedForm::RgPlusL(RgPlusLStar::new(2, scale)))
         } else {
             None
         };
         ClosedForms {
             lstar,
-            ustar: Some(ClosedPairForm::RgPlusU(RgPlusUStar::new(p, scale))),
+            ustar: Some(ClosedForm::RgPlusU(RgPlusUStar::new(p, scale))),
         }
     }
 }
 
 impl KernelFunc for DistinctOr {
     /// The OR indicator's L\* collapses to inverse inclusion probability
-    /// under any per-instance scale pair.
-    fn closed_forms(&self, scales: [f64; 2]) -> ClosedForms {
+    /// under any per-instance scale vector, at any arity.
+    fn closed_forms(&self, scales: &[f64]) -> ClosedForms {
         ClosedForms {
-            lstar: Some(ClosedPairForm::DistinctL { scales }),
+            lstar: Some(ClosedForm::DistinctL {
+                scales: scales.to_vec(),
+            }),
             ustar: None,
         }
     }
@@ -268,7 +322,7 @@ impl KernelFunc for LinearAbsPow {}
 #[derive(Debug)]
 enum KindEval {
     /// A registered closed form (no outcome materialization needed).
-    Closed(ClosedPairForm),
+    Closed(ClosedForm),
     /// Generic quadrature-backed L\* (Eq. (31)).
     GenericL(LStar),
     /// Generic backward-integration U\* (Eq. (48)).
@@ -279,10 +333,10 @@ enum KindEval {
     J(DyadicJ),
 }
 
-/// The engine's standard kernel: any [`ItemFn`] over a coordinated pair
-/// scheme with per-instance PPS scales, evaluating a set of
-/// [`EstimatorKind`]s with closed-form fast paths where the family
-/// registered them.
+/// The engine's standard kernel: any [`ItemFn`] over a coordinated
+/// scheme with per-instance PPS scales — one scale per instance of the
+/// job group, at any arity — evaluating a set of [`EstimatorKind`]s with
+/// closed-form fast paths where the family registered them.
 ///
 /// # Examples
 ///
@@ -296,7 +350,7 @@ enum KindEval {
 /// // form registered, so L* runs through the generic quadrature path.
 /// let kernel = FuncKernel::auto(
 ///     TupleMax::new(2),
-///     [1.0, 2.0],
+///     &[1.0, 2.0],
 ///     &[EstimatorKind::LStar],
 ///     QuadConfig::fast(),
 /// )
@@ -310,7 +364,7 @@ enum KindEval {
 #[derive(Debug)]
 pub struct FuncKernel<F: ItemFn> {
     mep: Mep<F, LinearThreshold>,
-    scales: [f64; 2],
+    scales: Vec<f64>,
     kinds: Vec<EstimatorKind>,
     evals: Vec<KindEval>,
     /// Whether any slot needs a materialized [`Outcome`] (closed forms
@@ -319,38 +373,41 @@ pub struct FuncKernel<F: ItemFn> {
 }
 
 impl<F: ItemFn + Sync> FuncKernel<F> {
-    /// Builds a kernel from a function, per-instance scales, an estimator
-    /// set, the quadrature configuration for generic fallbacks, and an
-    /// explicit closed-form registration (use [`FuncKernel::auto`] to let
-    /// the family register its own).
+    /// Builds a kernel from a function, per-instance scales (the arity of
+    /// `f` fixes the group arity), an estimator set, the quadrature
+    /// configuration for generic fallbacks, and an explicit closed-form
+    /// registration (use [`FuncKernel::auto`] to let the family register
+    /// its own).
     ///
     /// # Errors
     ///
     /// Returns [`Error::InvalidScale`] for non-finite or non-positive
-    /// scales and [`Error::ArityMismatch`] when `f` is not a pair
-    /// function.
+    /// scales and [`Error::ArityMismatch`] when `f`'s arity differs from
+    /// the scale count.
     pub fn new(
         f: F,
-        scales: [f64; 2],
+        scales: &[f64],
         kinds: &[EstimatorKind],
         quad: QuadConfig,
         closed: ClosedForms,
     ) -> Result<FuncKernel<F>> {
-        for &s in &scales {
+        for &s in scales {
             if !(s.is_finite() && s > 0.0) {
                 return Err(Error::InvalidScale(s));
             }
         }
-        let mep = Mep::new(f, TupleScheme::pps(&scales)?)?;
+        let mep = Mep::new(f, TupleScheme::pps(scales)?)?;
         let evals: Vec<KindEval> = kinds
             .iter()
             .map(|kind| match kind {
                 EstimatorKind::LStar => closed
                     .lstar
+                    .clone()
                     .map(KindEval::Closed)
                     .unwrap_or_else(|| KindEval::GenericL(LStar::with_quad(quad))),
                 EstimatorKind::UStar => closed
                     .ustar
+                    .clone()
                     .map(KindEval::Closed)
                     .unwrap_or_else(|| KindEval::GenericU(UStar::new())),
                 EstimatorKind::HorvitzThompson => KindEval::Ht(HorvitzThompson::new()),
@@ -360,7 +417,7 @@ impl<F: ItemFn + Sync> FuncKernel<F> {
         let needs_outcome = evals.iter().any(|e| !matches!(e, KindEval::Closed(_)));
         Ok(FuncKernel {
             mep,
-            scales,
+            scales: scales.to_vec(),
             kinds: kinds.to_vec(),
             evals,
             needs_outcome,
@@ -375,7 +432,7 @@ impl<F: ItemFn + Sync> FuncKernel<F> {
     /// See [`FuncKernel::new`].
     pub fn auto(
         f: F,
-        scales: [f64; 2],
+        scales: &[f64],
         kinds: &[EstimatorKind],
         quad: QuadConfig,
     ) -> Result<FuncKernel<F>>
@@ -405,22 +462,32 @@ impl<F: ItemFn + Sync> EstimationKernel for FuncKernel<F> {
         self.kinds.iter().map(|k| k.name().to_owned()).collect()
     }
 
-    fn truth(&self, wa: f64, wb: f64) -> f64 {
-        self.mep.f().eval(&[wa, wb])
+    fn arity(&self) -> Option<usize> {
+        Some(self.scales.len())
+    }
+
+    fn truth(&self, weights: &[f64]) -> f64 {
+        self.mep.f().eval(weights)
     }
 
     fn evaluate(
         &self,
         _key: u64,
-        wa: f64,
-        wb: f64,
+        weights: &[f64],
         u: f64,
         scratch: &mut KernelScratch,
         out: &mut [f64],
     ) -> Result<bool> {
-        let v1 = (wa > 0.0 && wa >= u * self.scales[0]).then_some(wa);
-        let v2 = (wb > 0.0 && wb >= u * self.scales[1]).then_some(wb);
-        if v1.is_none() && v2.is_none() {
+        // Sampled values per instance: known iff the weight clears the
+        // instance's threshold at the shared seed.
+        scratch.values.resize(weights.len(), None);
+        let mut any = false;
+        for ((&w, &s), slot) in weights.iter().zip(&self.scales).zip(&mut scratch.values) {
+            let v = (w > 0.0 && w >= u * s).then_some(w);
+            any |= v.is_some();
+            *slot = v;
+        }
+        if !any {
             // No sampled evidence: every estimator here yields 0 (all-capped
             // outcomes have zero lower bound), exactly as the per-call query
             // path skips items absent from all samples.
@@ -429,11 +496,14 @@ impl<F: ItemFn + Sync> EstimationKernel for FuncKernel<F> {
         let outcome = if self.needs_outcome {
             // Recycle the entry buffer across items: from_parts consumes a
             // Vec, into_parts below hands it back.
-            let state = |v: Option<f64>| v.map_or(EntryState::Capped, EntryState::Known);
             let mut entries = std::mem::take(&mut scratch.entries);
             entries.clear();
-            entries.push(state(v1));
-            entries.push(state(v2));
+            entries.extend(
+                scratch
+                    .values
+                    .iter()
+                    .map(|v| v.map_or(EntryState::Capped, EntryState::Known)),
+            );
             Some(Outcome::from_parts(u, entries)?)
         } else {
             None
@@ -442,7 +512,7 @@ impl<F: ItemFn + Sync> EstimationKernel for FuncKernel<F> {
             let outcome = outcome.as_ref();
             for (slot, eval) in self.evals.iter().enumerate() {
                 out[slot] += match eval {
-                    KindEval::Closed(form) => form.eval(v1, v2, u),
+                    KindEval::Closed(form) => form.eval(&scratch.values, u),
                     KindEval::GenericL(l) => l.estimate_with(
                         &self.mep,
                         outcome.expect("outcome prepared"),
@@ -469,29 +539,39 @@ mod tests {
 
     #[test]
     fn rg_plus_registers_closed_forms_under_common_scale() {
-        let forms = RangePowPlus::new(1.0).closed_forms([2.0, 2.0]);
-        assert!(matches!(forms.lstar, Some(ClosedPairForm::RgPlusL(_))));
-        assert!(matches!(forms.ustar, Some(ClosedPairForm::RgPlusU(_))));
+        let forms = RangePowPlus::new(1.0).closed_forms(&[2.0, 2.0]);
+        assert!(matches!(forms.lstar, Some(ClosedForm::RgPlusL(_))));
+        assert!(matches!(forms.ustar, Some(ClosedForm::RgPlusU(_))));
         // No L* closed form away from p in {1, 2}; U* covers every p.
-        let forms = RangePowPlus::new(1.5).closed_forms([1.0, 1.0]);
+        let forms = RangePowPlus::new(1.5).closed_forms(&[1.0, 1.0]);
         assert!(forms.lstar.is_none());
         assert!(forms.ustar.is_some());
         // Per-instance scales: the Example 4 derivations do not apply.
-        let forms = RangePowPlus::new(1.0).closed_forms([1.0, 2.0]);
+        let forms = RangePowPlus::new(1.0).closed_forms(&[1.0, 2.0]);
         assert_eq!(forms, ClosedForms::none());
     }
 
     #[test]
     fn distinct_closed_form_is_inverse_inclusion_probability() {
-        let forms = DistinctOr::new(2).closed_forms([1.0, 2.0]);
+        let forms = DistinctOr::new(2).closed_forms(&[1.0, 2.0]);
         let lstar = forms.lstar.expect("registered");
         assert!(forms.ustar.is_none());
         // Known entries 0.4 (prob 0.4) and 0.7 (prob 0.35): q = 0.4.
-        let e = lstar.eval(Some(0.4), Some(0.7), 0.1);
+        let e = lstar.eval_pair(Some(0.4), Some(0.7), 0.1);
         assert!((e - 1.0 / 0.4).abs() < 1e-15, "got {e}");
         // Single known entry above its scale: prob 1, estimate 1.
-        assert_eq!(lstar.eval(None, Some(2.5), 0.9), 1.0);
-        assert_eq!(lstar.eval(None, None, 0.5), 0.0);
+        assert_eq!(lstar.eval_pair(None, Some(2.5), 0.9), 1.0);
+        assert_eq!(lstar.eval_pair(None, None, 0.5), 0.0);
+    }
+
+    #[test]
+    fn distinct_closed_form_generalizes_to_any_arity() {
+        let forms = DistinctOr::new(4).closed_forms(&[1.0, 2.0, 4.0, 8.0]);
+        let lstar = forms.lstar.expect("registered");
+        // Probabilities 0.4, 0.35, capped, 0.05: q = 0.4.
+        let e = lstar.eval(&[Some(0.4), Some(0.7), None, Some(0.4)], 0.1);
+        assert!((e - 1.0 / 0.4).abs() < 1e-15, "got {e}");
+        assert_eq!(lstar.eval(&[None, None, None, None], 0.5), 0.0);
     }
 
     #[test]
@@ -499,14 +579,33 @@ mod tests {
         use monotone_core::estimate::{LStar, MonotoneEstimator};
         let scales = [1.0, 2.0];
         let f = DistinctOr::new(2);
-        let closed = f.closed_forms(scales).lstar.unwrap();
+        let closed = f.closed_forms(&scales).lstar.unwrap();
         let mep = Mep::new(f, TupleScheme::pps(&scales).unwrap()).unwrap();
         let generic = LStar::new();
         for &v in &[[0.4, 0.7], [0.4, 0.0], [0.0, 1.9], [2.0, 3.0]] {
             for k in 1..=20 {
                 let u = k as f64 / 20.0;
                 let out = mep.scheme().sample(&v, u).unwrap();
-                let a = closed.eval(out.known(0), out.known(1), u);
+                let a = closed.eval(&[out.known(0), out.known(1)], u);
+                let b = generic.estimate(&mep, &out);
+                assert!((a - b).abs() < 1e-9, "v={v:?} u={u}: closed {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_closed_form_matches_generic_lstar_at_arity_three() {
+        use monotone_core::estimate::{LStar, MonotoneEstimator};
+        let scales = [1.0, 2.0, 0.5];
+        let f = DistinctOr::new(3);
+        let closed = f.closed_forms(&scales).lstar.unwrap();
+        let mep = Mep::new(f, TupleScheme::pps(&scales).unwrap()).unwrap();
+        let generic = LStar::new();
+        for &v in &[[0.4, 0.7, 0.0], [0.0, 0.0, 0.3], [2.0, 3.0, 1.0]] {
+            for k in 1..=20 {
+                let u = k as f64 / 20.0;
+                let out = mep.scheme().sample(&v, u).unwrap();
+                let a = closed.eval(&[out.known(0), out.known(1), out.known(2)], u);
                 let b = generic.estimate(&mep, &out);
                 assert!((a - b).abs() < 1e-9, "v={v:?} u={u}: closed {a} vs {b}");
             }
@@ -518,19 +617,27 @@ mod tests {
         for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
             assert!(FuncKernel::auto(
                 RangePowPlus::new(1.0),
-                [1.0, bad],
+                &[1.0, bad],
                 &[EstimatorKind::LStar],
                 QuadConfig::fast(),
             )
             .is_err());
         }
+        // Arity mismatch between function and scale vector is typed too.
+        assert!(FuncKernel::auto(
+            DistinctOr::new(3),
+            &[1.0, 1.0],
+            &[EstimatorKind::LStar],
+            QuadConfig::fast(),
+        )
+        .is_err());
     }
 
     #[test]
     fn closed_slots_reflect_registration() {
         let kernel = FuncKernel::auto(
             RangePowPlus::new(1.0),
-            [1.0, 1.0],
+            &[1.0, 1.0],
             &[
                 EstimatorKind::LStar,
                 EstimatorKind::UStar,
@@ -542,7 +649,7 @@ mod tests {
         assert_eq!(kernel.closed_slots(), vec![true, true, false]);
         let generic = FuncKernel::new(
             RangePowPlus::new(1.0),
-            [1.0, 1.0],
+            &[1.0, 1.0],
             &[EstimatorKind::LStar],
             QuadConfig::fast(),
             ClosedForms::none(),

@@ -1,40 +1,51 @@
 //! # monotone-engine
 //!
 //! Batched, thread-parallel estimation over coordinated samples of many
-//! instance pairs — the workspace's designated hot path.
+//! instance groups — the workspace's designated hot path.
 //!
 //! The paper's prime application is estimating functions (`RGp+`, distinct
 //! counts, Jaccard, Lp) over coordinated samples of *many* instances; the
 //! follow-up customization work (arXiv:1212.0243, arXiv:1406.6490) is
 //! motivated precisely by running customized estimators over massive sketch
-//! collections. The naive pattern — one [`Mep`] construction, one
-//! quadrature-backed estimate, one instance pair at a time — re-derives the
-//! same per-MEP state for every outcome. The [`Engine`] amortizes that
-//! setup once per batch through a pluggable **kernel** layer:
+//! collections. Coordination itself is arity-free — one shared hash seed
+//! per item drives the sampling of that item in *every* instance — so the
+//! engine's unit of work is an **instance group** of any arity:
+//! [`GroupJob`] bundles N instances with a randomization (or fixed probe
+//! seed) and an optional domain, and [`PairJob`] is the thin arity-2
+//! convenience the pair workloads keep using. The naive pattern — one
+//! [`Mep`] construction, one quadrature-backed estimate, one group at a
+//! time — re-derives the same per-MEP state for every outcome. The
+//! [`Engine`] amortizes that setup once per batch through a pluggable
+//! **kernel** layer:
 //!
 //! * **kernels** — an [`EngineQuery`] builder selects a function family
-//!   ([`RGp+`](monotone_core::func::RangePowPlus), distinct-count OR,
-//!   min/max, linear forms) over per-instance PPS scales and compiles it
-//!   into an [`EstimationKernel`]: prepare-once state, per-item `evaluate`
-//!   with reusable scratch. Custom kernels plug straight into
-//!   [`Engine::run_kernel`] — the scenario registry runs variance sweeps,
-//!   probe-seed estimate curves, and sketch-pair similarity through the
-//!   same batch loop;
+//!   ([`RGp+`](monotone_core::func::RangePowPlus), distinct-count OR at
+//!   any arity, min/max, linear forms) over per-instance PPS scales and
+//!   compiles it into an [`EstimationKernel`]: prepare-once state,
+//!   per-item `evaluate` over the item's weights in every instance of the
+//!   group, with reusable scratch. Custom kernels plug straight into
+//!   [`Engine::run_kernel`]/[`Engine::run_group_kernel`] — the scenario
+//!   registry runs variance sweeps, probe-seed estimate curves,
+//!   sample-overlap counting, and sketch-pair similarity through the same
+//!   batch loop;
 //! * **closed-form registration** — function families register their
-//!   closed forms per scheme ([`KernelFunc`]); `RGp+` under a common scale
-//!   dispatches to [`RgPlusLStar`] (`p ∈ {1, 2}`) and [`RgPlusUStar`]
-//!   automatically, so only genuinely generic problems pay for quadrature;
-//! * **bulk sampling** — each item's shared seed is hashed exactly once per
-//!   pair (not once per instance per estimator), in chunks via
+//!   closed forms per scheme ([`KernelFunc`]); `RGp+` under a common
+//!   scale dispatches to [`RgPlusLStar`] (`p ∈ {1, 2}`) and
+//!   [`RgPlusUStar`] automatically, the distinct-count OR registers its
+//!   inverse-probability form for **any arity**, and only genuinely
+//!   generic problems pay for quadrature;
+//! * **bulk sampling** — each item's shared seed is hashed exactly once
+//!   per group (not once per instance per estimator), in chunks via
 //!   [`SeedHasher::seed_many`] over the merged key stream
-//!   ([`merged_weights`]);
+//!   ([`merged_weights`] for pairs, [`WeightMerger`] for arity-N groups);
+//!   fixed-seed probe jobs skip the hash entirely;
 //! * **deterministic parallelism** — jobs are split into contiguous chunks
 //!   over a [`std::thread::scope`] worker pool; results land in
 //!   preassigned slots, so the output is identical for every thread count.
 //!
 //! ```
 //! use monotone_coord::instance::Instance;
-//! use monotone_engine::{Engine, EngineQuery, EstimatorKind, PairJob};
+//! use monotone_engine::{Engine, EngineQuery, EstimatorKind, GroupJob, PairJob};
 //!
 //! let a = Instance::from_pairs((0..100u64).map(|k| (k, 0.2 + (k % 7) as f64 / 10.0)));
 //! let b = Instance::from_pairs((0..100u64).map(|k| (k, 0.2 + (k % 5) as f64 / 10.0)));
@@ -47,11 +58,16 @@
 //! assert_eq!(lstar.label, "L*");
 //! assert!(lstar.nrmse < 1.0);
 //!
-//! // The builder reaches past RGp+: distinct counts under per-instance
-//! // scales route through the kernel the OR indicator registers.
-//! let distinct = EngineQuery::distinct(1.0).with_scales(1.0, 2.0);
-//! let batch = Engine::new().run(&jobs, &distinct).unwrap();
-//! assert!(batch.summaries[0].mean_truth > 0.0);
+//! // Arity-N group jobs reach past pairs: a 3-instance distinct count
+//! // (how many items are active somewhere?) through the OR indicator's
+//! // N-way inverse-probability closed form.
+//! let c = Instance::from_pairs((50..160u64).map(|k| (k, 0.3 + (k % 3) as f64 / 10.0)));
+//! let group = [a, b, c];
+//! let jobs: Vec<GroupJob> = (0..16).map(|salt| GroupJob::new(&group, salt)).collect();
+//! let distinct = EngineQuery::distinct_k(3, 2.0);
+//! let batch = Engine::new().run_groups(&jobs, &distinct).unwrap();
+//! assert_eq!(batch.pairs[0].truth, 160.0); // keys 0..160 active somewhere
+//! assert!((batch.summaries[0].mean_estimate - 160.0).abs() < 16.0);
 //! ```
 //!
 //! [`Mep`]: monotone_core::problem::Mep
@@ -59,6 +75,7 @@
 //! [`RgPlusUStar`]: monotone_core::estimate::RgPlusUStar
 //! [`SeedHasher::seed_many`]: monotone_coord::seed::SeedHasher::seed_many
 //! [`merged_weights`]: monotone_coord::instance::merged_weights
+//! [`WeightMerger`]: monotone_coord::instance::WeightMerger
 
 pub mod kernel;
 mod pool;
@@ -67,19 +84,20 @@ pub mod scenario;
 pub mod workload;
 
 pub use kernel::{
-    ClosedForms, ClosedPairForm, EstimationKernel, FuncKernel, KernelFunc, KernelScratch,
+    ClosedForm, ClosedForms, ClosedPairForm, EstimationKernel, FuncKernel, KernelFunc,
+    KernelScratch,
 };
 pub use pool::chunk_bounds;
 pub use runner::{CsvArtifact, Runner, ScenarioRun, ScenarioTiming};
 pub use scenario::{CsvSpec, FinishOut, Registry, Scenario, UnitOut};
 
-use monotone_coord::instance::{merged_weights, Instance};
+use monotone_coord::instance::{merged_weights, Instance, WeightMerger};
 use monotone_coord::seed::SeedHasher;
 use monotone_core::func::{DistinctOr, LinearAbsPow, RangePowPlus, TupleMax, TupleMin};
 use monotone_core::quad::QuadConfig;
 use monotone_core::Result;
 
-/// Which estimator to run for each item of a pair.
+/// Which estimator to run for each item of a job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EstimatorKind {
     /// The paper's L\* (Section 4): closed form where the function family
@@ -106,38 +124,50 @@ impl EstimatorKind {
     }
 }
 
-/// The function family a query estimates over each pair — the sum
-/// aggregate is `Σ_k f(v1_k, v2_k)` over the job's item domain.
+/// The function family a query estimates over each job — the sum
+/// aggregate is `Σ_k f(v_k)` over the job's item domain, `v_k` the item's
+/// weight tuple across the group's instances.
 #[derive(Debug, Clone, PartialEq)]
 enum FuncSpec {
-    /// `max(0, v1 − v2)^p`.
+    /// `max(0, v1 − v2)^p` (pairs).
     RgPlus { p: f64 },
-    /// The OR indicator (distinct count).
-    Distinct,
-    /// `min(v1, v2)`.
+    /// The OR indicator (distinct count) over `arity` instances.
+    Distinct { arity: usize },
+    /// `min(v1, v2)` (pairs).
     TupleMin,
-    /// `max(v1, v2)`.
+    /// `max(v1, v2)` (pairs).
     TupleMax,
-    /// `|a·v1 + b·v2 + offset|^p`.
+    /// `|a·v1 + b·v2 + offset|^p` (pairs).
     LinearAbs { a: f64, b: f64, offset: f64, p: f64 },
 }
 
-/// What to estimate over each pair: a function-family sum aggregate under
+impl FuncSpec {
+    fn arity(&self) -> usize {
+        match self {
+            FuncSpec::Distinct { arity } => *arity,
+            _ => 2,
+        }
+    }
+}
+
+/// What to estimate over each job: a function-family sum aggregate under
 /// coordinated PPS with per-instance scales, for a set of estimators.
 ///
 /// A query is a *builder* for an [`EstimationKernel`]: constructors pick
-/// the function family, [`with_scales`](EngineQuery::with_scales) sets
+/// the function family (and, for the arity-generic families, the group
+/// arity), [`with_scales`](EngineQuery::with_scales) /
+/// [`with_instance_scales`](EngineQuery::with_instance_scales) set
 /// per-instance sampling scales,
 /// [`with_estimators`](EngineQuery::with_estimators) the estimator set,
 /// and [`kernel`](EngineQuery::kernel) compiles the prepared state
-/// [`Engine::run`] executes. Closed forms registered by the family are
-/// used automatically;
+/// [`Engine::run`] and [`Engine::run_groups`] execute. Closed forms
+/// registered by the family are used automatically;
 /// [`without_closed_forms`](EngineQuery::without_closed_forms) forces the
 /// generic paths (agreement checks, baseline measurements).
 #[derive(Debug, Clone, PartialEq)]
 pub struct EngineQuery {
     func: FuncSpec,
-    scales: [f64; 2],
+    scales: Vec<f64>,
     estimators: Vec<EstimatorKind>,
     quad: QuadConfig,
     closed_forms: bool,
@@ -145,9 +175,10 @@ pub struct EngineQuery {
 
 impl EngineQuery {
     fn with_func(func: FuncSpec, scale: f64) -> EngineQuery {
+        let scales = vec![scale; func.arity()];
         EngineQuery {
             func,
-            scales: [scale, scale],
+            scales,
             estimators: vec![EstimatorKind::LStar],
             quad: QuadConfig::fast(),
             closed_forms: true,
@@ -167,10 +198,24 @@ impl EngineQuery {
         EngineQuery::with_func(FuncSpec::RgPlus { p }, scale)
     }
 
-    /// A distinct-count (OR indicator) query: the sum aggregate counts
-    /// items active in at least one instance.
+    /// A pair distinct-count (OR indicator) query: the sum aggregate
+    /// counts items active in at least one of the two instances.
     pub fn distinct(scale: f64) -> EngineQuery {
-        EngineQuery::with_func(FuncSpec::Distinct, scale)
+        EngineQuery::distinct_k(2, scale)
+    }
+
+    /// A `k`-way distinct-count query over arity-`k` group jobs: the sum
+    /// aggregate counts items active in at least one of the group's `k`
+    /// instances. The OR family registers its inverse-probability L\*
+    /// closed form at every arity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity == 0` (the underlying [`DistinctOr`]
+    /// constructor's contract).
+    pub fn distinct_k(arity: usize, scale: f64) -> EngineQuery {
+        let _ = DistinctOr::new(arity); // validate eagerly
+        EngineQuery::with_func(FuncSpec::Distinct { arity }, scale)
     }
 
     /// A `min(v1, v2)` query (e.g. the numerator of weighted Jaccard).
@@ -195,11 +240,19 @@ impl EngineQuery {
         EngineQuery::with_func(FuncSpec::LinearAbs { a, b, offset, p }, scale)
     }
 
-    /// Sets per-instance PPS scales (constructors start from a common
-    /// scale). Closed forms that require a common scale deregister
-    /// themselves automatically.
-    pub fn with_scales(mut self, scale_a: f64, scale_b: f64) -> EngineQuery {
-        self.scales = [scale_a, scale_b];
+    /// Sets the two per-instance PPS scales of a pair query (constructors
+    /// start from a common scale). Closed forms that require a common
+    /// scale deregister themselves automatically. For arity-N queries use
+    /// [`with_instance_scales`](EngineQuery::with_instance_scales).
+    pub fn with_scales(self, scale_a: f64, scale_b: f64) -> EngineQuery {
+        self.with_instance_scales(&[scale_a, scale_b])
+    }
+
+    /// Replaces the full per-instance scale vector (one scale per
+    /// instance of the job group). The length must match the query's
+    /// arity — a mismatch surfaces as a typed error at kernel-build time.
+    pub fn with_instance_scales(mut self, scales: &[f64]) -> EngineQuery {
+        self.scales = scales.to_vec();
         self
     }
 
@@ -232,12 +285,17 @@ impl EngineQuery {
         self
     }
 
-    /// The per-instance PPS scales.
-    pub fn scales(&self) -> [f64; 2] {
-        self.scales
+    /// The per-instance PPS scales (one per instance of the job group).
+    pub fn scales(&self) -> &[f64] {
+        &self.scales
     }
 
-    /// The estimators run per pair, in result order.
+    /// The group arity this query's function family expects.
+    pub fn arity(&self) -> usize {
+        self.func.arity()
+    }
+
+    /// The estimators run per job, in result order.
     pub fn estimators(&self) -> &[EstimatorKind] {
         &self.estimators
     }
@@ -254,20 +312,20 @@ impl EngineQuery {
     /// # Errors
     ///
     /// Returns an error if a scale is invalid (zero, negative, infinite,
-    /// or NaN).
+    /// or NaN) or the scale vector's length differs from the query arity.
     pub fn kernel(&self) -> Result<Box<dyn EstimationKernel>> {
         fn build<F: kernel::KernelFunc + Sync + 'static>(
             f: F,
             q: &EngineQuery,
         ) -> Result<Box<dyn EstimationKernel>> {
             let closed = if q.closed_forms {
-                f.closed_forms(q.scales)
+                f.closed_forms(&q.scales)
             } else {
                 ClosedForms::none()
             };
             Ok(Box::new(FuncKernel::new(
                 f,
-                q.scales,
+                &q.scales,
                 &q.estimators,
                 q.quad,
                 closed,
@@ -275,7 +333,7 @@ impl EngineQuery {
         }
         match &self.func {
             FuncSpec::RgPlus { p } => build(RangePowPlus::new(*p), self),
-            FuncSpec::Distinct => build(DistinctOr::new(2), self),
+            FuncSpec::Distinct { arity } => build(DistinctOr::new(*arity), self),
             FuncSpec::TupleMin => build(TupleMin::new(2), self),
             FuncSpec::TupleMax => build(TupleMax::new(2), self),
             FuncSpec::LinearAbs { a, b, offset, p } => {
@@ -285,8 +343,66 @@ impl EngineQuery {
     }
 }
 
-/// One unit of work: an instance pair, the randomization that seeds its
-/// coordinated sample, and an optional query domain.
+/// One unit of work at any arity: an instance group, the randomization
+/// that seeds its coordinated sample, and an optional query domain.
+///
+/// The group borrows a contiguous instance slice — a
+/// [`Dataset`](monotone_coord::instance::Dataset)'s
+/// [`instances()`](monotone_coord::instance::Dataset::instances), or any
+/// locally built `[Instance]` array. [`PairJob`] is the arity-2
+/// convenience wrapper over the same execution path.
+#[derive(Debug, Clone, Copy)]
+pub struct GroupJob<'a> {
+    /// The group's instances (entry `i` of every item tuple).
+    pub instances: &'a [Instance],
+    /// Salt of the shared seed hash — one coordinated sampling run.
+    pub salt: u64,
+    /// Fixed shared seed overriding the hash: every item of the group is
+    /// sampled at exactly this seed (`None` = hash per item key). The
+    /// probe-curve pattern: sweep estimate curves at chosen seeds.
+    pub seed: Option<f64>,
+    /// Restrict the sum aggregate to these keys (`None` = union of active
+    /// items).
+    pub domain: Option<&'a [u64]>,
+}
+
+impl<'a> GroupJob<'a> {
+    /// A job over the full union domain with hashed per-item seeds.
+    pub fn new(instances: &'a [Instance], salt: u64) -> GroupJob<'a> {
+        GroupJob {
+            instances,
+            salt,
+            seed: None,
+            domain: None,
+        }
+    }
+
+    /// Number of instances in the group.
+    pub fn arity(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Fixes the shared seed of every item (instead of hashing keys).
+    pub fn with_seed(mut self, seed: f64) -> GroupJob<'a> {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Restricts the query to a key domain.
+    pub fn with_domain(mut self, domain: &'a [u64]) -> GroupJob<'a> {
+        self.domain = Some(domain);
+        self
+    }
+}
+
+/// One unit of work at arity 2: an instance pair, the randomization that
+/// seeds its coordinated sample, and an optional query domain.
+///
+/// This is the thin pair alias of [`GroupJob`]: both run the same kernel
+/// batch loop, and an arity-2 group over `[a, b]` reproduces a pair job
+/// bit for bit (regression-tested). Pair workloads keep this shape so
+/// instances can be borrowed from anywhere (pools, registries) without
+/// materializing contiguous groups.
 #[derive(Debug, Clone, Copy)]
 pub struct PairJob<'a> {
     /// First instance (entry 1 of every item tuple).
@@ -329,7 +445,7 @@ impl<'a> PairJob<'a> {
     }
 }
 
-/// Per-pair output: one estimate per kernel column, plus the exact value
+/// Per-job output: one estimate per kernel column, plus the exact value
 /// (cheap to carry along — the engine already visits every item).
 #[derive(Debug, Clone, PartialEq)]
 pub struct PairResult {
@@ -349,24 +465,26 @@ pub struct EstimatorSummary {
     /// Kernel column label (for query-built kernels:
     /// [`EstimatorKind::name`]).
     pub label: String,
-    /// Mean estimate across pairs.
+    /// Mean estimate across jobs.
     pub mean_estimate: f64,
-    /// Mean exact value across pairs.
+    /// Mean exact value across jobs.
     pub mean_truth: f64,
     /// `sqrt(mean((est − truth)²)) / mean(truth)` (raw RMSE when the mean
     /// truth is zero) — the paper-style accuracy measure.
     pub nrmse: f64,
-    /// Largest absolute per-pair error.
+    /// Largest absolute per-job error.
     pub max_abs_error: f64,
 }
 
-/// A completed batch: per-pair results in job order plus per-column
+/// A completed batch: per-job results in job order plus per-column
 /// summaries.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BatchResult {
     /// One entry per job, in input order regardless of thread count.
     pub pairs: Vec<PairResult>,
-    /// One entry per kernel column, in label order.
+    /// One entry per kernel column, in label order — **empty for an
+    /// empty batch**: a mean over zero jobs is undefined, so no
+    /// per-column statistics are fabricated.
     pub summaries: Vec<EstimatorSummary>,
     /// Total items with sampled evidence across the batch.
     pub total_sampled_items: usize,
@@ -404,8 +522,8 @@ impl Engine {
         self.threads
     }
 
-    /// Runs a batch: every job through every estimator of the query, with
-    /// the query compiled into its kernel once
+    /// Runs a pair batch: every job through every estimator of the
+    /// query, with the query compiled into its kernel once
     /// ([`EngineQuery::kernel`]) and shared read-only by the workers.
     ///
     /// # Errors
@@ -417,9 +535,21 @@ impl Engine {
         self.run_kernel(jobs, kernel.as_ref())
     }
 
-    /// Runs a batch through an explicit [`EstimationKernel`] — the entry
-    /// point for custom kernels (oracle sweeps, probe curves, payload
-    /// kernels). [`Engine::run`] is this with the query's own kernel.
+    /// Runs an arity-N group batch: [`Engine::run`] over [`GroupJob`]s.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a query scale is invalid, the query arity
+    /// differs from a job's group arity, or outcome assembly fails.
+    pub fn run_groups(&self, jobs: &[GroupJob<'_>], query: &EngineQuery) -> Result<BatchResult> {
+        let kernel = query.kernel()?;
+        self.run_group_kernel(jobs, kernel.as_ref())
+    }
+
+    /// Runs a pair batch through an explicit [`EstimationKernel`] — the
+    /// entry point for custom pair kernels (oracle sweeps, probe curves,
+    /// payload kernels). [`Engine::run`] is this with the query's own
+    /// kernel.
     ///
     /// # Errors
     ///
@@ -431,7 +561,26 @@ impl Engine {
     ) -> Result<BatchResult> {
         let labels = kernel.labels();
         let width = labels.len();
-        let results = self.map_chunked(jobs, |_, job| run_job(kernel, width, job));
+        let results = self.map_chunked(jobs, |_, job| run_pair_job(kernel, width, job));
+        let pairs = results.into_iter().collect::<Result<Vec<PairResult>>>()?;
+        Ok(summarize(labels, pairs))
+    }
+
+    /// Runs an arity-N group batch through an explicit
+    /// [`EstimationKernel`]: the kernel's `evaluate` receives each item's
+    /// weights in every instance of the job's group.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error any job's evaluation reports.
+    pub fn run_group_kernel(
+        &self,
+        jobs: &[GroupJob<'_>],
+        kernel: &dyn EstimationKernel,
+    ) -> Result<BatchResult> {
+        let labels = kernel.labels();
+        let width = labels.len();
+        let results = self.map_chunked(jobs, |_, job| run_group_job(kernel, width, job));
         let pairs = results.into_iter().collect::<Result<Vec<PairResult>>>()?;
         Ok(summarize(labels, pairs))
     }
@@ -447,34 +596,46 @@ impl Default for Engine {
 /// per-chunk dispatch, small enough to stay in registers/L1.
 const SEED_CHUNK: usize = 64;
 
-/// Fixed-size item staging buffers for one job: keys and weights stream
-/// in, seeds are hashed in bulk ([`SeedHasher::seed_many`]), the kernel
-/// evaluates the chunk. Stack-allocated so the per-job allocation profile
-/// is one estimates vector, exactly as before the kernel layer.
+/// Item staging buffers for one job: keys and per-instance weights stream
+/// in, seeds are hashed in bulk ([`SeedHasher::seed_many`]) — or filled
+/// once on the fixed-seed path, which never touches the hash — and the
+/// kernel evaluates the chunk. Keys and seeds are stack arrays; the
+/// weight staging is one arity-sized flat buffer allocated once per job.
 struct ChunkBufs {
     keys: [u64; SEED_CHUNK],
-    was: [f64; SEED_CHUNK],
-    wbs: [f64; SEED_CHUNK],
     seeds: [f64; SEED_CHUNK],
+    /// Row-major `[item][instance]` staging, `arity * SEED_CHUNK` wide.
+    weights: Vec<f64>,
+    arity: usize,
     len: usize,
 }
 
 impl ChunkBufs {
-    fn new() -> ChunkBufs {
+    fn new(arity: usize) -> ChunkBufs {
         ChunkBufs {
             keys: [0; SEED_CHUNK],
-            was: [0.0; SEED_CHUNK],
-            wbs: [0.0; SEED_CHUNK],
             seeds: [0.0; SEED_CHUNK],
+            weights: vec![0.0; arity * SEED_CHUNK],
+            arity,
             len: 0,
         }
     }
 
-    fn push(&mut self, key: u64, wa: f64, wb: f64) {
+    fn push(&mut self, key: u64, ws: &[f64]) {
         self.keys[self.len] = key;
-        self.was[self.len] = wa;
-        self.wbs[self.len] = wb;
+        self.weights[self.len * self.arity..(self.len + 1) * self.arity].copy_from_slice(ws);
         self.len += 1;
+    }
+
+    fn push_pair(&mut self, key: u64, wa: f64, wb: f64) {
+        self.keys[self.len] = key;
+        self.weights[self.len * 2] = wa;
+        self.weights[self.len * 2 + 1] = wb;
+        self.len += 1;
+    }
+
+    fn item(&self, i: usize) -> &[f64] {
+        &self.weights[i * self.arity..(i + 1) * self.arity]
     }
 
     fn is_full(&self) -> bool {
@@ -482,49 +643,103 @@ impl ChunkBufs {
     }
 }
 
-/// Executes one job against a kernel: stream the item domain, hash seeds
-/// chunk-wise, evaluate.
-fn run_job(kernel: &dyn EstimationKernel, width: usize, job: &PairJob<'_>) -> Result<PairResult> {
-    let seeder = SeedHasher::new(job.salt);
-    let mut estimates = vec![0.0; width];
-    let mut truth = 0.0;
-    let mut sampled_items = 0usize;
-    let mut scratch = KernelScratch::new();
-    let mut bufs = ChunkBufs::new();
+/// Per-job execution state shared by the pair and group paths: staging
+/// buffers, scratch, accumulators, and the chunk flush.
+struct JobRun<'k> {
+    kernel: &'k dyn EstimationKernel,
+    seeder: SeedHasher,
+    fixed_seed: bool,
+    bufs: ChunkBufs,
+    scratch: KernelScratch,
+    estimates: Vec<f64>,
+    truth: f64,
+    sampled_items: usize,
+}
 
-    let flush = |bufs: &mut ChunkBufs,
-                 scratch: &mut KernelScratch,
-                 estimates: &mut [f64],
-                 sampled_items: &mut usize|
-     -> Result<()> {
-        let n = bufs.len;
-        match job.seed {
-            Some(u) => bufs.seeds[..n].fill(u),
-            None => seeder.seed_many(&bufs.keys[..n], &mut bufs.seeds[..n]),
+impl<'k> JobRun<'k> {
+    fn new(
+        kernel: &'k dyn EstimationKernel,
+        width: usize,
+        arity: usize,
+        salt: u64,
+        seed: Option<f64>,
+    ) -> JobRun<'k> {
+        let mut bufs = ChunkBufs::new(arity);
+        if let Some(u) = seed {
+            // Fixed-seed jobs (probe curves) never hash: the seed buffer
+            // is filled once here and reused by every chunk.
+            bufs.seeds.fill(u);
+        }
+        JobRun {
+            kernel,
+            seeder: SeedHasher::new(salt),
+            fixed_seed: seed.is_some(),
+            bufs,
+            scratch: KernelScratch::new(),
+            estimates: vec![0.0; width],
+            truth: 0.0,
+            sampled_items: 0,
+        }
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        let n = self.bufs.len;
+        if !self.fixed_seed {
+            self.seeder
+                .seed_many(&self.bufs.keys[..n], &mut self.bufs.seeds[..n]);
         }
         for i in 0..n {
-            if kernel.evaluate(
-                bufs.keys[i],
-                bufs.was[i],
-                bufs.wbs[i],
-                bufs.seeds[i],
-                scratch,
-                estimates,
+            if self.kernel.evaluate(
+                self.bufs.keys[i],
+                self.bufs.item(i),
+                self.bufs.seeds[i],
+                &mut self.scratch,
+                &mut self.estimates,
             )? {
-                *sampled_items += 1;
+                self.sampled_items += 1;
             }
         }
-        bufs.len = 0;
+        self.bufs.len = 0;
         Ok(())
-    };
+    }
 
+    fn finish(mut self) -> Result<PairResult> {
+        self.flush()?;
+        Ok(PairResult {
+            estimates: self.estimates,
+            truth: self.truth,
+            sampled_items: self.sampled_items,
+        })
+    }
+}
+
+/// Executes one pair job against a kernel: stream the merged pair items,
+/// hash seeds chunk-wise, evaluate.
+/// Rejects jobs whose group arity differs from the kernel's requirement
+/// (streaming a truncated weight tuple would silently misestimate).
+fn check_arity(kernel: &dyn EstimationKernel, got: usize) -> Result<()> {
+    match kernel.arity() {
+        Some(expected) if expected != got => {
+            Err(monotone_core::Error::ArityMismatch { expected, got })
+        }
+        _ => Ok(()),
+    }
+}
+
+fn run_pair_job(
+    kernel: &dyn EstimationKernel,
+    width: usize,
+    job: &PairJob<'_>,
+) -> Result<PairResult> {
+    check_arity(kernel, 2)?;
+    let mut run = JobRun::new(kernel, width, 2, job.salt, job.seed);
     match job.domain {
         None => {
             for (key, wa, wb) in merged_weights(job.a, job.b) {
-                truth += kernel.truth(wa, wb);
-                bufs.push(key, wa, wb);
-                if bufs.is_full() {
-                    flush(&mut bufs, &mut scratch, &mut estimates, &mut sampled_items)?;
+                run.truth += kernel.truth(&[wa, wb]);
+                run.bufs.push_pair(key, wa, wb);
+                if run.bufs.is_full() {
+                    run.flush()?;
                 }
             }
         }
@@ -535,25 +750,69 @@ fn run_job(kernel: &dyn EstimationKernel, width: usize, job: &PairJob<'_>) -> Re
                 if wa <= 0.0 && wb <= 0.0 {
                     continue;
                 }
-                truth += kernel.truth(wa, wb);
-                bufs.push(key, wa, wb);
-                if bufs.is_full() {
-                    flush(&mut bufs, &mut scratch, &mut estimates, &mut sampled_items)?;
+                run.truth += kernel.truth(&[wa, wb]);
+                run.bufs.push_pair(key, wa, wb);
+                if run.bufs.is_full() {
+                    run.flush()?;
                 }
             }
         }
     }
-    flush(&mut bufs, &mut scratch, &mut estimates, &mut sampled_items)?;
+    run.finish()
+}
 
-    Ok(PairResult {
-        estimates,
-        truth,
-        sampled_items,
-    })
+/// Executes one arity-N group job against a kernel: stream the N-way
+/// merged item union ([`WeightMerger`]), hash seeds chunk-wise, evaluate.
+fn run_group_job(
+    kernel: &dyn EstimationKernel,
+    width: usize,
+    job: &GroupJob<'_>,
+) -> Result<PairResult> {
+    let arity = job.instances.len();
+    check_arity(kernel, arity)?;
+    let mut run = JobRun::new(kernel, width, arity, job.salt, job.seed);
+    let mut ws = vec![0.0; arity];
+    match job.domain {
+        None => {
+            let mut merger = WeightMerger::new(job.instances);
+            while let Some(key) = merger.next_into(&mut ws) {
+                run.truth += kernel.truth(&ws);
+                run.bufs.push(key, &ws);
+                if run.bufs.is_full() {
+                    run.flush()?;
+                }
+            }
+        }
+        Some(domain) => {
+            for &key in domain {
+                for (slot, inst) in ws.iter_mut().zip(job.instances) {
+                    *slot = inst.weight(key);
+                }
+                if ws.iter().all(|&w| w <= 0.0) {
+                    continue;
+                }
+                run.truth += kernel.truth(&ws);
+                run.bufs.push(key, &ws);
+                if run.bufs.is_full() {
+                    run.flush()?;
+                }
+            }
+        }
+    }
+    run.finish()
 }
 
 fn summarize(labels: Vec<String>, pairs: Vec<PairResult>) -> BatchResult {
-    let n = pairs.len().max(1) as f64;
+    // A mean over zero jobs is undefined: an empty batch gets empty
+    // summaries instead of fabricated per-column statistics.
+    if pairs.is_empty() {
+        return BatchResult {
+            pairs,
+            summaries: Vec::new(),
+            total_sampled_items: 0,
+        };
+    }
+    let n = pairs.len() as f64;
     let mean_truth = pairs.iter().map(|p| p.truth).sum::<f64>() / n;
     let summaries = labels
         .into_iter()

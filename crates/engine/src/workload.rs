@@ -22,7 +22,7 @@
 
 use monotone_coord::instance::Instance;
 
-use super::PairJob;
+use super::{GroupJob, PairJob};
 
 /// A pool of `instances` reproducible instances of `items_per_instance`
 /// items each, with weights laid out on a fixed mod-97 lattice (the same
@@ -53,6 +53,33 @@ pub fn rg1_pair_jobs(pool: &[Instance], pairs: usize) -> Vec<PairJob<'_>> {
         .collect()
 }
 
+/// An arity-`k` instance group with half-overlapping item windows:
+/// instance `i` covers keys `[i·n/2, i·n/2 + n)` with weights on a fixed
+/// mod-89 lattice, so consecutive instances share half their support and
+/// the union grows linearly with `k` — the canonical workload of the
+/// `multiway` k-way distinct-count scenario and the group-job tests.
+pub fn distinct_group_pool(arity: usize, items_per_instance: u64) -> Vec<Instance> {
+    assert!(arity >= 1, "group workload needs at least one instance");
+    (0..arity as u64)
+        .map(|i| {
+            let lo = i * items_per_instance / 2;
+            Instance::from_pairs(
+                (lo..lo + items_per_instance)
+                    .map(move |k| (k, 0.05 + 0.9 * (((k * 13 + i * 31 + 7) % 89) as f64 / 89.0))),
+            )
+        })
+        .collect()
+}
+
+/// `randomizations` group jobs over one instance group, salted
+/// `salt_base..salt_base + randomizations` — one coordinated sampling
+/// run per job.
+pub fn group_jobs(group: &[Instance], randomizations: u64, salt_base: u64) -> Vec<GroupJob<'_>> {
+    (0..randomizations)
+        .map(|r| GroupJob::new(group, salt_base + r))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -71,6 +98,27 @@ mod tests {
             .iter()
             .flat_map(|i| i.iter())
             .all(|(_, w)| w > 0.0 && w < 1.0));
+    }
+
+    #[test]
+    fn group_pool_overlaps_and_jobs_are_salted() {
+        let group = distinct_group_pool(4, 12);
+        assert_eq!(group.len(), 4);
+        for inst in &group {
+            assert_eq!(inst.len(), 12);
+            assert!(inst.iter().all(|(_, w)| w > 0.0 && w < 1.0));
+        }
+        // Consecutive windows share half their keys.
+        let shared = group[0]
+            .keys()
+            .filter(|&k| group[1].weight(k) > 0.0)
+            .count();
+        assert_eq!(shared, 6);
+        let jobs = group_jobs(&group, 5, 100);
+        assert_eq!(jobs.len(), 5);
+        assert_eq!(jobs[3].salt, 103);
+        assert_eq!(jobs[0].arity(), 4);
+        assert!(std::ptr::eq(jobs[0].instances.as_ptr(), group.as_ptr()));
     }
 
     #[test]

@@ -7,9 +7,9 @@ use monotone_coord::pps::CoordPps;
 use monotone_coord::query::{estimate_sum, exact_sum};
 use monotone_coord::seed::SeedHasher;
 use monotone_core::estimate::{DyadicJ, HorvitzThompson, LStar, RgPlusLStar, RgPlusUStar};
-use monotone_core::func::RangePowPlus;
+use monotone_core::func::{DistinctOr, RangePowPlus};
 use monotone_core::quad::QuadConfig;
-use monotone_engine::{Engine, EngineQuery, EstimatorKind, PairJob};
+use monotone_engine::{Engine, EngineQuery, EstimatorKind, GroupJob, PairJob};
 
 fn instance_pair(n: u64) -> (Instance, Instance) {
     let a = Instance::from_pairs((0..n).map(|k| (k, 0.1 + 0.8 * ((k * 13 % 101) as f64 / 101.0))));
@@ -212,6 +212,166 @@ fn distinct_query_counts_active_union() {
         "mean {} vs union {union}",
         s.mean_estimate
     );
+}
+
+#[test]
+fn engine_empty_batch_is_defined() {
+    // Regression (verified failing first): an empty job batch used to
+    // fabricate per-column summaries whose means were the empty f64 sum
+    // (-0.0) over a clamped denominator. A mean over zero jobs is
+    // undefined — empty batches return empty summaries instead.
+    let query = EngineQuery::rg_plus(1.0, 1.0)
+        .with_estimators(&[EstimatorKind::LStar, EstimatorKind::UStar]);
+    let batch = Engine::with_threads(4).run(&[], &query).unwrap();
+    assert!(batch.pairs.is_empty());
+    assert!(
+        batch.summaries.is_empty(),
+        "no jobs → no per-column statistics, got {:?}",
+        batch.summaries
+    );
+    assert_eq!(batch.total_sampled_items, 0);
+    // Same contract on the group path and for custom-width kernels.
+    let batch = Engine::with_threads(4)
+        .run_groups(&[], &EngineQuery::distinct_k(3, 1.0))
+        .unwrap();
+    assert!(batch.pairs.is_empty() && batch.summaries.is_empty());
+}
+
+#[test]
+fn arity2_group_jobs_reproduce_pair_jobs_bitwise() {
+    // The GroupJob path (N-way merge cursor) and the PairJob path (pair
+    // merge) must produce bit-identical batches at arity 2 — including
+    // summaries — for hashed, fixed-seed, and domain-restricted jobs.
+    let (a, b) = instance_pair(250);
+    let group = [a.clone(), b.clone()];
+    let domain: Vec<u64> = (40..160).collect();
+    let query = EngineQuery::rg_plus(1.0, 1.0).with_estimators(&[
+        EstimatorKind::LStar,
+        EstimatorKind::UStar,
+        EstimatorKind::HorvitzThompson,
+        EstimatorKind::DyadicJ,
+    ]);
+    let pair_jobs: Vec<PairJob> = (0..9)
+        .map(|salt| PairJob::new(&a, &b, salt))
+        .chain([PairJob::new(&a, &b, 3).with_seed(0.4)])
+        .chain([PairJob::new(&a, &b, 5).with_domain(&domain)])
+        .collect();
+    let group_jobs: Vec<GroupJob> = (0..9)
+        .map(|salt| GroupJob::new(&group, salt))
+        .chain([GroupJob::new(&group, 3).with_seed(0.4)])
+        .chain([GroupJob::new(&group, 5).with_domain(&domain)])
+        .collect();
+    for threads in [1, 3] {
+        let engine = Engine::with_threads(threads);
+        let pair_batch = engine.run(&pair_jobs, &query).unwrap();
+        let group_batch = engine.run_groups(&group_jobs, &query).unwrap();
+        assert_eq!(pair_batch, group_batch, "threads={threads}");
+    }
+}
+
+#[test]
+fn three_way_distinct_matches_per_call_path() {
+    // An arity-3 distinct count through the engine (closed form and
+    // generic) must agree with the per-call estimate_sum route over the
+    // same coordinated samples.
+    let a =
+        Instance::from_pairs((0..120u64).map(|k| (k, 0.1 + 0.8 * ((k * 7 % 13) as f64 / 13.0))));
+    let b =
+        Instance::from_pairs((40..170u64).map(|k| (k, 0.1 + 0.8 * ((k * 3 % 11) as f64 / 11.0))));
+    let c = Instance::from_pairs((90..220u64).map(|k| (k, 0.1 + 0.8 * ((k * 5 % 7) as f64 / 7.0))));
+    let data = Dataset::new(vec![a, b, c]);
+    let scale = 2.0;
+    let quad = QuadConfig::fast();
+    let jobs: Vec<GroupJob> = (0..6)
+        .map(|salt| GroupJob::new(data.instances(), salt))
+        .collect();
+    let query = EngineQuery::distinct_k(3, scale).with_quad(quad);
+    let closed = Engine::with_threads(2).run_groups(&jobs, &query).unwrap();
+    let generic = Engine::with_threads(2)
+        .run_groups(&jobs, &query.clone().without_closed_forms())
+        .unwrap();
+    assert_eq!(closed.pairs[0].truth, data.union_keys().len() as f64);
+    for (salt, (cp, gp)) in closed.pairs.iter().zip(&generic.pairs).enumerate() {
+        let sampler = CoordPps::uniform_scale(3, scale, SeedHasher::new(salt as u64));
+        let samples = sampler.sample_all(&data);
+        let expect = estimate_sum(
+            DistinctOr::new(3),
+            &LStar::with_quad(quad),
+            &sampler,
+            &samples,
+            None,
+        )
+        .unwrap();
+        for (label, got) in [("closed", cp.estimates[0]), ("generic", gp.estimates[0])] {
+            assert!(
+                (got - expect).abs() <= 1e-6 * expect.abs().max(1.0),
+                "salt {salt} {label}: engine {got} vs per-call {expect}"
+            );
+        }
+    }
+}
+
+#[test]
+fn group_fixed_seed_jobs_sample_every_item_at_that_seed() {
+    // The fixed-seed (probe-curve) path never hashes: every item of the
+    // group samples at exactly the probe seed — pinned bit-identically
+    // against a hand-rolled closed-form loop, at several worker counts.
+    let a =
+        Instance::from_pairs((0..90u64).map(|k| (k, 0.1 + 0.8 * ((k * 13 % 101) as f64 / 101.0))));
+    let b = Instance::from_pairs(
+        (30..130u64).map(|k| (k, 0.1 + 0.8 * ((k * 29 % 101) as f64 / 101.0))),
+    );
+    let c = Instance::from_pairs(
+        (60..170u64).map(|k| (k, 0.1 + 0.8 * ((k * 31 % 101) as f64 / 101.0))),
+    );
+    let group = [a, b, c];
+    let data = Dataset::new(group.to_vec());
+    let scale = 1.5;
+    for &u in &[0.05, 0.35, 0.75, 1.0] {
+        let jobs = [GroupJob::new(&group, 9).with_seed(u)];
+        let query = EngineQuery::distinct_k(3, scale);
+        let batch = Engine::with_threads(2).run_groups(&jobs, &query).unwrap();
+        let expect: f64 = data
+            .union_keys()
+            .iter()
+            .map(|&k| {
+                let q = data
+                    .tuple(k)
+                    .iter()
+                    .filter(|&&w| w > 0.0 && w >= u * scale)
+                    .map(|&w| (w / scale).min(1.0))
+                    .fold(0.0f64, f64::max);
+                if q > 0.0 {
+                    1.0 / q
+                } else {
+                    0.0
+                }
+            })
+            .sum();
+        assert_eq!(batch.pairs[0].estimates[0], expect, "u={u}");
+    }
+}
+
+#[test]
+fn group_arity_must_match_query_arity() {
+    // A 2-instance group under a 3-way query must fail loudly, not
+    // stream truncated weight tuples.
+    let (a, b) = instance_pair(20);
+    let group = [a, b];
+    let jobs = [GroupJob::new(&group, 0)];
+    let err = Engine::with_threads(1)
+        .run_groups(&jobs, &EngineQuery::distinct_k(3, 1.0))
+        .unwrap_err();
+    assert!(
+        format!("{err}").contains("arity"),
+        "expected an arity error, got {err}"
+    );
+    // Same guard on the pair path: a pair job cannot run a 3-way query.
+    let (a, b) = instance_pair(20);
+    let jobs = [PairJob::new(&a, &b, 0)];
+    assert!(Engine::with_threads(1)
+        .run(&jobs, &EngineQuery::distinct_k(3, 1.0))
+        .is_err());
 }
 
 #[test]

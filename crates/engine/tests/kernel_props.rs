@@ -7,7 +7,7 @@
 use monotone_coord::instance::{merged_weights, Instance};
 use monotone_coord::seed::SeedHasher;
 use monotone_core::estimate::{RgPlusLStar, RgPlusUStar};
-use monotone_engine::{Engine, EngineQuery, EstimatorKind, PairJob};
+use monotone_engine::{Engine, EngineQuery, EstimatorKind, GroupJob, PairJob};
 use proptest::prelude::*;
 
 /// Sparse weight maps mixing sub-scale and truncated (above-scale)
@@ -63,6 +63,45 @@ proptest! {
                 "U*: kernel {} vs closed loop {} (p={}, scale={})",
                 got_u, expect_u, p, scale
             );
+        }
+    }
+
+    /// An arity-2 GroupJob must reproduce the corresponding PairJob batch
+    /// **exactly** (bitwise-equal results and summaries): the N-way merge
+    /// cursor and the pair merge walk the same item stream through the
+    /// same kernel arithmetic — across weights, salts, scales, fixed
+    /// probe seeds, and worker counts.
+    #[test]
+    fn arity2_group_job_reproduces_pair_job_exactly(
+        a in instance_strategy(),
+        b in instance_strategy(),
+        salt in any::<u64>(),
+        scale_idx in 1u32..=4,
+        probe in 0u32..=20, // 0 = hashed seeds, 1..=20 = fixed probe seed p/20
+    ) {
+        let scale = scale_idx as f64 / 2.0;
+        let group = [a.clone(), b.clone()];
+        let (mut pair_job, mut group_job) =
+            (PairJob::new(&a, &b, salt), GroupJob::new(&group, salt));
+        if probe > 0 {
+            let u = probe as f64 / 20.0;
+            pair_job = pair_job.with_seed(u);
+            group_job = group_job.with_seed(u);
+        }
+        for query in [
+            EngineQuery::rg_plus(1.0, scale)
+                .with_estimators(&[EstimatorKind::LStar, EstimatorKind::UStar]),
+            EngineQuery::distinct(scale),
+        ] {
+            for threads in [1, 3] {
+                let engine = Engine::with_threads(threads);
+                let from_pair = engine.run(&[pair_job], &query).unwrap();
+                let from_group = engine.run_groups(&[group_job], &query).unwrap();
+                prop_assert_eq!(
+                    &from_pair, &from_group,
+                    "pair and group batches diverged (threads={})", threads
+                );
+            }
         }
     }
 
