@@ -227,6 +227,10 @@ fn main() {
     let hashes = (HASH_REPS * hash_keys.len()) as f64;
     let per_key_rate = hashes / per_key_secs;
     let seed_many_rate = hashes / seed_many_secs;
+    // Which lane implementation the rates priced: perf gates compare
+    // like with like instead of flagging a hardware difference (e.g. a
+    // runner without AVX-512) as a regression.
+    let seed_many_lanes = SeedHasher::seed_many_lanes();
 
     let closed_rate = pairs as f64 / closed_secs;
     let generic_rate = pairs as f64 / generic_secs;
@@ -258,7 +262,7 @@ fn main() {
     );
     println!("  closed-form dispatch saves {closed_over_generic:>6.2}x");
     println!(
-        "  seed hashing: per-key {per_key_rate:>12.0} keys/s, seed_many {seed_many_rate:>12.0} keys/s ({:.2}x)",
+        "  seed hashing: per-key {per_key_rate:>12.0} keys/s, seed_many {seed_many_rate:>12.0} keys/s ({:.2}x, {seed_many_lanes} lanes)",
         seed_many_rate / per_key_rate
     );
 
@@ -266,7 +270,7 @@ fn main() {
     let mut kout = std::fs::File::create(&kernels_path).expect("create BENCH_kernels.json");
     writeln!(
         kout,
-        "{{\n  \"bench\": \"engine_kernel_layer\",\n  \"workload\": \"rg1plus_sum\",\n  \"pairs\": {pairs},\n  \"items_per_pair\": {ITEMS_PER_INSTANCE},\n  \"closed_kernel_secs\": {batched_secs:.6},\n  \"closed_kernel_pairs_per_sec\": {batched_rate:.1},\n  \"generic_kernel_secs\": {kernel_generic_secs:.6},\n  \"generic_kernel_pairs_per_sec\": {kernel_generic_rate:.1},\n  \"closed_over_generic\": {closed_over_generic:.2},\n  \"fixed_seed_secs\": {fixed_seed_secs:.6},\n  \"fixed_seed_pairs_per_sec\": {fixed_seed_rate:.1},\n  \"seed_per_key_keys_per_sec\": {per_key_rate:.0},\n  \"seed_many_keys_per_sec\": {seed_many_rate:.0},\n  \"seed_many_speedup\": {:.2}\n}}",
+        "{{\n  \"bench\": \"engine_kernel_layer\",\n  \"workload\": \"rg1plus_sum\",\n  \"pairs\": {pairs},\n  \"items_per_pair\": {ITEMS_PER_INSTANCE},\n  \"closed_kernel_secs\": {batched_secs:.6},\n  \"closed_kernel_pairs_per_sec\": {batched_rate:.1},\n  \"generic_kernel_secs\": {kernel_generic_secs:.6},\n  \"generic_kernel_pairs_per_sec\": {kernel_generic_rate:.1},\n  \"closed_over_generic\": {closed_over_generic:.2},\n  \"fixed_seed_secs\": {fixed_seed_secs:.6},\n  \"fixed_seed_pairs_per_sec\": {fixed_seed_rate:.1},\n  \"seed_per_key_keys_per_sec\": {per_key_rate:.0},\n  \"seed_many_keys_per_sec\": {seed_many_rate:.0},\n  \"seed_many_lanes\": \"{seed_many_lanes}\",\n  \"seed_many_speedup\": {:.2}\n}}",
         seed_many_rate / per_key_rate
     )
     .expect("write BENCH_kernels.json");

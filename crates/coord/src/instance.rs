@@ -51,6 +51,18 @@ impl Instance {
         }
     }
 
+    /// Stores an item's weight **verbatim**, without the validation
+    /// [`set`](Instance::set) applies — the low-level hook for ingest
+    /// paths (streaming services, deserializers) that defer validation.
+    ///
+    /// A raw weight that is negative or non-finite is reported by the
+    /// estimation engine as a typed `InvalidWeight` error when the
+    /// instance is queried; it is never silently skipped or streamed
+    /// into estimators.
+    pub fn set_raw(&mut self, key: u64, w: f64) {
+        self.weights.insert(key, w);
+    }
+
     /// The weight of an item (0 when inactive).
     pub fn weight(&self, key: u64) -> f64 {
         self.weights.get(&key).copied().unwrap_or(0.0)

@@ -29,6 +29,16 @@ pub enum Error {
     },
     /// A data value was negative or non-finite.
     InvalidValue(f64),
+    /// An item weight streamed to the estimation engine was negative or
+    /// non-finite. Validated instance constructors never store such
+    /// weights, but raw ingest paths defer validation to the engine,
+    /// which must report the item instead of silently misestimating.
+    InvalidWeight {
+        /// The item key carrying the weight.
+        key: u64,
+        /// The offending weight.
+        weight: f64,
+    },
     /// A threshold scale was zero, negative, or NaN (`+∞` is permitted and
     /// means the entry is never sampled).
     InvalidScale(f64),
@@ -56,6 +66,12 @@ impl fmt::Display for Error {
             }
             Error::InvalidValue(v) => {
                 write!(f, "data value {v} is not a finite nonnegative number")
+            }
+            Error::InvalidWeight { key, weight } => {
+                write!(
+                    f,
+                    "item {key} carries weight {weight}, which is negative or non-finite"
+                )
             }
             Error::InvalidScale(s) => {
                 write!(f, "threshold scale {s} is not positive (or is NaN)")

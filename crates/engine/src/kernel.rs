@@ -75,6 +75,106 @@
 //! assert_eq!(batch.summaries[0].label, "exact");
 //! ```
 //!
+//! # Writing a batch-aware kernel
+//!
+//! The engine's hot loop hands kernels one staged **chunk** at a time —
+//! up to 64 items, weights row-major `[item][instance]`, seeds already
+//! hashed — through
+//! [`evaluate_many`](EstimationKernel::evaluate_many). The default
+//! forwards to `evaluate` per item; overriding it hoists dispatch and
+//! per-item setup out of the inner loop (the built-in [`FuncKernel`]
+//! sweeps whole chunks through its closed forms this way). An override
+//! must stay **bit-identical** to the per-item path: accumulate into
+//! each `out` slot in item order, and skip items with no sampled
+//! evidence instead of adding an explicit zero.
+//!
+//! ```
+//! use monotone_coord::instance::Instance;
+//! use monotone_engine::{Engine, EstimationKernel, KernelScratch, PairJob};
+//!
+//! /// Inverse-probability count of items sampled in the first instance
+//! /// under PPS at scale 1 — item arithmetic so cheap that per-item
+//! /// virtual dispatch is the dominant cost, the case worth batching.
+//! struct SampledCount;
+//!
+//! fn eval_one(w: f64, u: f64, out: &mut [f64]) -> bool {
+//!     let sampled = w > 0.0 && w >= u; // PPS threshold at scale 1
+//!     if sampled {
+//!         out[0] += 1.0 / w.min(1.0); // inverse inclusion probability
+//!     }
+//!     sampled
+//! }
+//!
+//! impl EstimationKernel for SampledCount {
+//!     fn labels(&self) -> Vec<String> {
+//!         vec!["count".to_owned()]
+//!     }
+//!     fn truth(&self, weights: &[f64]) -> f64 {
+//!         (weights[0] > 0.0) as u64 as f64
+//!     }
+//!     fn evaluate(
+//!         &self,
+//!         _key: u64,
+//!         weights: &[f64],
+//!         u: f64,
+//!         _scratch: &mut KernelScratch,
+//!         out: &mut [f64],
+//!     ) -> monotone_core::Result<bool> {
+//!         Ok(eval_one(weights[0], u, out))
+//!     }
+//!     // The batch entry point the engine actually calls — once per
+//!     // chunk. One monomorphic sweep, no per-item virtual calls.
+//!     fn evaluate_many(
+//!         &self,
+//!         _keys: &[u64],
+//!         weights: &[f64],
+//!         arity: usize,
+//!         seeds: &[f64],
+//!         _scratch: &mut KernelScratch,
+//!         out: &mut [f64],
+//!     ) -> monotone_core::Result<usize> {
+//!         let mut sampled = 0;
+//!         for (row, &u) in weights.chunks_exact(arity).zip(seeds) {
+//!             sampled += eval_one(row[0], u, out) as usize;
+//!         }
+//!         Ok(sampled)
+//!     }
+//! }
+//!
+//! /// The same estimator without the override: the trait default runs
+//! /// `evaluate` item by item.
+//! struct PerItemCount;
+//! impl EstimationKernel for PerItemCount {
+//!     fn labels(&self) -> Vec<String> {
+//!         vec!["count".to_owned()]
+//!     }
+//!     fn truth(&self, weights: &[f64]) -> f64 {
+//!         (weights[0] > 0.0) as u64 as f64
+//!     }
+//!     fn evaluate(
+//!         &self,
+//!         _key: u64,
+//!         weights: &[f64],
+//!         u: f64,
+//!         _scratch: &mut KernelScratch,
+//!         out: &mut [f64],
+//!     ) -> monotone_core::Result<bool> {
+//!         Ok(eval_one(weights[0], u, out))
+//!     }
+//! }
+//!
+//! let a = Instance::from_pairs((0..200u64).map(|k| (k, 0.2 + (k % 7) as f64 / 10.0)));
+//! let b = Instance::from_pairs((0..200u64).map(|k| (k, 0.4)));
+//! let jobs: Vec<PairJob> = (0..8).map(|salt| PairJob::new(&a, &b, salt)).collect();
+//! let engine = Engine::with_threads(1);
+//! let batched = engine.run_kernel(&jobs, &SampledCount).unwrap();
+//! let per_item = engine.run_kernel(&jobs, &PerItemCount).unwrap();
+//! // The override is a pure execution-route change: bit-identical batch.
+//! assert_eq!(batched, per_item);
+//! // And unbiased: the mean count tracks the 200-item truth.
+//! assert!((batched.summaries[0].mean_estimate - 200.0).abs() < 40.0);
+//! ```
+//!
 //! [`RgPlusLStar`]: monotone_core::estimate::RgPlusLStar
 //! [`RgPlusUStar`]: monotone_core::estimate::RgPlusUStar
 
@@ -174,6 +274,44 @@ pub trait EstimationKernel: Sync {
         scratch: &mut KernelScratch,
         out: &mut [f64],
     ) -> Result<bool>;
+
+    /// Evaluates every estimator column on a whole staged chunk of items
+    /// at once, adding into `out` and returning how many items carried
+    /// sampled evidence. `weights` is row-major `[item][instance]`
+    /// (`keys.len() * arity` entries) and `seeds[i]` is item `i`'s shared
+    /// seed — exactly the layout [`ChunkBufs`](crate::Engine) stages, so
+    /// the engine's flush calls this once per chunk instead of once per
+    /// item.
+    ///
+    /// The default forwards to [`evaluate`](EstimationKernel::evaluate)
+    /// item by item, so existing kernels keep working unchanged.
+    /// Batch-aware kernels override this to hoist dispatch and per-item
+    /// setup out of the inner loop; overrides must stay **bit-identical**
+    /// to the per-item path — accumulate into `out` slot by slot in item
+    /// order, and skip items with no sampled evidence rather than adding
+    /// an explicit zero.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`evaluate`](EstimationKernel::evaluate)
+    /// error; the engine aborts the batch on it.
+    fn evaluate_many(
+        &self,
+        keys: &[u64],
+        weights: &[f64],
+        arity: usize,
+        seeds: &[f64],
+        scratch: &mut KernelScratch,
+        out: &mut [f64],
+    ) -> Result<usize> {
+        let mut sampled = 0;
+        for (i, (&key, &u)) in keys.iter().zip(seeds).enumerate() {
+            if self.evaluate(key, &weights[i * arity..(i + 1) * arity], u, scratch, out)? {
+                sampled += 1;
+            }
+        }
+        Ok(sampled)
+    }
 }
 
 /// A closed-form per-item evaluator from raw sampled values (`None` =
@@ -239,6 +377,77 @@ impl ClosedForm {
     /// arity-2 kernel layer).
     pub fn eval_pair(&self, v1: Option<f64>, v2: Option<f64>, u: f64) -> f64 {
         self.eval(&[v1, v2], u)
+    }
+
+    /// Chunk-wide evaluation over a row-major `[item][instance]` staged
+    /// weight buffer plus the chunk's seeds, accumulating into `acc` one
+    /// item at a time in item order and returning how many items carried
+    /// sampled evidence (any instance's weight cleared its threshold —
+    /// the same count every form observes, letting the caller take it
+    /// from the first sweep for free). The threshold tests (`w ≥
+    /// u·scale`) are fused into each form's sweep, and the variant match
+    /// happens once per chunk instead of once per item, so the inner
+    /// loops are monomorphic, allocation-free, and branch-predictable —
+    /// bit-identical to the per-item path of
+    /// [`FuncKernel::evaluate`](EstimationKernel::evaluate), because each
+    /// item's sampled values come from the same comparisons, each
+    /// estimate is added to the running accumulator in the same order,
+    /// and items with no sampled entry are skipped (not added as an
+    /// explicit zero).
+    fn eval_chunk(
+        &self,
+        weights: &[f64],
+        scales: &[f64],
+        arity: usize,
+        seeds: &[f64],
+        acc: &mut f64,
+    ) -> usize {
+        let mut sampled = 0;
+        match self {
+            ClosedForm::RgPlusL(c) => {
+                debug_assert_eq!(arity, 2, "RGp+ closed forms are pair forms");
+                let (s0, s1) = (scales[0], scales[1]);
+                for (row, &u) in weights.chunks_exact(2).zip(seeds) {
+                    let (w0, w1) = (row[0], row[1]);
+                    let v1 = (w0 > 0.0 && w0 >= u * s0).then_some(w0);
+                    let v2 = (w1 > 0.0 && w1 >= u * s1).then_some(w1);
+                    if v1.is_some() || v2.is_some() {
+                        sampled += 1;
+                        *acc += c.estimate_values(v1, v2, u);
+                    }
+                }
+            }
+            ClosedForm::RgPlusU(c) => {
+                debug_assert_eq!(arity, 2, "RGp+ closed forms are pair forms");
+                let (s0, s1) = (scales[0], scales[1]);
+                for (row, &u) in weights.chunks_exact(2).zip(seeds) {
+                    let (w0, w1) = (row[0], row[1]);
+                    let v1 = (w0 > 0.0 && w0 >= u * s0).then_some(w0);
+                    let v2 = (w1 > 0.0 && w1 >= u * s1).then_some(w1);
+                    if v1.is_some() || v2.is_some() {
+                        sampled += 1;
+                        *acc += c.estimate_values(v1, v2, u);
+                    }
+                }
+            }
+            ClosedForm::DistinctL { scales } => {
+                for (row, &u) in weights.chunks_exact(arity).zip(seeds) {
+                    let mut q = 0.0f64;
+                    for (&w, &s) in row.iter().zip(scales) {
+                        if w > 0.0 && w >= u * s {
+                            q = q.max((w / s).min(1.0));
+                        }
+                    }
+                    // q > 0 iff any instance sampled (scales are finite
+                    // and positive, so a sampled w > 0 gives w/s > 0).
+                    if q > 0.0 {
+                        sampled += 1;
+                        *acc += 1.0 / q;
+                    }
+                }
+            }
+        }
+        sampled
     }
 }
 
@@ -530,6 +739,68 @@ impl<F: ItemFn + Sync> EstimationKernel for FuncKernel<F> {
             scratch.entries = outcome.into_parts().1;
         }
         Ok(true)
+    }
+
+    /// Batch fast path: when every requested estimator resolved to a
+    /// registered closed form, each form sweeps the whole staged chunk
+    /// through [`ClosedForm::eval_chunk`] — the threshold tests run
+    /// fused inside the sweep over the row-major weight staging, and
+    /// virtual dispatch plus the estimator `match` leave the inner loop
+    /// entirely. Any generic slot needs a materialized [`Outcome`] per
+    /// item, so the kernel falls back to the per-item default in that
+    /// case.
+    fn evaluate_many(
+        &self,
+        keys: &[u64],
+        weights: &[f64],
+        arity: usize,
+        seeds: &[f64],
+        scratch: &mut KernelScratch,
+        out: &mut [f64],
+    ) -> Result<usize> {
+        if self.needs_outcome {
+            // Generic estimators materialize per-item outcomes; keep the
+            // per-item loop (identical to the trait default).
+            let mut sampled = 0;
+            for (i, (&key, &u)) in keys.iter().zip(seeds).enumerate() {
+                if self.evaluate(key, &weights[i * arity..(i + 1) * arity], u, scratch, out)? {
+                    sampled += 1;
+                }
+            }
+            return Ok(sampled);
+        }
+        debug_assert_eq!(arity, self.scales.len());
+        // Every form's sweep observes the same sampled-evidence count
+        // (any instance's weight cleared its threshold at the item's
+        // seed), so the first sweep's count is the chunk's count — no
+        // separate counting pass.
+        let mut sampled = None;
+        for (slot, eval) in self.evals.iter().enumerate() {
+            match eval {
+                KindEval::Closed(form) => {
+                    let n = form.eval_chunk(weights, &self.scales, arity, seeds, &mut out[slot]);
+                    debug_assert!(sampled.is_none_or(|s| s == n));
+                    sampled.get_or_insert(n);
+                }
+                // Unreachable: needs_outcome is false only when every
+                // slot is closed-form.
+                _ => unreachable!("generic slot on the closed-form batch path"),
+            }
+        }
+        let sampled = sampled.unwrap_or_else(|| {
+            // A kernel with zero estimator slots still counts sampled
+            // items, exactly as the per-item path's threshold loop does.
+            weights
+                .chunks_exact(arity)
+                .zip(seeds)
+                .filter(|(row, &u)| {
+                    row.iter()
+                        .zip(&self.scales)
+                        .any(|(&w, &s)| w > 0.0 && w >= u * s)
+                })
+                .count()
+        });
+        Ok(sampled)
     }
 }
 

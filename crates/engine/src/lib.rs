@@ -34,11 +34,19 @@
 //!   [`RgPlusUStar`] automatically, the distinct-count OR registers its
 //!   inverse-probability form for **any arity**, and only genuinely
 //!   generic problems pay for quadrature;
-//! * **bulk sampling** — each item's shared seed is hashed exactly once
-//!   per group (not once per instance per estimator), in chunks via
-//!   [`SeedHasher::seed_many`] over the merged key stream
-//!   ([`merged_weights`] for pairs, [`WeightMerger`] for arity-N groups);
-//!   fixed-seed probe jobs skip the hash entirely;
+//! * **chunked hot loop** — the merged key stream ([`merged_weights`]
+//!   for pairs, [`WeightMerger`] for arity-N groups) is staged into
+//!   row-major `[item][instance]` chunks of 64 items, and each chunk is
+//!   processed by exactly two batch calls: one [`SeedHasher::seed_many`]
+//!   (the SplitMix64 stages run as wide lanes — AVX-512 where the CPU
+//!   has it, interleaved scalar elsewhere, bit-identical either way;
+//!   fixed-seed probe jobs skip the hash entirely), then one
+//!   [`evaluate_many`](EstimationKernel::evaluate_many). Kernel dispatch
+//!   is per **chunk**, not per item: when every estimator slot resolved
+//!   to a registered closed form, the threshold tests and estimates run
+//!   as monomorphic structure-of-arrays sweeps over the staged chunk,
+//!   and the per-item virtual `evaluate` survives only as the fallback
+//!   for kernels that need materialized outcomes;
 //! * **deterministic parallelism** — jobs are split into contiguous chunks
 //!   over a [`std::thread::scope`] worker pool; results land in
 //!   preassigned slots, so the output is identical for every thread count.
@@ -622,6 +630,14 @@ impl ChunkBufs {
     }
 
     fn push(&mut self, key: u64, ws: &[f64]) {
+        debug_assert_eq!(
+            ws.len(),
+            self.arity,
+            "ChunkBufs::push arity mismatch: item {key} carries {} weights, \
+             chunk is staged for arity {}",
+            ws.len(),
+            self.arity
+        );
         self.keys[self.len] = key;
         self.weights[self.len * self.arity..(self.len + 1) * self.arity].copy_from_slice(ws);
         self.len += 1;
@@ -632,10 +648,6 @@ impl ChunkBufs {
         self.weights[self.len * 2] = wa;
         self.weights[self.len * 2 + 1] = wb;
         self.len += 1;
-    }
-
-    fn item(&self, i: usize) -> &[f64] {
-        &self.weights[i * self.arity..(i + 1) * self.arity]
     }
 
     fn is_full(&self) -> bool {
@@ -682,23 +694,28 @@ impl<'k> JobRun<'k> {
         }
     }
 
+    /// Flushes the staged chunk: one bulk seed hash
+    /// ([`SeedHasher::seed_many`] — skipped on the fixed-seed path), then
+    /// ONE [`evaluate_many`](EstimationKernel::evaluate_many) call, so
+    /// virtual kernel dispatch happens once per chunk rather than once
+    /// per item.
     fn flush(&mut self) -> Result<()> {
         let n = self.bufs.len;
+        if n == 0 {
+            return Ok(());
+        }
         if !self.fixed_seed {
             self.seeder
                 .seed_many(&self.bufs.keys[..n], &mut self.bufs.seeds[..n]);
         }
-        for i in 0..n {
-            if self.kernel.evaluate(
-                self.bufs.keys[i],
-                self.bufs.item(i),
-                self.bufs.seeds[i],
-                &mut self.scratch,
-                &mut self.estimates,
-            )? {
-                self.sampled_items += 1;
-            }
-        }
+        self.sampled_items += self.kernel.evaluate_many(
+            &self.bufs.keys[..n],
+            &self.bufs.weights[..n * self.bufs.arity],
+            self.bufs.arity,
+            &self.bufs.seeds[..n],
+            &mut self.scratch,
+            &mut self.estimates,
+        )?;
         self.bufs.len = 0;
         Ok(())
     }
@@ -726,6 +743,23 @@ fn check_arity(kernel: &dyn EstimationKernel, got: usize) -> Result<()> {
     }
 }
 
+/// Rejects negative or non-finite item weights as typed errors.
+/// Validated instance constructors never store such weights, but raw
+/// ingest paths ([`Instance::set_raw`]) defer validation to the engine —
+/// which must report the item, never skip it or stream it into kernels
+/// (the explicit-domain path used to do the latter whenever a partner
+/// entry was positive, a silent misestimate).
+///
+/// [`Instance::set_raw`]: monotone_coord::instance::Instance::set_raw
+#[inline]
+fn check_weight(key: u64, w: f64) -> Result<()> {
+    if w.is_finite() && w >= 0.0 {
+        Ok(())
+    } else {
+        Err(monotone_core::Error::InvalidWeight { key, weight: w })
+    }
+}
+
 fn run_pair_job(
     kernel: &dyn EstimationKernel,
     width: usize,
@@ -736,6 +770,8 @@ fn run_pair_job(
     match job.domain {
         None => {
             for (key, wa, wb) in merged_weights(job.a, job.b) {
+                check_weight(key, wa)?;
+                check_weight(key, wb)?;
                 run.truth += kernel.truth(&[wa, wb]);
                 run.bufs.push_pair(key, wa, wb);
                 if run.bufs.is_full() {
@@ -747,6 +783,8 @@ fn run_pair_job(
             for &key in domain {
                 let wa = job.a.weight(key);
                 let wb = job.b.weight(key);
+                check_weight(key, wa)?;
+                check_weight(key, wb)?;
                 if wa <= 0.0 && wb <= 0.0 {
                     continue;
                 }
@@ -776,6 +814,9 @@ fn run_group_job(
         None => {
             let mut merger = WeightMerger::new(job.instances);
             while let Some(key) = merger.next_into(&mut ws) {
+                for &w in &ws {
+                    check_weight(key, w)?;
+                }
                 run.truth += kernel.truth(&ws);
                 run.bufs.push(key, &ws);
                 if run.bufs.is_full() {
@@ -787,6 +828,9 @@ fn run_group_job(
             for &key in domain {
                 for (slot, inst) in ws.iter_mut().zip(job.instances) {
                     *slot = inst.weight(key);
+                }
+                for &w in &ws {
+                    check_weight(key, w)?;
                 }
                 if ws.iter().all(|&w| w <= 0.0) {
                     continue;
@@ -850,5 +894,44 @@ fn summarize(labels: Vec<String>, pairs: Vec<PairResult>) -> BatchResult {
         pairs,
         summaries,
         total_sampled_items,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A wrong-length weight slice used to panic deep inside
+    /// `copy_from_slice` with a length message that named neither the
+    /// item nor the staged arity; the debug assertion must name both.
+    #[test]
+    #[cfg(debug_assertions)]
+    fn chunk_bufs_push_names_the_arity_mismatch() {
+        let panic = std::panic::catch_unwind(|| {
+            let mut bufs = ChunkBufs::new(3);
+            bufs.push(42, &[1.0, 2.0]);
+        })
+        .expect_err("wrong-length weight slice must panic in debug builds");
+        let msg = panic
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| panic.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+            .unwrap_or_default();
+        assert!(
+            msg.contains("ChunkBufs::push arity mismatch")
+                && msg.contains("item 42")
+                && msg.contains("2 weights")
+                && msg.contains("arity 3"),
+            "unhelpful panic message: {msg}"
+        );
+    }
+
+    #[test]
+    fn chunk_bufs_push_accepts_matching_arity() {
+        let mut bufs = ChunkBufs::new(3);
+        bufs.push(7, &[1.0, 2.0, 3.0]);
+        assert_eq!(bufs.len, 1);
+        assert_eq!(bufs.keys[0], 7);
+        assert_eq!(&bufs.weights[..3], &[1.0, 2.0, 3.0]);
     }
 }

@@ -386,3 +386,49 @@ fn rejects_invalid_scale() {
         );
     }
 }
+
+#[test]
+fn negative_raw_weights_are_typed_errors_not_misestimates() {
+    // Regression: the explicit-domain path used to skip items whose
+    // weights were all <= 0 but *stream* a negative weight into kernels
+    // whenever the partner entry was positive — a silent misestimate for
+    // raw-ingested (unvalidated) instances. Every route (pair + group,
+    // merged union + explicit domain) must instead report the item as a
+    // typed InvalidWeight error.
+    let mut poisoned = Instance::from_pairs([(0u64, 0.6), (2, 0.4)]);
+    poisoned.set_raw(1, -0.3); // raw ingest: negative weight stored verbatim
+    let clean = Instance::from_pairs([(0u64, 0.5), (1, 0.9), (2, 0.2)]);
+    let query = EngineQuery::rg_plus(1.0, 1.0);
+    let expected = monotone_core::Error::InvalidWeight {
+        key: 1,
+        weight: -0.3,
+    };
+    let engine = Engine::with_threads(1);
+
+    // Pair path, explicit domain (the originally reported route): the
+    // partner weight 0.9 is positive, so the item used to stream through.
+    let domain = [0u64, 1, 2];
+    let jobs = [PairJob::new(&poisoned, &clean, 7).with_domain(&domain)];
+    assert_eq!(engine.run(&jobs, &query).unwrap_err(), expected);
+
+    // Pair path, merged union stream.
+    let jobs = [PairJob::new(&poisoned, &clean, 7)];
+    assert_eq!(engine.run(&jobs, &query).unwrap_err(), expected);
+
+    // Group path, explicit domain and merged union.
+    let group = [poisoned.clone(), clean.clone(), clean.clone()];
+    let gquery = EngineQuery::distinct_k(3, 1.0);
+    let jobs = [GroupJob::new(&group, 7).with_domain(&domain)];
+    assert_eq!(engine.run_groups(&jobs, &gquery).unwrap_err(), expected);
+    let jobs = [GroupJob::new(&group, 7)];
+    assert_eq!(engine.run_groups(&jobs, &gquery).unwrap_err(), expected);
+
+    // Non-finite raw weights are rejected the same way.
+    let mut nan_inst = Instance::from_pairs([(0u64, 0.6)]);
+    nan_inst.set_raw(5, f64::NAN);
+    let jobs = [PairJob::new(&nan_inst, &clean, 7)];
+    match engine.run(&jobs, &query).unwrap_err() {
+        monotone_core::Error::InvalidWeight { key: 5, weight } => assert!(weight.is_nan()),
+        other => panic!("expected InvalidWeight for the NaN item, got {other:?}"),
+    }
+}

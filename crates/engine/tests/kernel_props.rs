@@ -130,3 +130,105 @@ proptest! {
         );
     }
 }
+
+proptest! {
+    // Fewer cases than the accuracy block above: each case sweeps four
+    // kernels over every chunk-boundary length, including the
+    // quadrature-backed fallbacks, so a dozen (seed, scale, p, probe)
+    // draws already exercise every dispatch route at every boundary.
+    #![proptest_config(ProptestConfig::with_cases(12).with_rng_seed(0x2014_0615_0006))]
+
+    /// [`EstimationKernel::evaluate_many`] must equal the per-item
+    /// `evaluate` loop **bit for bit** — same estimate bits, same sampled
+    /// count — across closed-form (chunk fast path), generic-fallback,
+    /// mixed, and arity-3 distinct kernels, on both hashed and fixed
+    /// probe seeds, at chunk-boundary lengths 1, 63, 64, 65, 4096.
+    #[test]
+    fn evaluate_many_is_bit_identical_to_per_item_evaluate(
+        salt in any::<u64>(),
+        scale_idx in 1u32..=4,
+        p in 1u8..=2,
+        probe in 0u32..=20, // 0 = hashed seeds, 1..=20 = fixed probe seed p/20
+    ) {
+        use monotone_core::func::{DistinctOr, RangePowPlus};
+        use monotone_core::quad::QuadConfig;
+        use monotone_engine::{ClosedForms, EstimationKernel, FuncKernel, KernelScratch};
+
+        let scale = scale_idx as f64 / 2.0;
+        let kinds_lu = [EstimatorKind::LStar, EstimatorKind::UStar];
+        let closed =
+            FuncKernel::auto(RangePowPlus::new(p as f64), &[scale, scale], &kinds_lu, QuadConfig::fast())
+                .unwrap();
+        let generic = FuncKernel::new(
+            RangePowPlus::new(p as f64),
+            &[scale, scale],
+            &kinds_lu,
+            QuadConfig::fast(),
+            ClosedForms::none(),
+        )
+        .unwrap();
+        let mixed = FuncKernel::auto(
+            RangePowPlus::new(p as f64),
+            &[scale, scale],
+            &[EstimatorKind::LStar, EstimatorKind::HorvitzThompson],
+            QuadConfig::fast(),
+        )
+        .unwrap();
+        let distinct3 =
+            FuncKernel::auto(DistinctOr::new(3), &[scale, 1.0, 2.0], &[EstimatorKind::LStar], QuadConfig::fast())
+                .unwrap();
+        // Quadrature-backed kernels get the boundary lengths only; the
+        // closed-form chunk path also gets a multi-chunk 4096 sweep.
+        let kernels: [(&dyn EstimationKernel, usize, &[usize]); 4] = [
+            (&closed, 2, &[1, 63, 64, 65, 4096]),
+            (&generic, 2, &[1, 63, 64, 65]),
+            (&mixed, 2, &[1, 63, 64, 65]),
+            (&distinct3, 3, &[1, 63, 64, 65, 4096]),
+        ];
+        let wgen = SeedHasher::new(salt ^ 0xabcd_ef01_2345_6789);
+        let seeder = SeedHasher::new(salt);
+        for (kernel, arity, lengths) in kernels {
+            let width = kernel.labels().len();
+            for &n in lengths {
+                let keys: Vec<u64> = (0..n as u64).collect();
+                // Weights mix holes (0.0), sub-scale, and truncated values.
+                let weights: Vec<f64> = (0..n * arity)
+                    .map(|i| {
+                        if i % 7 == 0 {
+                            0.0
+                        } else {
+                            (wgen.seed(i as u64) * 300.0 * scale).floor() / 100.0
+                        }
+                    })
+                    .collect();
+                let mut seeds = vec![0.0; n];
+                if probe == 0 {
+                    seeder.seed_many(&keys, &mut seeds);
+                } else {
+                    seeds.fill(probe as f64 / 20.0); // fixed-seed probe path
+                }
+                let mut scratch = KernelScratch::new();
+                let (mut out_many, mut out_item) = (vec![0.0; width], vec![0.0; width]);
+                let sampled_many = kernel
+                    .evaluate_many(&keys, &weights, arity, &seeds, &mut scratch, &mut out_many)
+                    .unwrap();
+                let mut sampled_item = 0;
+                for (i, (&key, &u)) in keys.iter().zip(&seeds).enumerate() {
+                    let ws = &weights[i * arity..(i + 1) * arity];
+                    if kernel.evaluate(key, ws, u, &mut scratch, &mut out_item).unwrap() {
+                        sampled_item += 1;
+                    }
+                }
+                prop_assert_eq!(sampled_many, sampled_item, "sampled count at n={}", n);
+                for (slot, (a, b)) in out_many.iter().zip(&out_item).enumerate() {
+                    prop_assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "slot {} diverged at n={}: batch {} vs per-item {}",
+                        slot, n, a, b
+                    );
+                }
+            }
+        }
+    }
+}
