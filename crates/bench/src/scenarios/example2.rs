@@ -53,9 +53,10 @@ impl Scenario for Example2 {
         // Per-shard prepared state: dataset and scheme, built once.
         let data = Dataset::example1();
         let scheme = TupleScheme::pps(&[1.0, 1.0, 1.0])?;
+        let mut v = vec![0.0; data.arity()];
         Ok(units
             .map(|i| {
-                let v = data.tuple(i as u64);
+                data.tuple_into(i as u64, &mut v);
                 let out_tuple = scheme.sample(&v, SEEDS[i]).expect("valid sample");
                 let shown: Vec<String> = out_tuple
                     .entries()

@@ -29,6 +29,7 @@ mod multiway;
 mod optimal_ratio;
 mod ratio4;
 mod rg_ratios;
+mod service;
 mod similarity;
 
 use std::path::{Path, PathBuf};
@@ -57,6 +58,7 @@ pub fn registry() -> Registry {
     r.register(Box::new(optimal_ratio::OptimalRatio));
     r.register(Box::new(coordination_gain::CoordinationGain));
     r.register(Box::new(multiway::Multiway));
+    r.register(Box::new(service::Service));
     r
 }
 

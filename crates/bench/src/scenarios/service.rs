@@ -1,0 +1,246 @@
+//! E17 — estimation as a service: resident sketch store under a k sweep.
+//!
+//! The paper's estimators are built for exactly this deployment: a store
+//! keeps one coordinated bottom-k sketch per instance (memory `O(k)`
+//! regardless of instance size), ingest streams items through the online
+//! insert/evict path, and a live query names an ad-hoc group of instance
+//! ids whose union the engine estimates from the sketches alone —
+//! inverse-probability corrected through the conditioned inclusion
+//! scales. This scenario stands the whole service up end to end: for each
+//! k it ingests 100 000 instances into a [`SketchStore`], answers a fixed
+//! panel of 2-group distinct-count queries, and records the estimate
+//! error against the analytically known union sizes. One sweep unit
+//! per k.
+//!
+//! The CSV carries only the deterministic error sweep (byte-identical at
+//! every shard × worker geometry). The measured service rates — sustained
+//! ingest items/s and query latency percentiles over the 10⁵-instance
+//! resident store — ride the timing record (`BENCH_service.json`) via
+//! [`FinishOut::bench_fields`], the same perf-trajectory convention as
+//! `BENCH_engine.json`.
+
+use std::ops::Range;
+use std::time::Instant;
+
+use monotone_core::Result;
+use monotone_engine::{CsvSpec, Engine, EngineQuery, FinishOut, Scenario, UnitOut};
+use monotone_store::SketchStore;
+
+use crate::{fnum, table::Table};
+
+/// Sketch sizes swept, one unit each.
+const KS: [usize; 4] = [8, 16, 32, 64];
+/// Resident instances per unit (the acceptance floor is 10⁵).
+const INSTANCES: u64 = 100_000;
+/// Items per instance — more than every swept k, so every unit really
+/// estimates (no sketch retains its whole instance).
+const ITEMS: u64 = 80;
+/// Key stride between consecutive instances' support windows.
+const STRIDE: u64 = 14;
+/// Seed-hash salt every sketch samples under.
+const SALT: u64 = 0x5eed_0017;
+/// Query panel size per unit.
+const QUERIES: usize = 200;
+/// Partner distances of the 2-groups, cycled across the panel.
+const DISTANCES: [u64; 4] = [1, 2, 3, 5];
+
+/// The support window of instance `id`: keys `[id·S, id·S + ITEMS)`,
+/// weight `1 + (key mod 3)`.
+fn window(id: u64) -> impl Iterator<Item = (u64, f64)> {
+    let base = id * STRIDE;
+    (base..base + ITEMS).map(|key| (key, 1.0 + (key % 3) as f64))
+}
+
+/// Exact distinct count of the union of instances `id` and `id + d`:
+/// two length-`ITEMS` windows offset by `d·STRIDE` keys.
+fn union_truth(d: u64) -> f64 {
+    (ITEMS + (d * STRIDE).min(ITEMS)) as f64
+}
+
+/// The query panel: `(left instance id, partner distance)` pairs spread
+/// deterministically across the resident id range.
+fn panel() -> Vec<(u64, u64)> {
+    (0..QUERIES)
+        .map(|j| {
+            let d = DISTANCES[j % DISTANCES.len()];
+            let a = (j as u64 * 487) % (INSTANCES - DISTANCES[DISTANCES.len() - 1] - 1);
+            (a, d)
+        })
+        .collect()
+}
+
+pub struct Service;
+
+impl Scenario for Service {
+    fn name(&self) -> &'static str {
+        "service"
+    }
+
+    fn description(&self) -> &'static str {
+        "E17: resident sketch store, k vs estimate error with ingest/query rates"
+    }
+
+    fn artifacts(&self) -> Vec<CsvSpec> {
+        vec![CsvSpec::new(
+            "e17_service.csv",
+            &[
+                "k",
+                "resident_instances",
+                "queries",
+                "mean_truth",
+                "mean_estimate",
+                "mean_rel_error",
+                "nrmse",
+            ],
+        )]
+    }
+
+    fn units(&self) -> usize {
+        KS.len()
+    }
+
+    fn run_shard(&self, units: Range<usize>, _engine: &Engine) -> Result<Vec<UnitOut>> {
+        // Store queries run single-threaded: each query is one tiny
+        // union, and the latency percentiles should price the service
+        // path itself, not pool scheduling.
+        let engine = Engine::with_threads(1);
+        let query = EngineQuery::distinct_k(2, 1.0);
+        let panel = panel();
+        units
+            .map(|unit| {
+                let k = KS[unit];
+                let store = SketchStore::new(k, SALT);
+
+                let ingest_start = Instant::now();
+                for id in 0..INSTANCES {
+                    store.ingest_all(id, window(id));
+                }
+                let ingest_secs = ingest_start.elapsed().as_secs_f64();
+
+                let mut latencies_us = Vec::with_capacity(panel.len());
+                let mut sum_truth = 0.0;
+                let mut sum_est = 0.0;
+                let mut sum_rel = 0.0;
+                let mut sum_sq = 0.0;
+                for &(a, d) in &panel {
+                    let truth = union_truth(d);
+                    let q_start = Instant::now();
+                    let est = store.query_group(&engine, &query, &[a, a + d])?;
+                    latencies_us.push(q_start.elapsed().as_secs_f64() * 1e6);
+                    let e = est.estimates[0];
+                    sum_truth += truth;
+                    sum_est += e;
+                    sum_rel += (e - truth).abs() / truth;
+                    sum_sq += (e - truth) * (e - truth);
+                }
+                let n = panel.len() as f64;
+                let mean_truth = sum_truth / n;
+                let mean_est = sum_est / n;
+                let mean_rel = sum_rel / n;
+                let nrmse = (sum_sq / n).sqrt() / mean_truth;
+
+                let mut out = UnitOut::default();
+                out.row(
+                    0,
+                    vec![
+                        format!("{k}"),
+                        format!("{INSTANCES}"),
+                        format!("{QUERIES}"),
+                        format!("{mean_truth}"),
+                        format!("{mean_est}"),
+                        format!("{mean_rel}"),
+                        format!("{nrmse}"),
+                    ],
+                );
+                out.show(
+                    0,
+                    vec![
+                        format!("{k}"),
+                        fnum(mean_truth),
+                        fnum(mean_est),
+                        fnum(mean_rel),
+                        fnum(nrmse),
+                    ],
+                );
+                // Metrics layout consumed by finish: the deterministic
+                // error pair, the measured ingest leg, then the raw
+                // per-query latencies.
+                out.metric(mean_rel)
+                    .metric(nrmse)
+                    .metric((INSTANCES * ITEMS) as f64)
+                    .metric(ingest_secs);
+                for lat in latencies_us {
+                    out.metric(lat);
+                }
+                Ok(out)
+            })
+            .collect()
+    }
+
+    fn finish(&self, outs: &[UnitOut]) -> FinishOut {
+        let mut t = Table::new(
+            &format!(
+                "E17: sketch-store service, {INSTANCES} resident instances, \
+                 {QUERIES} distinct-count queries per k"
+            ),
+            &["k", "mean truth", "mean estimate", "mean rel err", "nrmse"],
+        );
+        for out in outs {
+            for row in out.table_rows(0) {
+                t.row(row.clone());
+            }
+        }
+
+        // Deterministic paper-shape checks: every estimate panel is
+        // finite, and the error at the largest k improves on the
+        // smallest (the bottom-k convergence the paper promises).
+        let finite = outs
+            .iter()
+            .all(|o| o.metrics[0].is_finite() && o.metrics[1].is_finite());
+        let first = outs.first().map_or(f64::NAN, |o| o.metrics[1]);
+        let last = outs.last().map_or(f64::NAN, |o| o.metrics[1]);
+        let converges = last < first;
+
+        // Measured service rates for the timing record: ingest summed
+        // over the sweep, latency percentiles pooled over every query of
+        // every unit (each answered against a full resident store).
+        let items: f64 = outs.iter().map(|o| o.metrics[2]).sum();
+        let secs: f64 = outs.iter().map(|o| o.metrics[3]).sum();
+        let ingest_rate = items / secs.max(1e-9);
+        let mut lats: Vec<f64> = outs
+            .iter()
+            .flat_map(|o| o.metrics[4..].iter().copied())
+            .collect();
+        lats.sort_by(f64::total_cmp);
+        let pct = |p: f64| -> f64 {
+            if lats.is_empty() {
+                return 0.0;
+            }
+            lats[((lats.len() - 1) as f64 * p).round() as usize]
+        };
+        let (p50, p99) = (pct(0.50), pct(0.99));
+
+        FinishOut::new(
+            vec![
+                t.render(),
+                format!(
+                    "\nsustained ingest: {:.2}M items/s; query latency over {} queries: \
+                     p50 {p50:.1}µs, p99 {p99:.1}µs",
+                    ingest_rate / 1e6,
+                    lats.len(),
+                ),
+                format!(
+                    "paper-shape checks: errors finite at every k ({finite}), \
+                     nrmse shrinks from k={} to k={} ({converges})",
+                    KS[0],
+                    KS[KS.len() - 1],
+                ),
+            ],
+            finite && converges,
+        )
+        .with_bench_field("resident_instances", (KS.len() as u64 * INSTANCES) as f64)
+        .with_bench_field("ingest_items_per_sec", ingest_rate)
+        .with_bench_field("query_p50_us", p50)
+        .with_bench_field("query_p99_us", p99)
+    }
+}

@@ -94,3 +94,8 @@ fn lsh_regenerates_committed_csv() {
 fn multiway_regenerates_committed_csv() {
     assert_regenerates("multiway");
 }
+
+#[test]
+fn service_regenerates_committed_csv() {
+    assert_regenerates("service");
+}

@@ -125,7 +125,7 @@ fn emitting_a_run_writes_artifacts_and_a_positive_rate_timing_record() {
 }
 
 #[test]
-fn full_registry_serves_all_sixteen_experiments() {
+fn full_registry_serves_all_seventeen_experiments() {
     let registry = scenarios::registry();
     let names: Vec<&str> = registry.iter().map(|s| s.name()).collect();
     assert_eq!(
@@ -147,6 +147,7 @@ fn full_registry_serves_all_sixteen_experiments() {
             "optimal_ratio",
             "coordination_gain",
             "multiway",
+            "service",
         ]
     );
     for s in registry.iter() {

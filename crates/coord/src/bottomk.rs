@@ -147,6 +147,200 @@ impl BottomKSample {
                 .unwrap_or(f64::INFINITY)
         }
     }
+
+    /// The `(k+1)`-th smallest rank seen while sampling, when more than
+    /// `k` finite-rank items existed.
+    pub fn next_rank(&self) -> Option<f64> {
+        self.next_rank
+    }
+
+    /// The conditioned rank threshold shared by **every retained item**:
+    /// the k-th smallest rank among the others of a retained item is the
+    /// `(k+1)`-th smallest overall — one constant per sketch (`+∞` when
+    /// the whole instance fit in the sample). This is the threshold
+    /// bookkeeping sketch-backed query layers build on: one number per
+    /// sketch turns the conditioned per-item schemes of all retained
+    /// items into a single per-instance sampling scale.
+    pub fn retained_rank_threshold(&self) -> f64 {
+        self.next_rank.unwrap_or(f64::INFINITY)
+    }
+
+    /// The PPS scale of the conditioned scheme shared by every retained
+    /// item under **priority ranks**: a retained item of weight `w` was
+    /// included iff `u/w < τ` (`τ` = [`retained_rank_threshold`]), i.e.
+    /// `w >= u · (1/τ)` — exactly a coordinated-PPS threshold with scale
+    /// `1/τ`. An infinite `τ` maps to [`f64::MIN_POSITIVE`] ("always
+    /// included"), matching [`BottomK::priority_item_problem`].
+    ///
+    /// [`retained_rank_threshold`]: BottomKSample::retained_rank_threshold
+    ///
+    /// # Panics
+    ///
+    /// Panics when the sample's method is not [`RankMethod::Priority`]
+    /// (the other rank transforms condition to non-linear thresholds that
+    /// no single PPS scale expresses).
+    pub fn priority_conditioned_scale(&self) -> f64 {
+        assert_eq!(
+            self.method,
+            RankMethod::Priority,
+            "conditioned PPS scales require priority ranks"
+        );
+        let tau = self.retained_rank_threshold();
+        if tau.is_finite() {
+            1.0 / tau
+        } else {
+            f64::MIN_POSITIVE
+        }
+    }
+
+    /// The retained `(key, weight)` entries sorted by **key** (the
+    /// [`iter`](BottomKSample::iter) order is by rank) — the layout
+    /// sketch-union merge cursors consume.
+    pub fn entries_by_key(&self) -> Vec<(u64, f64)> {
+        let mut out: Vec<(u64, f64)> = self.entries.iter().map(|&(_, k, w)| (k, w)).collect();
+        out.sort_unstable_by_key(|&(k, _)| k);
+        out
+    }
+}
+
+/// One retained candidate of a [`BottomKStream`], ordered by
+/// `(rank, key)` so rank ties break exactly like the stable sort over
+/// key-ascending input the batch sampler used to run.
+#[derive(Debug, Clone, Copy)]
+struct RankedEntry {
+    rank: f64,
+    key: u64,
+    weight: f64,
+}
+
+impl PartialEq for RankedEntry {
+    fn eq(&self, other: &RankedEntry) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for RankedEntry {}
+
+impl PartialOrd for RankedEntry {
+    fn partial_cmp(&self, other: &RankedEntry) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for RankedEntry {
+    fn cmp(&self, other: &RankedEntry) -> std::cmp::Ordering {
+        self.rank
+            .total_cmp(&other.rank)
+            .then(self.key.cmp(&other.key))
+    }
+}
+
+/// The online insert/evict path of bottom-k sampling: a resident sampler
+/// that consumes one `(key, weight)` observation at a time and maintains
+/// the `k` smallest finite ranks plus the `(k+1)`-th (the conditioned
+/// threshold of every retained item) in a bounded max-heap — `O(log k)`
+/// per insert, `O(k)` memory, no access to the full instance ever.
+///
+/// [`BottomK::sample_instance`] is this stream fed from an [`Instance`]:
+/// the two paths are bit-identical by construction (regression-tested),
+/// so a sketch built incrementally by a long-running store serves the
+/// same estimates as one sampled from the full weight map.
+///
+/// Observations with non-positive or non-finite weight are inactive and
+/// ignored (the contract of [`Instance::from_pairs`]); keys are assumed
+/// distinct — re-inserting a key streams a second independent observation
+/// of it, so callers with update semantics must deduplicate upstream.
+///
+/// # Examples
+///
+/// ```
+/// use monotone_coord::bottomk::{BottomK, RankMethod};
+/// use monotone_coord::instance::Instance;
+/// use monotone_coord::seed::SeedHasher;
+///
+/// let inst = Instance::from_pairs((0..100u64).map(|k| (k, 1.0 + (k % 5) as f64)));
+/// let sampler = BottomK::new(10, RankMethod::Priority, SeedHasher::new(3));
+/// // Stream the items one at a time — identical to sampling in batch.
+/// let mut stream = sampler.stream();
+/// for (key, w) in inst.iter() {
+///     stream.insert(key, w);
+/// }
+/// assert_eq!(stream.into_sample(), sampler.sample_instance(&inst));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BottomKStream {
+    k: usize,
+    method: RankMethod,
+    seeder: SeedHasher,
+    /// Max-heap of the `k + 1` smallest finite `(rank, key)` entries.
+    heap: std::collections::BinaryHeap<RankedEntry>,
+}
+
+impl BottomKStream {
+    /// Feeds one observation to the sampler: rank it, keep it while it is
+    /// among the `k + 1` smallest finite ranks, evict the largest
+    /// otherwise. Inactive observations (`w <= 0`, non-finite `w`) and
+    /// infinite ranks (exponential ranks at a hash seed of exactly `1.0`)
+    /// never enter the heap.
+    pub fn insert(&mut self, key: u64, w: f64) {
+        if !(w > 0.0 && w.is_finite()) {
+            return;
+        }
+        let rank = self.method.rank_unchecked(self.seeder.seed(key), w);
+        if !rank.is_finite() {
+            return;
+        }
+        let entry = RankedEntry {
+            rank,
+            key,
+            weight: w,
+        };
+        if self.heap.len() <= self.k {
+            self.heap.push(entry);
+        } else if entry < *self.heap.peek().expect("non-empty heap") {
+            self.heap.pop();
+            self.heap.push(entry);
+        }
+    }
+
+    /// Number of ranked entries currently resident (at most `k + 1`).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True before any active observation arrived.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Snapshots the current sample without consuming the stream (live
+    /// queries over a store that keeps ingesting).
+    pub fn sample(&self) -> BottomKSample {
+        self.clone().into_sample()
+    }
+
+    /// Finalizes the stream into its sample: the `k` smallest ranks
+    /// ascending, plus the `(k+1)`-th as the retained-item threshold when
+    /// the heap saw more than `k` finite ranks.
+    pub fn into_sample(self) -> BottomKSample {
+        let mut entries: Vec<(f64, u64, f64)> = self
+            .heap
+            .into_iter()
+            .map(|e| (e.rank, e.key, e.weight))
+            .collect();
+        entries.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let next_rank = if entries.len() > self.k {
+            entries.pop().map(|(r, _, _)| r)
+        } else {
+            None
+        };
+        BottomKSample {
+            k: self.k,
+            method: self.method,
+            entries,
+            next_rank,
+        }
+    }
 }
 
 /// Coordinated bottom-k sampler.
@@ -196,7 +390,23 @@ impl BottomK {
         &self.seeder
     }
 
+    /// An empty online sampler sharing this sampler's `k`, rank method,
+    /// and seed hash — the streaming insert/evict path resident stores
+    /// ingest through ([`BottomKStream`]).
+    pub fn stream(&self) -> BottomKStream {
+        BottomKStream {
+            k: self.k,
+            method: self.method,
+            seeder: self.seeder,
+            heap: std::collections::BinaryHeap::with_capacity(self.k + 2),
+        }
+    }
+
     /// Samples one instance: the `k` smallest-rank items.
+    ///
+    /// This is [`BottomK::stream`] fed with the instance's items — the
+    /// batch path **is** the online path, so incrementally built sketches
+    /// and full-map samples are identical by construction.
     ///
     /// Items with an infinite rank (exponential ranks at a shared seed of
     /// exactly `1.0`) are never retained, even when the instance has fewer
@@ -208,25 +418,11 @@ impl BottomK {
     /// conditioned threshold value (it is equivalent to "fewer than `k`
     /// others exist").
     pub fn sample_instance(&self, inst: &Instance) -> BottomKSample {
-        let mut ranked: Vec<(f64, u64, f64)> = inst
-            .iter()
-            .map(|(key, w)| (self.method.rank_unchecked(self.seeder.seed(key), w), key, w))
-            .collect();
-        // total_cmp: never panics, and orders +∞ (and any NaN from corrupted
-        // input) last so the retained prefix is well-defined.
-        ranked.sort_by(|a, b| a.0.total_cmp(&b.0));
-        let next_rank = ranked
-            .get(self.k)
-            .map(|&(r, _, _)| r)
-            .filter(|r| r.is_finite());
-        ranked.truncate(self.k);
-        ranked.retain(|&(r, _, _)| r.is_finite());
-        BottomKSample {
-            k: self.k,
-            method: self.method,
-            entries: ranked,
-            next_rank,
+        let mut stream = self.stream();
+        for (key, w) in inst.iter() {
+            stream.insert(key, w);
         }
+        stream.into_sample()
     }
 
     /// The conditioned per-item monotone problem for priority ranks: a PPS
@@ -570,6 +766,139 @@ mod tests {
             let tau = s.conditioned_rank_threshold(key);
             assert!(tau > 0.0);
             assert_eq!(s.contains(key), rank < tau, "membership rule at key {key}");
+        }
+    }
+
+    /// The pre-stream batch algorithm (collect, stable-sort by rank,
+    /// truncate), kept as the reference the online insert/evict path must
+    /// reproduce bit for bit.
+    fn sort_based_sample(sampler: &BottomK, inst: &Instance) -> BottomKSample {
+        let mut ranked: Vec<(f64, u64, f64)> = inst
+            .iter()
+            .map(|(key, w)| {
+                (
+                    sampler
+                        .method()
+                        .rank_unchecked(sampler.seeder().seed(key), w),
+                    key,
+                    w,
+                )
+            })
+            .collect();
+        ranked.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let next_rank = ranked
+            .get(sampler.k())
+            .map(|&(r, _, _)| r)
+            .filter(|r| r.is_finite());
+        ranked.truncate(sampler.k());
+        ranked.retain(|&(r, _, _)| r.is_finite());
+        BottomKSample {
+            k: sampler.k(),
+            method: sampler.method(),
+            entries: ranked,
+            next_rank,
+        }
+    }
+
+    #[test]
+    fn streamed_sample_is_bit_identical_to_sort_based() {
+        for method in [
+            RankMethod::Priority,
+            RankMethod::Exponential,
+            RankMethod::Uniform,
+        ] {
+            for (n, k) in [(0u64, 3), (3, 8), (50, 7), (200, 20), (64, 64), (65, 64)] {
+                let inst = test_instance(n);
+                let sampler = BottomK::new(k, method, SeedHasher::new(n + k as u64));
+                let streamed = sampler.sample_instance(&inst);
+                let sorted = sort_based_sample(&sampler, &inst);
+                assert_eq!(streamed, sorted, "method {method:?} n={n} k={k}");
+                // Insertion order must not matter: reverse the stream.
+                let mut rev = sampler.stream();
+                let mut items: Vec<(u64, f64)> = inst.iter().collect();
+                items.reverse();
+                for (key, w) in items {
+                    rev.insert(key, w);
+                }
+                assert_eq!(rev.into_sample(), sorted, "reversed {method:?} n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn stream_matches_sort_based_with_poisoned_seed() {
+        // The seed==1.0 item has an infinite exponential rank; the online
+        // path must drop it exactly like the batch path did.
+        let seeder = SeedHasher::new(77);
+        let poisoned = seeder.key_for_raw(u64::MAX);
+        let mut inst = test_instance(10);
+        inst.set(poisoned, 2.5);
+        for k in [2, 10, 11, 12] {
+            let sampler = BottomK::new(k, RankMethod::Exponential, seeder);
+            assert_eq!(
+                sampler.sample_instance(&inst),
+                sort_based_sample(&sampler, &inst),
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_ignores_inactive_observations() {
+        let sampler = BottomK::new(4, RankMethod::Priority, SeedHasher::new(9));
+        let mut stream = sampler.stream();
+        stream.insert(1, 0.0);
+        stream.insert(2, -1.0);
+        stream.insert(3, f64::NAN);
+        stream.insert(4, f64::INFINITY);
+        assert!(stream.is_empty());
+        stream.insert(5, 1.25);
+        assert_eq!(stream.len(), 1);
+        // A live snapshot and the finalized sample agree.
+        assert_eq!(stream.sample(), stream.clone().into_sample());
+        let s = stream.into_sample();
+        assert_eq!(s.get(5), Some(1.25));
+        assert_eq!(s.next_rank(), None);
+        assert_eq!(s.retained_rank_threshold(), f64::INFINITY);
+    }
+
+    #[test]
+    fn retained_threshold_and_conditioned_scale() {
+        let inst = test_instance(100);
+        let sampler = BottomK::new(10, RankMethod::Priority, SeedHasher::new(5));
+        let s = sampler.sample_instance(&inst);
+        // The per-sketch constant equals the conditioned threshold of
+        // every retained item.
+        for (key, _) in s.iter() {
+            assert_eq!(
+                s.conditioned_rank_threshold(key),
+                s.retained_rank_threshold()
+            );
+        }
+        assert_eq!(s.retained_rank_threshold(), s.next_rank().unwrap());
+        // The PPS reduction: scale = 1/τ agrees with priority_item_problem.
+        let (scheme, _) = sampler
+            .priority_item_problem(std::slice::from_ref(&s), s.iter().next().unwrap().0)
+            .unwrap();
+        assert_eq!(
+            scheme.thresholds()[0].scale(),
+            s.priority_conditioned_scale()
+        );
+        // Small instance: τ = ∞ maps to the "always included" scale.
+        let tiny = sampler.sample_instance(&test_instance(3));
+        assert_eq!(tiny.priority_conditioned_scale(), f64::MIN_POSITIVE);
+    }
+
+    #[test]
+    fn entries_by_key_is_key_sorted() {
+        let inst = test_instance(150);
+        let sampler = BottomK::new(25, RankMethod::Priority, SeedHasher::new(31));
+        let s = sampler.sample_instance(&inst);
+        let by_key = s.entries_by_key();
+        assert_eq!(by_key.len(), s.len());
+        assert!(by_key.windows(2).all(|w| w[0].0 < w[1].0));
+        for &(k, w) in &by_key {
+            assert_eq!(s.get(k), Some(w));
         }
     }
 

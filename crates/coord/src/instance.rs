@@ -291,9 +291,31 @@ impl Dataset {
         &self.instances[i]
     }
 
-    /// The tuple of weights of one item across instances (a matrix column).
+    /// The tuple of weights of one item across instances (a matrix
+    /// column), allocated fresh. Per-key loops should prefer
+    /// [`tuple_into`](Dataset::tuple_into) with a reused buffer.
     pub fn tuple(&self, key: u64) -> Vec<f64> {
-        self.instances.iter().map(|inst| inst.weight(key)).collect()
+        let mut out = vec![0.0; self.arity()];
+        self.tuple_into(key, &mut out);
+        out
+    }
+
+    /// Writes the tuple of weights of one item across instances into a
+    /// caller-provided buffer — the allocation-free form of
+    /// [`tuple`](Dataset::tuple) for loops that visit many keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.arity()`.
+    pub fn tuple_into(&self, key: u64, out: &mut [f64]) {
+        assert_eq!(
+            out.len(),
+            self.arity(),
+            "tuple buffer length must equal the dataset arity"
+        );
+        for (slot, inst) in out.iter_mut().zip(&self.instances) {
+            *slot = inst.weight(key);
+        }
     }
 
     /// All keys active in at least one instance, deduplicated and sorted.
@@ -348,6 +370,22 @@ mod tests {
         assert_eq!(d.tuple(3), vec![0.70, 0.80, 0.10]); // item d
         assert_eq!(d.tuple(7), vec![0.32, 0.0, 0.0]); // item h
         assert_eq!(d.union_keys().len(), 8);
+    }
+
+    #[test]
+    fn tuple_into_matches_tuple() {
+        let d = Dataset::example1();
+        let mut buf = vec![0.0; d.arity()];
+        for key in 0..10u64 {
+            d.tuple_into(key, &mut buf);
+            assert_eq!(buf, d.tuple(key), "key {key}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn tuple_into_rejects_wrong_buffer() {
+        Dataset::example1().tuple_into(0, &mut [0.0; 2]);
     }
 
     #[test]

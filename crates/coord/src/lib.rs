@@ -22,7 +22,11 @@
 //!   ranks, with the per-item conditioned-threshold reduction to monotone
 //!   sampling;
 //! * [`query`] — exact and estimated sum aggregates, weighted Jaccard, and
-//!   sample-overlap diagnostics.
+//!   sample-overlap diagnostics;
+//! * [`source`] — the [`ItemSource`](source::ItemSource) abstraction over
+//!   item streams: exact full-map merges ([`instance::WeightMerger`]) and
+//!   sketch-backed unions with conditioned inclusion scales
+//!   ([`source::SketchUnion`]).
 //!
 //! ## Example: estimating an `L1` increase from samples
 //!
@@ -53,3 +57,4 @@ pub mod instance;
 pub mod pps;
 pub mod query;
 pub mod seed;
+pub mod source;

@@ -44,7 +44,15 @@ pub fn exact_sum<F: ItemFn>(f: &F, data: &Dataset, domain: Option<&[u64]>) -> f6
         Some(d) => d.to_vec(),
         None => data.union_keys(),
     };
-    keys.iter().map(|&k| f.eval(&data.tuple(k))).sum()
+    // One tuple buffer reused across the domain — the per-key Vec this
+    // loop used to allocate dominated exact sums over large domains.
+    let mut tuple = vec![0.0; data.arity()];
+    keys.iter()
+        .map(|&k| {
+            data.tuple_into(k, &mut tuple);
+            f.eval(&tuple)
+        })
+        .sum()
 }
 
 /// Estimates a sum-aggregate query from coordinated PPS samples by applying

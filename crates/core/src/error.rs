@@ -55,6 +55,22 @@ pub enum Error {
     /// No unbiased nonnegative estimator exists for this problem
     /// (condition (9) of the paper fails).
     NoEstimatorExists,
+    /// A sketch-store query referenced an instance id that was never
+    /// ingested.
+    UnknownInstance {
+        /// The instance id the query asked for.
+        id: u64,
+    },
+    /// A sketch group's size differs from the arity the query's function
+    /// family expects — estimating over a truncated or padded sketch
+    /// group would silently misestimate, mirroring
+    /// [`ArityMismatch`](Error::ArityMismatch) for the store layer.
+    SketchArityMismatch {
+        /// Arity the query expects.
+        expected: usize,
+        /// Number of sketches in the group.
+        got: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -84,6 +100,16 @@ impl fmt::Display for Error {
                 write!(
                     f,
                     "no unbiased nonnegative estimator exists for this problem"
+                )
+            }
+            Error::UnknownInstance { id } => {
+                write!(f, "instance {id} is not resident in the sketch store")
+            }
+            Error::SketchArityMismatch { expected, got } => {
+                write!(
+                    f,
+                    "sketch group arity mismatch: the query expects {expected} instances, \
+                     the group holds {got} sketches"
                 )
             }
         }
@@ -156,9 +182,27 @@ mod tests {
             Error::InvalidDomain("empty".to_owned()),
             Error::NotApplicable("reveal probability is zero"),
             Error::NoEstimatorExists,
+            Error::UnknownInstance { id: 42 },
+            Error::SketchArityMismatch {
+                expected: 3,
+                got: 2,
+            },
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn store_errors_name_their_parts() {
+        // The store layer surfaces these to service callers: the message
+        // must carry the id / arities so a failed query is actionable.
+        assert!(Error::UnknownInstance { id: 7 }.to_string().contains('7'));
+        let e = Error::SketchArityMismatch {
+            expected: 4,
+            got: 1,
+        }
+        .to_string();
+        assert!(e.contains('4') && e.contains('1'));
     }
 }

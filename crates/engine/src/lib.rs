@@ -34,13 +34,29 @@
 //!   [`RgPlusUStar`] automatically, the distinct-count OR registers its
 //!   inverse-probability form for **any arity**, and only genuinely
 //!   generic problems pay for quadrature;
-//! * **chunked hot loop** — the merged key stream ([`merged_weights`]
-//!   for pairs, [`WeightMerger`] for arity-N groups) is staged into
-//!   row-major `[item][instance]` chunks of 64 items, and each chunk is
-//!   processed by exactly two batch calls: one [`SeedHasher::seed_many`]
-//!   (the SplitMix64 stages run as wide lanes — AVX-512 where the CPU
-//!   has it, interleaved scalar elsewhere, bit-identical either way;
-//!   fixed-seed probe jobs skip the hash entirely), then one
+//! * **item sources** — every job streams its items through the same
+//!   stream protocol: a cursor yielding keys in ascending order with one
+//!   weight per instance of the group, abstracted as [`ItemSource`].
+//!   [`WeightMerger`] is the exact full-map source for arity-N groups
+//!   (pairs and arity-2 groups take [`merged_weights`], the
+//!   tuple-yielding specialization that keeps both weights in
+//!   registers — the CI-gated hot path), [`DomainSource`] walks an
+//!   explicit key domain, and [`SketchUnion`] streams the retained union
+//!   of N coordinated bottom-k sketches with per-instance conditioned
+//!   inclusion scales —
+//!   compile a query with those scales
+//!   ([`EngineQuery::with_instance_scales`]) and the kernels apply the
+//!   paper's inverse-probability correction for items the sketches
+//!   dropped, through the very same hot loop. Ad-hoc sources run as
+//!   [`SourceJob`]s via [`Engine::run_sources`] /
+//!   [`Engine::run_source_kernel`];
+//! * **chunked hot loop** — whatever the source, its item stream is
+//!   staged into row-major `[item][instance]` chunks of 64 items, and
+//!   each chunk is processed by exactly two batch calls: one
+//!   [`SeedHasher::seed_many`] (the SplitMix64 stages run as wide
+//!   lanes — AVX-512 where the CPU has it, interleaved scalar
+//!   elsewhere, bit-identical either way; fixed-seed probe jobs skip
+//!   the hash entirely), then one
 //!   [`evaluate_many`](EstimationKernel::evaluate_many). Kernel dispatch
 //!   is per **chunk**, not per item: when every estimator slot resolved
 //!   to a registered closed form, the threshold tests and estimates run
@@ -82,7 +98,6 @@
 //! [`RgPlusLStar`]: monotone_core::estimate::RgPlusLStar
 //! [`RgPlusUStar`]: monotone_core::estimate::RgPlusUStar
 //! [`SeedHasher::seed_many`]: monotone_coord::seed::SeedHasher::seed_many
-//! [`merged_weights`]: monotone_coord::instance::merged_weights
 //! [`WeightMerger`]: monotone_coord::instance::WeightMerger
 
 pub mod kernel;
@@ -98,6 +113,8 @@ pub use kernel::{
 pub use pool::chunk_bounds;
 pub use runner::{CsvArtifact, Runner, ScenarioRun, ScenarioTiming};
 pub use scenario::{CsvSpec, FinishOut, Registry, Scenario, UnitOut};
+
+pub use monotone_coord::source::{DomainSource, ItemSource, SketchUnion};
 
 use monotone_coord::instance::{merged_weights, Instance, WeightMerger};
 use monotone_coord::seed::SeedHasher;
@@ -453,6 +470,48 @@ impl<'a> PairJob<'a> {
     }
 }
 
+/// One unit of work over an explicit [`ItemSource`]: an un-advanced
+/// stream cursor plus the randomization its coordinated sample was (or
+/// is to be) drawn under.
+///
+/// This is how sketch-backed streams ([`SketchUnion`]) and other ad-hoc
+/// sources enter the batch engine: workers clone the cursor, so one
+/// prepared source fans out to any number of jobs. The salt **must** be
+/// the salt the source's sample was built with — a sketch stores items
+/// selected by one concrete randomization, and evaluating it under
+/// another would decouple the seeds from the retention decisions.
+#[derive(Debug, Clone)]
+pub struct SourceJob<S> {
+    /// The un-advanced item stream (cloned per execution).
+    pub source: S,
+    /// Salt of the shared seed hash the stream's sampling used.
+    pub salt: u64,
+    /// Fixed shared seed overriding the hash (`None` = hash per key).
+    pub seed: Option<f64>,
+}
+
+impl<S: ItemSource> SourceJob<S> {
+    /// A job over `source` under the seed-hash salt `salt`.
+    pub fn new(source: S, salt: u64) -> SourceJob<S> {
+        SourceJob {
+            source,
+            salt,
+            seed: None,
+        }
+    }
+
+    /// Number of instances in the source's group.
+    pub fn arity(&self) -> usize {
+        self.source.arity()
+    }
+
+    /// Fixes the shared seed of every item (instead of hashing keys).
+    pub fn with_seed(mut self, seed: f64) -> SourceJob<S> {
+        self.seed = Some(seed);
+        self
+    }
+}
+
 /// Per-job output: one estimate per kernel column, plus the exact value
 /// (cheap to carry along — the engine already visits every item).
 #[derive(Debug, Clone, PartialEq)]
@@ -589,6 +648,51 @@ impl Engine {
         let labels = kernel.labels();
         let width = labels.len();
         let results = self.map_chunked(jobs, |_, job| run_group_job(kernel, width, job));
+        let pairs = results.into_iter().collect::<Result<Vec<PairResult>>>()?;
+        Ok(summarize(labels, pairs))
+    }
+
+    /// Runs a batch of explicit [`ItemSource`] jobs — the entry point for
+    /// sketch-backed streams ([`SketchUnion`]) and any other source that
+    /// is not a borrowed instance group. Each worker clones its job's
+    /// un-advanced cursor, so the batch is deterministic at every thread
+    /// count like the pair and group paths.
+    ///
+    /// The reported `truth` is the exact aggregate **over the stream**:
+    /// for exact sources that is the true value; for sketch-backed
+    /// sources it is the aggregate of the retained union (the estimates,
+    /// not the stream truth, are the store's answer — they correct for
+    /// what the sketches dropped).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a query scale is invalid, the query arity
+    /// differs from a source's arity, or a streamed weight is invalid.
+    pub fn run_sources<S>(&self, jobs: &[SourceJob<S>], query: &EngineQuery) -> Result<BatchResult>
+    where
+        S: ItemSource + Clone + Sync,
+    {
+        let kernel = query.kernel()?;
+        self.run_source_kernel(jobs, kernel.as_ref())
+    }
+
+    /// Runs [`ItemSource`] jobs through an explicit [`EstimationKernel`]
+    /// ([`Engine::run_sources`] is this with the query's own kernel).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error any job's evaluation reports.
+    pub fn run_source_kernel<S>(
+        &self,
+        jobs: &[SourceJob<S>],
+        kernel: &dyn EstimationKernel,
+    ) -> Result<BatchResult>
+    where
+        S: ItemSource + Clone + Sync,
+    {
+        let labels = kernel.labels();
+        let width = labels.len();
+        let results = self.map_chunked(jobs, |_, job| run_source_job(kernel, width, job));
         let pairs = results.into_iter().collect::<Result<Vec<PairResult>>>()?;
         Ok(summarize(labels, pairs))
     }
@@ -730,8 +834,6 @@ impl<'k> JobRun<'k> {
     }
 }
 
-/// Executes one pair job against a kernel: stream the merged pair items,
-/// hash seeds chunk-wise, evaluate.
 /// Rejects jobs whose group arity differs from the kernel's requirement
 /// (streaming a truncated weight tuple would silently misestimate).
 fn check_arity(kernel: &dyn EstimationKernel, got: usize) -> Result<()> {
@@ -760,6 +862,68 @@ fn check_weight(key: u64, w: f64) -> Result<()> {
     }
 }
 
+/// The one streaming loop every job shape runs: drain an [`ItemSource`]
+/// into the job's staging buffers, validating weights, accumulating the
+/// stream truth, and flushing full chunks through the two batch calls.
+/// Items with no active weight anywhere (all entries `<= 0`, as an
+/// explicit domain or a raw-ingested map can stream) contribute nothing
+/// to any registered family and are skipped after validation — invalid
+/// weights still surface as typed errors, never silently.
+///
+/// Generic (monomorphized per concrete source) so the exact full-map
+/// merge stays as statically dispatched as the hand-rolled loops it
+/// replaced.
+fn stream_into_run<S: ItemSource + ?Sized>(
+    run: &mut JobRun<'_>,
+    source: &mut S,
+    ws: &mut [f64],
+) -> Result<()> {
+    while let Some(key) = source.next_into(ws) {
+        for &w in ws.iter() {
+            check_weight(key, w)?;
+        }
+        if ws.iter().all(|&w| w <= 0.0) {
+            continue;
+        }
+        run.truth += run.kernel.truth(ws);
+        run.bufs.push(key, ws);
+        if run.bufs.is_full() {
+            run.flush()?;
+        }
+    }
+    Ok(())
+}
+
+/// The arity-2 specialization of [`stream_into_run`]: the identical
+/// protocol (validate, skip inactive, accumulate truth, stage, flush),
+/// but over a tuple-yielding merged stream ([`merged_weights`]) instead
+/// of a buffer-filling [`ItemSource`]. Yielding `(key, wa, wb)` by value
+/// keeps both weights in registers through the whole sequence — routing
+/// pairs through a weight *buffer* costs ~20% of the batched hot loop's
+/// throughput, which the CI perf gate would refuse.
+fn stream_pairs_into_run(
+    run: &mut JobRun<'_>,
+    items: impl Iterator<Item = (u64, f64, f64)>,
+) -> Result<()> {
+    for (key, wa, wb) in items {
+        check_weight(key, wa)?;
+        check_weight(key, wb)?;
+        if wa <= 0.0 && wb <= 0.0 {
+            continue;
+        }
+        run.truth += run.kernel.truth(&[wa, wb]);
+        run.bufs.push_pair(key, wa, wb);
+        if run.bufs.is_full() {
+            run.flush()?;
+        }
+    }
+    Ok(())
+}
+
+/// Executes one pair job against a kernel: the merged pair stream
+/// ([`merged_weights`]) through [`stream_pairs_into_run`], or a
+/// [`DomainSource`] through the generic loop when the job restricts the
+/// domain.
 fn run_pair_job(
     kernel: &dyn EstimationKernel,
     width: usize,
@@ -767,40 +931,23 @@ fn run_pair_job(
 ) -> Result<PairResult> {
     check_arity(kernel, 2)?;
     let mut run = JobRun::new(kernel, width, 2, job.salt, job.seed);
+    let mut ws = [0.0; 2];
     match job.domain {
-        None => {
-            for (key, wa, wb) in merged_weights(job.a, job.b) {
-                check_weight(key, wa)?;
-                check_weight(key, wb)?;
-                run.truth += kernel.truth(&[wa, wb]);
-                run.bufs.push_pair(key, wa, wb);
-                if run.bufs.is_full() {
-                    run.flush()?;
-                }
-            }
-        }
-        Some(domain) => {
-            for &key in domain {
-                let wa = job.a.weight(key);
-                let wb = job.b.weight(key);
-                check_weight(key, wa)?;
-                check_weight(key, wb)?;
-                if wa <= 0.0 && wb <= 0.0 {
-                    continue;
-                }
-                run.truth += kernel.truth(&[wa, wb]);
-                run.bufs.push_pair(key, wa, wb);
-                if run.bufs.is_full() {
-                    run.flush()?;
-                }
-            }
-        }
+        None => stream_pairs_into_run(&mut run, merged_weights(job.a, job.b))?,
+        Some(domain) => stream_into_run(
+            &mut run,
+            &mut DomainSource::new(domain, vec![job.a, job.b]),
+            &mut ws,
+        )?,
     }
     run.finish()
 }
 
-/// Executes one arity-N group job against a kernel: stream the N-way
-/// merged item union ([`WeightMerger`]), hash seeds chunk-wise, evaluate.
+/// Executes one arity-N group job against a kernel: the N-way merged
+/// item union streamed through the same protocol as every other source:
+/// [`merged_weights`] + [`stream_pairs_into_run`] at arity 2 (the
+/// register-resident hot path), [`WeightMerger`] at arity N, and
+/// [`DomainSource`] when the job restricts the domain.
 fn run_group_job(
     kernel: &dyn EstimationKernel,
     width: usize,
@@ -811,38 +958,34 @@ fn run_group_job(
     let mut run = JobRun::new(kernel, width, arity, job.salt, job.seed);
     let mut ws = vec![0.0; arity];
     match job.domain {
-        None => {
-            let mut merger = WeightMerger::new(job.instances);
-            while let Some(key) = merger.next_into(&mut ws) {
-                for &w in &ws {
-                    check_weight(key, w)?;
-                }
-                run.truth += kernel.truth(&ws);
-                run.bufs.push(key, &ws);
-                if run.bufs.is_full() {
-                    run.flush()?;
-                }
-            }
-        }
-        Some(domain) => {
-            for &key in domain {
-                for (slot, inst) in ws.iter_mut().zip(job.instances) {
-                    *slot = inst.weight(key);
-                }
-                for &w in &ws {
-                    check_weight(key, w)?;
-                }
-                if ws.iter().all(|&w| w <= 0.0) {
-                    continue;
-                }
-                run.truth += kernel.truth(&ws);
-                run.bufs.push(key, &ws);
-                if run.bufs.is_full() {
-                    run.flush()?;
-                }
-            }
-        }
+        // Arity-2 groups take the register-resident pair stream:
+        // identical item union, hot-path speed.
+        None => match job.instances {
+            [a, b] => stream_pairs_into_run(&mut run, merged_weights(a, b))?,
+            _ => stream_into_run(&mut run, &mut WeightMerger::new(job.instances), &mut ws)?,
+        },
+        Some(domain) => stream_into_run(
+            &mut run,
+            &mut DomainSource::new(domain, job.instances.iter().collect()),
+            &mut ws,
+        )?,
     }
+    run.finish()
+}
+
+/// Executes one explicit-source job: clone the un-advanced cursor and
+/// stream it.
+fn run_source_job<S: ItemSource + Clone>(
+    kernel: &dyn EstimationKernel,
+    width: usize,
+    job: &SourceJob<S>,
+) -> Result<PairResult> {
+    let mut source = job.source.clone();
+    let arity = source.arity();
+    check_arity(kernel, arity)?;
+    let mut run = JobRun::new(kernel, width, arity, job.salt, job.seed);
+    let mut ws = vec![0.0; arity];
+    stream_into_run(&mut run, &mut source, &mut ws)?;
     run.finish()
 }
 

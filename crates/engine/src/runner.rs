@@ -111,6 +111,9 @@ pub struct ScenarioRun {
     pub lines: Vec<String>,
     /// Whether the scenario's paper-shape checks passed.
     pub ok: bool,
+    /// Scenario-contributed numeric fields for the timing record
+    /// ([`FinishOut::bench_fields`](crate::FinishOut)).
+    pub bench_fields: Vec<(String, f64)>,
     /// Timing record.
     pub timing: ScenarioTiming,
 }
@@ -118,10 +121,17 @@ pub struct ScenarioRun {
 impl ScenarioRun {
     /// The timing record as JSON, following the `BENCH_engine.json`
     /// schema convention (a flat object of `bench`/`workload` identifiers
-    /// plus numeric rate fields).
+    /// plus numeric rate fields). Scenario-contributed
+    /// [`bench_fields`](ScenarioRun::bench_fields) are spliced in after
+    /// the fixed runner fields.
     pub fn timing_json(&self) -> String {
+        let extra: String = self
+            .bench_fields
+            .iter()
+            .map(|(key, value)| format!("  \"{key}\": {value:.3},\n"))
+            .collect();
         format!(
-            "{{\n  \"bench\": \"scenario_{name}\",\n  \"workload\": \"{name}\",\n  \"units\": {units},\n  \"shards\": {shards},\n  \"workers\": {workers},\n  \"elapsed_secs\": {elapsed:.6},\n  \"units_per_sec\": {rate:.3},\n  \"checks_ok\": {ok}\n}}\n",
+            "{{\n  \"bench\": \"scenario_{name}\",\n  \"workload\": \"{name}\",\n  \"units\": {units},\n  \"shards\": {shards},\n  \"workers\": {workers},\n  \"elapsed_secs\": {elapsed:.6},\n  \"units_per_sec\": {rate:.3},\n{extra}  \"checks_ok\": {ok}\n}}\n",
             name = self.name,
             units = self.timing.units,
             shards = self.timing.shards,
@@ -264,6 +274,7 @@ impl Runner {
             artifacts,
             lines: fin.lines,
             ok: fin.ok,
+            bench_fields: fin.bench_fields,
             timing,
         })
     }
@@ -320,7 +331,7 @@ mod tests {
         }
         fn finish(&self, outs: &[UnitOut]) -> FinishOut {
             let sum: f64 = outs.iter().flat_map(|o| o.metrics.iter()).sum();
-            FinishOut::new(vec![format!("sum {sum}")], true)
+            FinishOut::new(vec![format!("sum {sum}")], true).with_bench_field("metric_sum", sum)
         }
     }
 
@@ -370,9 +381,13 @@ mod tests {
             "\"units\": 3",
             "\"elapsed_secs\"",
             "\"units_per_sec\"",
+            "\"metric_sum\": 3.000",
             "\"checks_ok\": true",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+        // Scenario fields sit between the fixed fields and the verdict.
+        assert!(json.find("\"units_per_sec\"").unwrap() < json.find("\"metric_sum\"").unwrap());
+        assert!(json.find("\"metric_sum\"").unwrap() < json.find("\"checks_ok\"").unwrap());
     }
 }

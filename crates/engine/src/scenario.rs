@@ -151,12 +151,31 @@ pub struct FinishOut {
     pub lines: Vec<String>,
     /// Whether every paper-shape check passed.
     pub ok: bool,
+    /// Scenario-contributed numeric fields spliced into the
+    /// `BENCH_<name>.json` timing record
+    /// ([`ScenarioRun::timing_json`](crate::ScenarioRun::timing_json)) —
+    /// throughputs and latency percentiles a scenario measures itself
+    /// (e.g. the service scenario's sustained ingest rate). Keys must be
+    /// unique and not collide with the fixed schema keys.
+    pub bench_fields: Vec<(String, f64)>,
 }
 
 impl FinishOut {
     /// A report from lines and a check verdict.
     pub fn new(lines: Vec<String>, ok: bool) -> FinishOut {
-        FinishOut { lines, ok }
+        FinishOut {
+            lines,
+            ok,
+            bench_fields: Vec::new(),
+        }
+    }
+
+    /// Adds one numeric field to the scenario's `BENCH_<name>.json`
+    /// record.
+    #[must_use]
+    pub fn with_bench_field(mut self, key: &str, value: f64) -> FinishOut {
+        self.bench_fields.push((key.to_owned(), value));
+        self
     }
 }
 
@@ -190,10 +209,7 @@ pub trait Scenario: Sync {
     /// default reports nothing and passes.
     fn finish(&self, outs: &[UnitOut]) -> FinishOut {
         let _ = outs;
-        FinishOut {
-            lines: Vec::new(),
-            ok: true,
-        }
+        FinishOut::new(Vec::new(), true)
     }
 }
 

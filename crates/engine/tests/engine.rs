@@ -331,12 +331,13 @@ fn group_fixed_seed_jobs_sample_every_item_at_that_seed() {
         let jobs = [GroupJob::new(&group, 9).with_seed(u)];
         let query = EngineQuery::distinct_k(3, scale);
         let batch = Engine::with_threads(2).run_groups(&jobs, &query).unwrap();
+        let mut tuple = vec![0.0; data.arity()];
         let expect: f64 = data
             .union_keys()
             .iter()
             .map(|&k| {
-                let q = data
-                    .tuple(k)
+                data.tuple_into(k, &mut tuple);
+                let q = tuple
                     .iter()
                     .filter(|&&w| w > 0.0 && w >= u * scale)
                     .map(|&w| (w / scale).min(1.0))

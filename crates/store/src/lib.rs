@@ -1,0 +1,384 @@
+//! Estimation as a service: a resident sketch store with live group
+//! queries.
+//!
+//! The engine answers queries over *borrowed* instances — somebody has to
+//! hold the full weight maps. This crate holds **sketches** instead: one
+//! coordinated bottom-k sample per instance ([`BottomKStream`], priority
+//! ranks), ingested item by item and resident in a sharded in-memory map.
+//! A query names an ad-hoc group of instance ids; the store snapshots the
+//! group's sketches, merges them into a [`SketchUnion`] item stream, and
+//! compiles the caller's [`EngineQuery`] against the per-sketch
+//! conditioned inclusion scales — for priority ranks, the retained-item
+//! inclusion test `rank(u, w) < τ` *is* a PPS test at scale `1/τ` (τ the
+//! sketch's next-rank threshold), so the paper's estimators apply their
+//! inverse-probability correction for the items each sketch dropped
+//! through the unchanged engine hot loop.
+//!
+//! Memory is `O(k)` per instance regardless of instance size, queries
+//! touch only the union of `N·(k+1)` retained entries, and because all
+//! sketches share one seed hash, the same item retained by two sketches
+//! carries the same seed — exactly the coordination the estimators
+//! require.
+//!
+//! # Example
+//!
+//! Ingest three instances, then ask for the distinct count of a 2-group:
+//!
+//! ```
+//! use monotone_engine::{Engine, EngineQuery};
+//! use monotone_store::SketchStore;
+//!
+//! // k = 64 retained entries per instance, seed-hash salt 7.
+//! let store = SketchStore::new(64, 7);
+//! for key in 0..40u64 {
+//!     store.ingest(0, key, 1.0); // instance 0: keys 0..40
+//!     store.ingest(1, key + 20, 1.0); // instance 1: keys 20..60
+//!     store.ingest(2, key + 1000, 2.0); // instance 2: disjoint
+//! }
+//!
+//! let engine = Engine::with_threads(1);
+//! let query = EngineQuery::distinct_k(2, 1.0);
+//! let est = store.query_group(&engine, &query, &[0, 1])?;
+//! // k exceeds the union size (60), so nothing was dropped and the
+//! // estimate is the exact distinct count.
+//! assert_eq!(est.estimates[0], 60.0);
+//!
+//! // Unknown ids and wrong group sizes surface as typed errors.
+//! assert!(store.query_group(&engine, &query, &[0, 99]).is_err());
+//! assert!(store.query_group(&engine, &query, &[0, 1, 2]).is_err());
+//! # Ok::<(), monotone_core::Error>(())
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use monotone_coord::bottomk::{BottomK, BottomKSample, BottomKStream, RankMethod};
+use monotone_coord::seed::SeedHasher;
+use monotone_coord::source::SketchUnion;
+use monotone_core::{Error, Result};
+use monotone_engine::{Engine, EngineQuery, SourceJob};
+
+/// One answered group query: per-estimator estimates plus the exact
+/// aggregate over what the sketches retained.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupEstimate {
+    /// Estimates, parallel to the query's estimator set — corrected for
+    /// the items the sketches dropped.
+    pub estimates: Vec<f64>,
+    /// The exact aggregate over the *retained* union only (a lower-bound
+    /// diagnostic, not the store's answer).
+    pub retained_truth: f64,
+    /// Retained items that carried sampled evidence.
+    pub sampled_items: usize,
+}
+
+/// A resident store of coordinated bottom-k sketches, one per instance
+/// id, sharded for concurrent ingest.
+///
+/// All sketches share one [`SeedHasher`] salt and use priority ranks
+/// ([`RankMethod::Priority`]) — the one rank transform whose conditioned
+/// inclusion test is itself a PPS test, which is what lets
+/// [`SketchStore::query_group`] recompile any [`EngineQuery`] against
+/// stored sketches without new estimator machinery.
+#[derive(Debug)]
+pub struct SketchStore {
+    sampler: BottomK,
+    shards: Vec<Mutex<HashMap<u64, BottomKStream>>>,
+}
+
+impl SketchStore {
+    /// A store retaining `k` entries per instance under seed-hash salt
+    /// `salt`, with a small default shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` (the [`BottomK`] contract).
+    pub fn new(k: usize, salt: u64) -> SketchStore {
+        SketchStore::with_shards(k, salt, 16)
+    }
+
+    /// A store with an explicit shard count. Sharding only spreads lock
+    /// contention across concurrent ingest threads; resident state and
+    /// query answers are identical at every shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `shards == 0`.
+    pub fn with_shards(k: usize, salt: u64, shards: usize) -> SketchStore {
+        assert!(shards > 0, "sketch store needs at least one shard");
+        SketchStore {
+            sampler: BottomK::new(k, RankMethod::Priority, SeedHasher::new(salt)),
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    /// Retained entries per instance.
+    pub fn k(&self) -> usize {
+        self.sampler.k()
+    }
+
+    /// The shared seed-hash salt every sketch samples under. Queries
+    /// compiled against this store must run under the same salt —
+    /// [`SketchStore::query_group`] does so automatically.
+    pub fn salt(&self) -> u64 {
+        self.sampler.seeder().salt()
+    }
+
+    /// Number of ingest shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of resident instances.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("unpoisoned shard").len())
+            .sum()
+    }
+
+    /// True while no instance has been ingested.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn shard(&self, instance: u64) -> &Mutex<HashMap<u64, BottomKStream>> {
+        // splitmix the id so sequentially numbered instances spread
+        // across shards instead of striding through them in lockstep.
+        let ix = monotone_coord::seed::splitmix64(instance) % self.shards.len() as u64;
+        &self.shards[ix as usize]
+    }
+
+    /// Feeds one `(key, weight)` observation to `instance`'s sketch,
+    /// creating the sketch on first touch. Inactive observations
+    /// (`w <= 0`, non-finite) are ignored, matching the streaming
+    /// sampler's contract.
+    pub fn ingest(&self, instance: u64, key: u64, w: f64) {
+        let mut shard = self.shard(instance).lock().expect("unpoisoned shard");
+        shard
+            .entry(instance)
+            .or_insert_with(|| self.sampler.stream())
+            .insert(key, w);
+    }
+
+    /// Bulk ingest: every `(key, weight)` of `items` into `instance`'s
+    /// sketch under one shard lock.
+    pub fn ingest_all(&self, instance: u64, items: impl IntoIterator<Item = (u64, f64)>) {
+        let mut shard = self.shard(instance).lock().expect("unpoisoned shard");
+        let stream = shard
+            .entry(instance)
+            .or_insert_with(|| self.sampler.stream());
+        for (key, w) in items {
+            stream.insert(key, w);
+        }
+    }
+
+    /// Snapshots `instance`'s current sample (ingest may continue
+    /// afterwards).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownInstance`] if the id was never ingested.
+    pub fn sketch(&self, instance: u64) -> Result<BottomKSample> {
+        let shard = self.shard(instance).lock().expect("unpoisoned shard");
+        shard
+            .get(&instance)
+            .map(BottomKStream::sample)
+            .ok_or(Error::UnknownInstance { id: instance })
+    }
+
+    /// Answers `query` over the ad-hoc group of resident instances
+    /// `group`: snapshot each sketch, merge them into one
+    /// [`SketchUnion`] stream, recompile the query's scales to the
+    /// per-sketch conditioned inclusion scales, and run the engine over
+    /// the retained union. The query's function family and estimator set
+    /// are the caller's; its PPS scales are replaced — a stored sketch
+    /// *is* the sample, so the inclusion probabilities are the sketches'
+    /// to dictate.
+    ///
+    /// With `k` at least the union size nothing was dropped and the
+    /// estimates equal the exact aggregate; below that they are the
+    /// paper's inverse-probability-corrected estimates over what the
+    /// sketches kept.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownInstance`] for an id never ingested,
+    /// [`Error::SketchArityMismatch`] when `group`'s size differs from
+    /// the query's arity, and propagates engine errors.
+    pub fn query_group(
+        &self,
+        engine: &Engine,
+        query: &EngineQuery,
+        group: &[u64],
+    ) -> Result<GroupEstimate> {
+        if query.arity() != group.len() {
+            return Err(Error::SketchArityMismatch {
+                expected: query.arity(),
+                got: group.len(),
+            });
+        }
+        let sketches: Vec<BottomKSample> = group
+            .iter()
+            .map(|&id| self.sketch(id))
+            .collect::<Result<_>>()?;
+        let union = SketchUnion::new(&sketches);
+        let scales = union
+            .conditioned_scales()
+            .expect("priority sketches always carry conditioned scales")
+            .to_vec();
+        let compiled = query.clone().with_instance_scales(&scales);
+        let job = SourceJob::new(union, self.salt());
+        let batch = engine.run_sources(&[job], &compiled)?;
+        let pair = batch.pairs.into_iter().next().expect("one job in, one out");
+        Ok(GroupEstimate {
+            estimates: pair.estimates,
+            retained_truth: pair.truth,
+            sampled_items: pair.sampled_items,
+        })
+    }
+
+    /// [`query_group`](SketchStore::query_group) over many groups, in
+    /// order. Each group compiles its own conditioned-scale kernel (the
+    /// scales are per-sketch state), so this is a convenience loop, not
+    /// a batched kernel share.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first group that does
+    /// ([`query_group`](SketchStore::query_group)'s errors).
+    pub fn query_groups(
+        &self,
+        engine: &Engine,
+        query: &EngineQuery,
+        groups: &[Vec<u64>],
+    ) -> Result<Vec<GroupEstimate>> {
+        groups
+            .iter()
+            .map(|g| self.query_group(engine, query, g))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monotone_coord::instance::Instance;
+
+    fn instance(lo: u64, hi: u64, w: impl Fn(u64) -> f64) -> Vec<(u64, f64)> {
+        (lo..hi).map(|k| (k, w(k))).collect()
+    }
+
+    #[test]
+    fn ingest_then_sketch_matches_batch_sampler() {
+        let store = SketchStore::new(8, 42);
+        let items = instance(0, 100, |k| 1.0 + (k % 7) as f64);
+        store.ingest_all(5, items.iter().copied());
+        let inst = Instance::from_pairs(items);
+        let batch = BottomK::new(8, RankMethod::Priority, SeedHasher::new(42));
+        assert_eq!(store.sketch(5).unwrap(), batch.sample_instance(&inst));
+    }
+
+    #[test]
+    fn unknown_instance_is_a_typed_error() {
+        let store = SketchStore::new(4, 1);
+        store.ingest(1, 10, 1.0);
+        match store.sketch(2) {
+            Err(Error::UnknownInstance { id }) => assert_eq!(id, 2),
+            other => panic!("expected UnknownInstance, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn group_arity_mismatch_is_a_typed_error() {
+        let store = SketchStore::new(4, 1);
+        for id in 0..3 {
+            store.ingest(id, 10, 1.0);
+        }
+        let engine = Engine::with_threads(1);
+        let query = EngineQuery::distinct_k(2, 1.0);
+        match store.query_group(&engine, &query, &[0, 1, 2]) {
+            Err(Error::SketchArityMismatch { expected, got }) => {
+                assert_eq!((expected, got), (2, 3));
+            }
+            other => panic!("expected SketchArityMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_k_distinct_count_is_exact() {
+        let store = SketchStore::new(256, 9);
+        store.ingest_all(0, instance(0, 80, |_| 1.0));
+        store.ingest_all(1, instance(40, 140, |k| 0.5 + (k % 3) as f64));
+        let engine = Engine::with_threads(1);
+        let query = EngineQuery::distinct_k(2, 1.0);
+        let est = store.query_group(&engine, &query, &[0, 1]).unwrap();
+        assert_eq!(est.estimates[0], 140.0);
+        assert_eq!(est.retained_truth, 140.0);
+    }
+
+    #[test]
+    fn sketched_estimate_is_finite_and_sane_below_full_k() {
+        let store = SketchStore::new(32, 9);
+        store.ingest_all(0, instance(0, 500, |_| 1.0));
+        store.ingest_all(1, instance(250, 750, |_| 1.0));
+        let engine = Engine::with_threads(1);
+        let query = EngineQuery::distinct_k(2, 1.0);
+        let est = store.query_group(&engine, &query, &[0, 1]).unwrap();
+        // 64-ish retained entries stand in for 750 distinct items; the
+        // corrected estimate must land in a loose band around the truth
+        // while the retained aggregate cannot exceed what was kept.
+        assert!(est.estimates[0].is_finite());
+        assert!(est.estimates[0] > 150.0 && est.estimates[0] < 3000.0);
+        assert!(est.retained_truth <= 66.0);
+    }
+
+    #[test]
+    fn shard_count_does_not_change_answers() {
+        let mk = |shards| {
+            let store = SketchStore::with_shards(16, 3, shards);
+            for id in 0..20u64 {
+                store.ingest_all(
+                    id,
+                    instance(id * 10, id * 10 + 60, |k| 1.0 + (k % 4) as f64),
+                );
+            }
+            store
+        };
+        let engine = Engine::with_threads(1);
+        let query = EngineQuery::distinct_k(3, 1.0);
+        let a = mk(1).query_group(&engine, &query, &[2, 5, 11]).unwrap();
+        let b = mk(7).query_group(&engine, &query, &[2, 5, 11]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn live_queries_see_later_ingest() {
+        let store = SketchStore::new(64, 4);
+        store.ingest_all(0, instance(0, 10, |_| 1.0));
+        store.ingest_all(1, instance(0, 10, |_| 1.0));
+        let engine = Engine::with_threads(1);
+        let query = EngineQuery::distinct_k(2, 1.0);
+        let before = store.query_group(&engine, &query, &[0, 1]).unwrap();
+        store.ingest_all(0, instance(100, 120, |_| 1.0));
+        let after = store.query_group(&engine, &query, &[0, 1]).unwrap();
+        assert_eq!(before.estimates[0], 10.0);
+        assert_eq!(after.estimates[0], 30.0);
+    }
+
+    #[test]
+    fn query_groups_answers_in_order() {
+        let store = SketchStore::new(128, 4);
+        for id in 0..4u64 {
+            store.ingest_all(id, instance(id * 5, id * 5 + 20, |_| 1.0));
+        }
+        let engine = Engine::with_threads(1);
+        let query = EngineQuery::distinct_k(2, 1.0);
+        let groups = vec![vec![0, 1], vec![2, 3], vec![0, 3]];
+        let ests = store.query_groups(&engine, &query, &groups).unwrap();
+        assert_eq!(ests.len(), 3);
+        assert_eq!(ests[0].estimates[0], 25.0); // 0..20 ∪ 5..25
+        assert_eq!(ests[1].estimates[0], 25.0); // 10..30 ∪ 15..35
+        assert_eq!(ests[2].estimates[0], 35.0); // 0..20 ∪ 15..35
+    }
+}

@@ -20,7 +20,10 @@
 //!   for the paper's proprietary datasets;
 //! * [`engine`] ([`monotone_engine`]) — the batched, thread-parallel
 //!   estimation engine driving all estimators over large pair workloads
-//!   (the designated hot path).
+//!   (the designated hot path);
+//! * [`store`] ([`monotone_store`]) — estimation as a service: a resident
+//!   store of coordinated bottom-k sketches with live group queries
+//!   answered through the engine's sketch-backed item sources.
 //!
 //! ## Quickstart
 //!
@@ -45,8 +48,15 @@
 //! `monotone-bench` crate for the experiment suite regenerating every table
 //! and figure of the paper.
 
+// README code blocks must stay runnable: compile and run them as
+// doctests alongside the crate's own.
+#[doc = include_str!("../README.md")]
+#[cfg(doctest)]
+pub struct ReadmeDoctests;
+
 pub use monotone_coord as coord;
 pub use monotone_core as core;
 pub use monotone_datagen as datagen;
 pub use monotone_engine as engine;
 pub use monotone_sketches as sketches;
+pub use monotone_store as store;
