@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Shared CI regression gate: compare one numeric field of a freshly
+# measured BENCH_*.json against the committed baseline copy.
+#
+# Usage:
+#   ci/gate.sh <baseline.json> <measured.json> <field> --ratio R [--lane-field F]
+#   ci/gate.sh <baseline.json> <measured.json> <field> --slack D [--lane-field F]
+#
+#   --ratio R       floor = R * baseline      (perf floors, e.g. 0.8: the
+#                   measured value may lose at most 20% to runner noise)
+#   --slack D       floor = baseline - D      (accuracy floors, e.g. a
+#                   recall gate at baseline - 0.02)
+#   --lane-field F  skip (exit 0) when the baseline and the measured
+#                   record disagree on this string field: the runner
+#                   executes different machine code and the ratio would
+#                   compare apples to oranges. Schema drift in the lane
+#                   field still fails loudly.
+#
+# A missing field in either record is schema drift and always fails —
+# a gate must never be disabled silently.
+set -euo pipefail
+
+usage() {
+  echo "usage: $0 <baseline.json> <measured.json> <field> (--ratio R | --slack D) [--lane-field F]" >&2
+  exit 2
+}
+
+[ $# -ge 5 ] || usage
+baseline=$1
+measured=$2
+field=$3
+mode=$4
+margin=$5
+shift 5
+
+lane_field=""
+while [ $# -gt 0 ]; do
+  case $1 in
+    --lane-field)
+      [ $# -ge 2 ] || usage
+      lane_field=$2
+      shift 2
+      ;;
+    *) usage ;;
+  esac
+done
+
+base=$(jq -r ".$field" "$baseline")
+new=$(jq -r ".$field" "$measured")
+if [ "$base" = null ] || [ "$new" = null ]; then
+  echo "FAIL: $field missing (baseline=$base, measured=$new)"
+  exit 1
+fi
+
+if [ -n "$lane_field" ]; then
+  base_lane=$(jq -r ".$lane_field" "$baseline")
+  new_lane=$(jq -r ".$lane_field" "$measured")
+  if [ "$base_lane" = null ] || [ "$new_lane" = null ]; then
+    echo "FAIL: $lane_field missing (baseline=$base_lane, measured=$new_lane)"
+    exit 1
+  fi
+  if [ "$new_lane" != "$base_lane" ]; then
+    echo "SKIP: $lane_field differs (baseline $base_lane, runner $new_lane) — $field not comparable"
+    exit 0
+  fi
+fi
+
+case $mode in
+  --ratio) floor=$(awk -v b="$base" -v m="$margin" 'BEGIN { printf "%.6g", m * b }') ;;
+  --slack) floor=$(awk -v b="$base" -v m="$margin" 'BEGIN { printf "%.6g", b - m }') ;;
+  *) usage ;;
+esac
+
+echo "$field: baseline $base, measured $new, floor $floor ($mode $margin)"
+awk -v n="$new" -v f="$floor" 'BEGIN { exit !(n >= f) }' || {
+  echo "FAIL: measured $field $new below floor $floor (baseline $base, $mode $margin)"
+  exit 1
+}

@@ -1,0 +1,335 @@
+//! E18 — all-pairs similarity join over coordinated sketches.
+//!
+//! The paper's coordinated samples exist so that *any* pair of instances
+//! can be compared after the fact; this scenario runs the production
+//! shape of that promise — *find all similar pairs among N instances* —
+//! as a two-stage pipeline sharing one prepared pool per sweep unit:
+//!
+//! 1. **Candidate generation** (sub-quadratic): ingest the pool into a
+//!    [`SketchStore`] (one bottom-k sketch per instance, shared salt) and
+//!    build a banded LSH index over the resident sketches
+//!    ([`SketchStore::band_index`]). Band signatures derive from the
+//!    shared-seed coordinated ranks, so identical items hash identically
+//!    across instances with no extra data passes; candidate pairs are
+//!    the bucket collisions.
+//! 2. **Verification** (exact-sample): re-estimate every candidate
+//!    through the engine's pair path with the distinct-count (union)
+//!    kernel and accept pairs whose support Jaccard
+//!    `(|A| + |B| − U)/U` clears the similarity threshold.
+//!
+//! The pool is [`workload::planted_pair_pool`] — `distinct_group_pool`
+//! generalized to pool scale, N swept across the 10⁴–10⁵ decade with a
+//! near-duplicate pair planted every ten instances (J ≈ 0.82) amid
+//! half-overlapping neighbors (J = ⅓, below threshold: realistic
+//! candidates the verifier must reject). Recall is measured against the
+//! brute-force exact join on a fixed 256-instance slice.
+//!
+//! The CSV carries only the deterministic join outcome (byte-identical
+//! at every shard × worker geometry). The measured rates —
+//! `candidate_pairs_per_sec`, `verify_pairs_per_sec` — and the minimum
+//! recall ride `BENCH_allpairs.json` via [`FinishOut::bench_fields`],
+//! where CI gates them against the committed baseline.
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+use std::time::Instant;
+
+use monotone_coord::instance::Instance;
+use monotone_core::Result;
+use monotone_engine::{
+    workload, CsvSpec, Engine, EngineQuery, FinishOut, PairJob, Scenario, UnitOut,
+};
+use monotone_store::banding::BandConfig;
+use monotone_store::SketchStore;
+
+use crate::{fnum, table::Table};
+
+/// Pool sizes swept, one unit each (the 10⁴–10⁵ decade of the
+/// generator's 10⁴–10⁶ range; the construction is N-oblivious).
+const NS: [u64; 4] = [10_000, 20_000, 50_000, 100_000];
+/// Items per instance.
+const ITEMS: u64 = 48;
+/// Retained sketch entries per instance.
+const K: usize = 32;
+/// Band shape: 16 bands × 2 rows = 32 slots, S-curve midpoint 0.25.
+const BANDS: usize = 16;
+const ROWS: usize = 2;
+/// A near-duplicate pair is planted every PERIOD instances.
+const PERIOD: u64 = 10;
+/// Similarity threshold of the join (planted ≈ 0.82, neighbors = ⅓).
+const SIM_J: f64 = 0.5;
+/// PPS scale τ* of the verification query: p = min(1, w/τ*), so most of
+/// the weight lattice is sampled outright and union estimates are tight
+/// enough to separate planted pairs from half-overlap neighbors.
+const VERIFY_SCALE: f64 = 0.25;
+/// Exact-join slice: recall is measured over all C(SLICE, 2) pairs.
+const SLICE: u64 = 256;
+/// Base salt; each unit offsets it for an independent randomization.
+const SALT: u64 = 0x5eed_0018;
+
+/// Per-unit prepared state shared by both stages.
+struct Prepared {
+    pool: Vec<Instance>,
+    salt: u64,
+}
+
+fn prepare(unit: usize) -> Prepared {
+    Prepared {
+        pool: workload::planted_pair_pool(NS[unit], ITEMS, PERIOD),
+        salt: SALT + unit as u64,
+    }
+}
+
+/// Stage 1: sketch the pool, band the resident sketches, extract the
+/// sorted candidate pairs. Returns the candidates and the banding
+/// seconds (index build + pair extraction, the stage's priced work).
+fn stage_candidates(p: &Prepared) -> (Vec<(u64, u64)>, f64) {
+    let store = SketchStore::new(K, p.salt);
+    for (id, inst) in p.pool.iter().enumerate() {
+        store.ingest_all(id as u64, inst.iter());
+    }
+    let cfg = BandConfig::new(BANDS, ROWS, p.salt);
+    let start = Instant::now();
+    let index = store.band_index(&cfg);
+    let candidates = index.candidate_pairs();
+    (candidates, start.elapsed().as_secs_f64())
+}
+
+/// Verification outcome of one unit.
+struct Verified {
+    /// Candidates whose *estimated* Jaccard clears the threshold.
+    accepted: usize,
+    /// Candidates whose *exact* Jaccard clears it (from the engine's
+    /// exact union truth — the reference the estimates are judged by).
+    exact: usize,
+    /// Fraction of candidates where the two verdicts agree.
+    agreement: f64,
+}
+
+/// Stage 2: estimate every candidate's union through the engine's
+/// distinct-count kernel and threshold the implied support Jaccard.
+/// Every pool instance holds exactly `ITEMS` items, so
+/// `J = (2·ITEMS − U)/U` both for the estimate and for the exact truth.
+fn stage_verify(
+    p: &Prepared,
+    candidates: &[(u64, u64)],
+    engine: &Engine,
+) -> Result<(Verified, f64)> {
+    let jobs: Vec<PairJob<'_>> = candidates
+        .iter()
+        .map(|&(a, b)| PairJob::new(&p.pool[a as usize], &p.pool[b as usize], p.salt))
+        .collect();
+    let query = EngineQuery::distinct(VERIFY_SCALE);
+    let start = Instant::now();
+    let batch = engine.run(&jobs, &query)?;
+    let secs = start.elapsed().as_secs_f64();
+
+    let jaccard = |union: f64| (2.0 * ITEMS as f64 - union) / union;
+    let mut accepted = 0;
+    let mut exact = 0;
+    let mut agree = 0;
+    for pair in &batch.pairs {
+        let est_similar = jaccard(pair.estimates[0]) >= SIM_J;
+        let exact_similar = jaccard(pair.truth) >= SIM_J;
+        accepted += usize::from(est_similar);
+        exact += usize::from(exact_similar);
+        agree += usize::from(est_similar == exact_similar);
+    }
+    let agreement = if batch.pairs.is_empty() {
+        1.0
+    } else {
+        agree as f64 / batch.pairs.len() as f64
+    };
+    Ok((
+        Verified {
+            accepted,
+            exact,
+            agreement,
+        },
+        secs,
+    ))
+}
+
+/// The brute-force exact join over the pool's first [`SLICE`] instances:
+/// every pair whose exact support Jaccard clears the threshold.
+fn exact_slice_join(pool: &[Instance]) -> Vec<(u64, u64)> {
+    let slice = pool.len().min(SLICE as usize);
+    let keys: Vec<Vec<u64>> = pool[..slice].iter().map(|i| i.keys().collect()).collect();
+    let mut out = Vec::new();
+    for a in 0..slice {
+        for b in a + 1..slice {
+            let mut shared = 0usize;
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < keys[a].len() && j < keys[b].len() {
+                match keys[a][i].cmp(&keys[b][j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        shared += 1;
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            let union = keys[a].len() + keys[b].len() - shared;
+            if shared as f64 / union as f64 >= SIM_J {
+                out.push((a as u64, b as u64));
+            }
+        }
+    }
+    out
+}
+
+pub struct AllPairs;
+
+impl Scenario for AllPairs {
+    fn name(&self) -> &'static str {
+        "allpairs"
+    }
+
+    fn description(&self) -> &'static str {
+        "E18: all-pairs similarity join, banded LSH candidates + engine verification"
+    }
+
+    fn artifacts(&self) -> Vec<CsvSpec> {
+        vec![CsvSpec::new(
+            "e18_allpairs.csv",
+            &[
+                "n",
+                "candidate_pairs",
+                "candidate_frac",
+                "verified_similar",
+                "exact_similar",
+                "verify_agreement",
+                "slice_similar",
+                "slice_found",
+                "recall",
+            ],
+        )]
+    }
+
+    fn units(&self) -> usize {
+        NS.len()
+    }
+
+    fn run_shard(&self, units: Range<usize>, engine: &Engine) -> Result<Vec<UnitOut>> {
+        units
+            .map(|unit| {
+                let n = NS[unit];
+                let prepared = prepare(unit);
+                let (candidates, cand_secs) = stage_candidates(&prepared);
+                let (verified, verify_secs) = stage_verify(&prepared, &candidates, engine)?;
+
+                // Recall against the brute-force slice join.
+                let similar = exact_slice_join(&prepared.pool);
+                let cand_set: BTreeSet<(u64, u64)> = candidates.iter().copied().collect();
+                let found = similar.iter().filter(|p| cand_set.contains(p)).count();
+                let recall = found as f64 / similar.len() as f64;
+                let frac = candidates.len() as f64 / (n as f64 * (n as f64 - 1.0) / 2.0);
+
+                let mut out = UnitOut::default();
+                out.row(
+                    0,
+                    vec![
+                        format!("{n}"),
+                        format!("{}", candidates.len()),
+                        format!("{frac}"),
+                        format!("{}", verified.accepted),
+                        format!("{}", verified.exact),
+                        format!("{}", verified.agreement),
+                        format!("{}", similar.len()),
+                        format!("{found}"),
+                        format!("{recall}"),
+                    ],
+                );
+                out.show(
+                    0,
+                    vec![
+                        format!("{n}"),
+                        format!("{}", candidates.len()),
+                        fnum(frac),
+                        format!("{}", verified.accepted),
+                        format!("{}", verified.exact),
+                        fnum(verified.agreement),
+                        format!("{found}/{}", similar.len()),
+                        fnum(recall),
+                    ],
+                );
+                // Metrics layout consumed by finish: the deterministic
+                // join shape, then the measured stage legs.
+                out.metric(recall)
+                    .metric(verified.agreement)
+                    .metric(frac)
+                    .metric(candidates.len() as f64)
+                    .metric(cand_secs)
+                    .metric(verify_secs);
+                Ok(out)
+            })
+            .collect()
+    }
+
+    fn finish(&self, outs: &[UnitOut]) -> FinishOut {
+        let mut t = Table::new(
+            &format!(
+                "E18: all-pairs similarity join, {BANDS}×{ROWS} bands over k={K} sketches, \
+                 J ≥ {SIM_J} (planted pair every {PERIOD} instances)"
+            ),
+            &[
+                "n",
+                "candidates",
+                "cand frac",
+                "verified",
+                "exact",
+                "agreement",
+                "slice recall",
+                "recall",
+            ],
+        );
+        for out in outs {
+            for row in out.table_rows(0) {
+                t.row(row.clone());
+            }
+        }
+
+        // Deterministic paper-shape checks: the slice recall floor the
+        // acceptance criteria pin, near-perfect verifier agreement with
+        // the exact join, and sub-quadratic candidate volume at scale.
+        let recall_min = outs
+            .iter()
+            .map(|o| o.metrics[0])
+            .fold(f64::INFINITY, f64::min);
+        let recall_ok = recall_min >= 0.9;
+        let agree_ok = outs.iter().all(|o| o.metrics[1] >= 0.98);
+        let subquad_ok = outs.iter().all(|o| o.metrics[2] < 1e-3);
+
+        // Measured stage rates for the timing record.
+        let cands: f64 = outs.iter().map(|o| o.metrics[3]).sum();
+        let cand_secs: f64 = outs.iter().map(|o| o.metrics[4]).sum();
+        let verify_secs: f64 = outs.iter().map(|o| o.metrics[5]).sum();
+        let cand_rate = cands / cand_secs.max(1e-9);
+        let verify_rate = cands / verify_secs.max(1e-9);
+
+        FinishOut::new(
+            vec![
+                t.render(),
+                format!(
+                    "\ncandidate generation: {:.2}M pairs/s; verification: {:.2}M pairs/s \
+                     ({} candidates over the sweep)",
+                    cand_rate / 1e6,
+                    verify_rate / 1e6,
+                    cands as u64,
+                ),
+                format!(
+                    "paper-shape checks: slice recall ≥ 0.9 at every n (min {}: {recall_ok}), \
+                     verifier agrees with the exact join ≥ 98% ({agree_ok}), \
+                     candidates stay under 0.1% of all pairs ({subquad_ok})",
+                    fnum(recall_min),
+                ),
+            ],
+            recall_ok && agree_ok && subquad_ok,
+        )
+        .with_bench_field("candidate_pairs_per_sec", cand_rate)
+        .with_bench_field("verify_pairs_per_sec", verify_rate)
+        .with_bench_field("recall", recall_min)
+    }
+}

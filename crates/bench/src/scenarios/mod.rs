@@ -13,6 +13,7 @@
 //! convention as `BENCH_engine.json`, so the CI perf trajectory covers
 //! the whole experiment suite.
 
+mod allpairs;
 mod coordination_gain;
 mod error_scaling;
 mod example1;
@@ -59,6 +60,7 @@ pub fn registry() -> Registry {
     r.register(Box::new(coordination_gain::CoordinationGain));
     r.register(Box::new(multiway::Multiway));
     r.register(Box::new(service::Service));
+    r.register(Box::new(allpairs::AllPairs));
     r
 }
 

@@ -125,7 +125,7 @@ fn emitting_a_run_writes_artifacts_and_a_positive_rate_timing_record() {
 }
 
 #[test]
-fn full_registry_serves_all_seventeen_experiments() {
+fn full_registry_serves_all_eighteen_experiments() {
     let registry = scenarios::registry();
     let names: Vec<&str> = registry.iter().map(|s| s.name()).collect();
     assert_eq!(
@@ -148,6 +148,7 @@ fn full_registry_serves_all_seventeen_experiments() {
             "coordination_gain",
             "multiway",
             "service",
+            "allpairs",
         ]
     );
     for s in registry.iter() {
@@ -155,6 +156,65 @@ fn full_registry_serves_all_seventeen_experiments() {
         assert!(s.units() > 0, "{} has an empty sweep", s.name());
         assert!(!s.artifacts().is_empty(), "{} emits no CSVs", s.name());
     }
+}
+
+/// The three places that enumerate scenarios outside the registry — the
+/// README's scenario table, the CI determinism job's scenario list, and
+/// the registry itself (which `exp_runner --list` prints verbatim) —
+/// must not drift apart silently.
+#[test]
+fn readme_table_and_ci_scenario_lists_match_the_registry() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let registry = scenarios::registry();
+    let names: Vec<&str> = registry.iter().map(|s| s.name()).collect();
+
+    // README scenario table (under the "Scenario index" heading): one
+    // row per registry entry, in registration (E-number) order.
+    let readme = std::fs::read_to_string(root.join("README.md")).expect("read README.md");
+    let table_names: Vec<&str> = readme
+        .lines()
+        .skip_while(|l| !l.contains("### Scenario index"))
+        .take_while(|l| !l.starts_with('#') || l.contains("### Scenario index"))
+        .filter_map(|l| {
+            let rest = l.strip_prefix("| `")?;
+            rest.split('`').next()
+        })
+        .collect();
+    assert_eq!(
+        table_names, names,
+        "README scenario table rows must match the registry, in order"
+    );
+
+    // The determinism job's explicit scenario list must name real
+    // scenarios and cover the all-pairs join.
+    let ci = std::fs::read_to_string(root.join(".github/workflows/ci.yml")).expect("read ci.yml");
+    let det_line = ci
+        .lines()
+        .find(|l| l.contains("--out \"/tmp/det$s\""))
+        .expect("determinism job run line present in ci.yml");
+    let det_names: Vec<&str> = det_line
+        .split_whitespace()
+        .skip_while(|w| *w != "--out")
+        .skip(2)
+        .collect();
+    assert!(
+        !det_names.is_empty(),
+        "determinism job must list scenarios explicitly"
+    );
+    for name in &det_names {
+        assert!(
+            names.contains(name),
+            "determinism job lists unknown scenario {name:?}"
+        );
+    }
+    assert!(
+        det_names.contains(&"allpairs"),
+        "determinism job must cover the all-pairs join"
+    );
 }
 
 /// The two group-job scenarios must emit byte-identical CSV rows at every

@@ -71,6 +71,80 @@ pub fn distinct_group_pool(arity: usize, items_per_instance: u64) -> Vec<Instanc
         .collect()
 }
 
+/// Key-pure weight of the planted-pair pool: a mod-89 lattice like
+/// [`distinct_group_pool`]'s, but a function of the key *alone* — shared
+/// keys carry identical weights in every instance, so their priority
+/// ranks coincide and coordinated sketches of overlapping instances
+/// agree item for item (the property banded signatures rely on).
+fn planted_weight(key: u64) -> f64 {
+    0.05 + 0.9 * (((key.wrapping_mul(13) + 7) % 89) as f64 / 89.0)
+}
+
+/// Key range where a planted instance's mutated-away items live: far
+/// outside every base window, so mutations never alias pool keys.
+const PLANTED_FRESH_BASE: u64 = 1 << 40;
+
+/// The planted near-duplicate partner of instance `id`, if it has one:
+/// [`planted_pair_pool`] replaces every instance with `id % period == 1`
+/// by a mutated copy of instance `id - 1`.
+pub fn planted_partner(id: u64, period: u64) -> Option<u64> {
+    assert!(period >= 2, "planting needs a period of at least 2");
+    if id % period == 1 {
+        Some(id - 1)
+    } else {
+        None
+    }
+}
+
+/// [`distinct_group_pool`] generalized to pool scale: `instances`
+/// instances (any N up to the 10⁴–10⁶ all-pairs range) of
+/// `items_per_instance` items each, with planted similar pairs.
+///
+/// Base instance `i` covers the half-overlapping window
+/// `[i·n/2, i·n/2 + n)` — consecutive instances share half their support
+/// (Jaccard ⅓), non-consecutive instances are disjoint. Every instance
+/// with `i % period == 1` is replaced by a *planted near-duplicate* of
+/// instance `i − 1`: the first 90% of the partner's window plus `n/10`
+/// fresh far-away keys, a pair of support Jaccard
+/// `(n − m)/(n + m) ≈ 0.85` (`m = n/10`). Weights are key-pure
+/// ([`planted_weight`]'s lattice) so shared items sample identically
+/// under any common salt.
+///
+/// Everything is a pure function of `(i, items_per_instance, period)`:
+/// the pool prefix for a smaller N is a prefix of the pool for a larger
+/// N, and regeneration is byte-identical everywhere.
+///
+/// # Panics
+///
+/// Panics if `items_per_instance < 10` (the 10% mutation would be empty)
+/// or `period < 2`.
+pub fn planted_pair_pool(instances: u64, items_per_instance: u64, period: u64) -> Vec<Instance> {
+    assert!(
+        items_per_instance >= 10,
+        "planted pool needs at least 10 items per instance"
+    );
+    assert!(period >= 2, "planting needs a period of at least 2");
+    let n = items_per_instance;
+    let mutated = n / 10;
+    (0..instances)
+        .map(|i| {
+            let base = planted_partner(i, period).unwrap_or(i);
+            let lo = base * n / 2;
+            let window = (lo..lo + n).map(|k| (k, planted_weight(k)));
+            if base == i {
+                Instance::from_pairs(window)
+            } else {
+                let fresh_lo = PLANTED_FRESH_BASE + i * n;
+                Instance::from_pairs(
+                    window
+                        .take((n - mutated) as usize)
+                        .chain((fresh_lo..fresh_lo + mutated).map(|k| (k, planted_weight(k)))),
+                )
+            }
+        })
+        .collect()
+}
+
 /// `randomizations` group jobs over one instance group, salted
 /// `salt_base..salt_base + randomizations` — one coordinated sampling
 /// run per job.
@@ -119,6 +193,54 @@ mod tests {
         assert_eq!(jobs[3].salt, 103);
         assert_eq!(jobs[0].arity(), 4);
         assert!(std::ptr::eq(jobs[0].instances.as_ptr(), group.as_ptr()));
+    }
+
+    #[test]
+    fn planted_pool_shapes_and_weights() {
+        let pool = planted_pair_pool(25, 40, 10);
+        assert_eq!(pool.len(), 25);
+        for inst in &pool {
+            // Planted instances swap 4 window keys for 4 fresh keys, so
+            // every instance keeps exactly 40 items in (0, 1) weights.
+            assert_eq!(inst.len(), 40);
+            assert!(inst.iter().all(|(_, w)| w > 0.0 && w < 1.0));
+        }
+        // Weights are key-pure: any shared key agrees across instances.
+        for (k, w) in pool[0].iter() {
+            let w1 = pool[1].weight(k);
+            assert!(w1 == 0.0 || w1 == w, "key {k}: {w} vs {w1}");
+        }
+        // Determinism and prefix stability.
+        let again = planted_pair_pool(25, 40, 10);
+        let small = planted_pair_pool(5, 40, 10);
+        for (i, inst) in pool.iter().enumerate() {
+            assert!(inst.iter().zip(again[i].iter()).all(|(p, q)| p == q));
+            if i < 5 {
+                assert!(inst.iter().zip(small[i].iter()).all(|(p, q)| p == q));
+            }
+        }
+    }
+
+    #[test]
+    fn planted_pairs_are_near_duplicates_and_others_overlap_by_half() {
+        let pool = planted_pair_pool(30, 40, 10);
+        let shared = |a: &Instance, b: &Instance| a.keys().filter(|&k| b.weight(k) > 0.0).count();
+        for id in 0..30u64 {
+            match planted_partner(id, 10) {
+                Some(p) => {
+                    assert_eq!(p, id - 1);
+                    // 36 of 40 keys shared: support Jaccard 36/44 ≈ 0.82.
+                    assert_eq!(shared(&pool[id as usize], &pool[p as usize]), 36);
+                }
+                None => assert!(id % 10 != 1),
+            }
+        }
+        // Consecutive base windows share half their keys; a planted
+        // instance is adjacent-disjoint from its successor.
+        assert_eq!(shared(&pool[2], &pool[3]), 20);
+        assert_eq!(shared(&pool[11], &pool[12]), 0);
+        // Non-consecutive base windows are disjoint.
+        assert_eq!(shared(&pool[2], &pool[4]), 0);
     }
 
     #[test]

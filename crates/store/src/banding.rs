@@ -1,0 +1,397 @@
+//! Banded LSH candidate generation over coordinated bottom-k sketches.
+//!
+//! The all-pairs similarity join needs a sub-quadratic candidate stage:
+//! comparing every pair of `N` resident sketches is `O(N²)` even when
+//! almost every pair is dissimilar. Banding gets around that with the
+//! classic LSH argument, and coordination makes it free: because every
+//! sketch samples under one shared seed hash, the *same item carries the
+//! same priority rank in every instance* — so a signature derived from
+//! the rank order of a sketch's retained items is automatically
+//! comparable across instances, with no extra hashing passes over the
+//! data.
+//!
+//! The signature is one-permutation style: the `bands·rows` signature
+//! slots partition the key space by a salted hash, and each slot takes
+//! the *minimum-rank* retained key that lands in it. Two instances agree
+//! on a slot exactly when the least-rank item of that key region is
+//! common to both sketches — an event whose probability is (up to
+//! sketch truncation) the Jaccard similarity of the instances, the
+//! min-hash property. Slots are grouped into `bands` bands of `rows`
+//! slots; two instances are **candidates** when at least one band
+//! matches in full. The matching probability follows the standard S-curve
+//! `1 − (1 − J^rows)^bands`, which crosses ½ near
+//! [`BandConfig::threshold`] `= (1/bands)^(1/rows)`.
+//!
+//! A band containing an *empty* slot (no retained key hashed into it) is
+//! treated as non-indexable and skipped for that instance. This is load
+//! bearing: indexing empty bands would put every sparse instance of a
+//! large pool into one shared "empty" bucket and regenerate the `O(N²)`
+//! blow-up the stage exists to avoid, while skipping costs little recall
+//! because coordinated similar instances have correlated empty patterns.
+//!
+//! [`BandIndex`] is deterministic by construction — buckets are ordered
+//! maps and every query output is sorted — so candidate sets are
+//! byte-identical regardless of insertion order, store shard count, or
+//! worker geometry.
+//!
+//! # Example
+//!
+//! ```
+//! use monotone_store::banding::{band_hashes, BandConfig, BandIndex};
+//! use monotone_store::SketchStore;
+//!
+//! let store = SketchStore::new(64, 42);
+//! for key in 0..40u64 {
+//!     store.ingest(0, key, 1.0); // instance 0: keys 0..40
+//!     store.ingest(1, key + 2, 1.0); // near-duplicate of 0
+//!     store.ingest(2, key + 10_000, 1.0); // disjoint
+//! }
+//!
+//! let cfg = BandConfig::new(8, 2, 7);
+//! let index = store.band_index(&cfg);
+//! let pairs = index.candidate_pairs();
+//! assert!(pairs.contains(&(0, 1)), "near-duplicates must collide");
+//! assert!(pairs.iter().all(|&(a, b)| a < b && b != 2), "disjoint stays out");
+//!
+//! // Per-instance probe: which resident instances could be similar?
+//! let cands = index.candidates_of(&store.sketch(0)?);
+//! assert!(cands.contains(&1));
+//! // Identical signatures collide on every band, including the probe's own id.
+//! assert!(cands.contains(&0));
+//!
+//! // Band hashes are derived from the sketch alone and are `None` for
+//! // bands with an empty slot.
+//! assert_eq!(band_hashes(&store.sketch(2)?, &cfg).len(), 8);
+//! # Ok::<(), monotone_core::Error>(())
+//! ```
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use monotone_coord::bottomk::BottomKSample;
+use monotone_coord::seed::splitmix64;
+
+/// Shape of a banding signature: `bands` bands of `rows` slots each,
+/// under a slot-hash `salt`.
+///
+/// The salt only picks which key region feeds which slot; it is
+/// independent of the sketches' seed-hash salt, and the *same*
+/// `BandConfig` must be used for every signature that is to be compared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BandConfig {
+    bands: usize,
+    rows: usize,
+    salt: u64,
+}
+
+impl BandConfig {
+    /// A config with `bands` bands of `rows` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bands == 0` or `rows == 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use monotone_store::banding::BandConfig;
+    ///
+    /// let cfg = BandConfig::new(16, 2, 7);
+    /// assert_eq!(cfg.slots(), 32);
+    /// // The S-curve midpoint: (1/16)^(1/2).
+    /// assert!((cfg.threshold() - 0.25).abs() < 1e-12);
+    /// ```
+    pub fn new(bands: usize, rows: usize, salt: u64) -> BandConfig {
+        assert!(bands > 0, "banding needs at least one band");
+        assert!(rows > 0, "banding needs at least one row per band");
+        BandConfig { bands, rows, salt }
+    }
+
+    /// Number of bands.
+    pub fn bands(&self) -> usize {
+        self.bands
+    }
+
+    /// Slots per band.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The slot-hash salt.
+    pub fn salt(&self) -> u64 {
+        self.salt
+    }
+
+    /// Total signature slots, `bands · rows`.
+    pub fn slots(&self) -> usize {
+        self.bands * self.rows
+    }
+
+    /// The similarity where a pair's band-collision probability crosses
+    /// one half: `(1/bands)^(1/rows)`. Pairs well above it are caught
+    /// with probability approaching one; pairs well below almost never
+    /// collide.
+    pub fn threshold(&self) -> f64 {
+        (1.0 / self.bands as f64).powf(1.0 / self.rows as f64)
+    }
+
+    /// The slot a key feeds, a pure function of `(salt, key)` — shared
+    /// by every instance, which is what makes slot values comparable.
+    fn slot(&self, key: u64) -> usize {
+        (splitmix64(key ^ splitmix64(self.salt ^ SLOT_GAMMA)) % self.slots() as u64) as usize
+    }
+}
+
+/// Domain-separation constants so the slot hash and the band fold never
+/// coincide with the seed hash or with each other.
+const SLOT_GAMMA: u64 = 0xb5ad_4ece_da1c_e2a9;
+const BAND_GAMMA: u64 = 0x2545_f491_4f6c_dd1d;
+
+/// The per-band signature hashes of one sketch: entry `b` is the hash of
+/// band `b`'s `rows` slot values, or `None` when any of those slots
+/// received no retained key (the band is non-indexable for this sketch).
+///
+/// Slot values are the minimum-*rank* retained key per slot — the
+/// coordinated min-hash — obtained by walking the sketch in rank order,
+/// so two coordinated sketches agree on a slot exactly when the
+/// least-rank item of that key region is retained by both.
+pub fn band_hashes(sketch: &BottomKSample, cfg: &BandConfig) -> Vec<Option<u64>> {
+    let mut slots: Vec<Option<u64>> = vec![None; cfg.slots()];
+    // `iter()` yields retained entries in ascending rank order, so the
+    // first key to claim a slot is the slot's min-rank key.
+    for (key, _w) in sketch.iter() {
+        let s = cfg.slot(key);
+        if slots[s].is_none() {
+            slots[s] = Some(key);
+        }
+    }
+    (0..cfg.bands)
+        .map(|b| {
+            let mut h = splitmix64(cfg.salt ^ BAND_GAMMA);
+            for slot in &slots[b * cfg.rows..(b + 1) * cfg.rows] {
+                h = splitmix64(h ^ splitmix64((*slot)? ^ SLOT_GAMMA));
+            }
+            Some(h)
+        })
+        .collect()
+}
+
+/// An inverted index from band hashes to instance ids: the candidate
+/// stage of the all-pairs similarity join.
+///
+/// Two inserted instances are *candidates* when at least one band hash
+/// matches. The index is deterministic: buckets are ordered maps and
+/// every output is sorted, so [`BandIndex::candidate_pairs`] and
+/// [`BandIndex::candidates_of`] are byte-identical for any insertion
+/// order (and hence any store shard count or ingest thread schedule).
+///
+/// Cost note: pair extraction is `Σ |bucket|²` over buckets — the LSH
+/// contract is that buckets stay small because dissimilar instances
+/// rarely share a band. Feeding the index signatures that collide en
+/// masse (e.g. one duplicated instance a thousand times) degrades
+/// gracefully toward the quadratic worst case, it does not fail.
+#[derive(Debug, Clone, Default)]
+pub struct BandIndex {
+    cfg: Option<BandConfig>,
+    /// One ordered bucket map per band: band hash → inserted ids.
+    buckets: Vec<BTreeMap<u64, Vec<u64>>>,
+    instances: usize,
+}
+
+impl BandIndex {
+    /// An empty index under `cfg`.
+    pub fn new(cfg: BandConfig) -> BandIndex {
+        BandIndex {
+            cfg: Some(cfg),
+            buckets: vec![BTreeMap::new(); cfg.bands()],
+            instances: 0,
+        }
+    }
+
+    /// The index's band configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a `Default`-constructed index (which has no config).
+    pub fn config(&self) -> &BandConfig {
+        self.cfg.as_ref().expect("BandIndex::new sets the config")
+    }
+
+    /// Number of inserted instances.
+    pub fn len(&self) -> usize {
+        self.instances
+    }
+
+    /// True while nothing has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.instances == 0
+    }
+
+    /// Indexes `id` under every indexable band of `sketch`'s signature.
+    /// Each instance id should be inserted once; re-inserting an id
+    /// simply re-registers it (candidates are deduplicated on the way
+    /// out, so the index stays consistent, just larger).
+    pub fn insert(&mut self, id: u64, sketch: &BottomKSample) {
+        let cfg = *self.config();
+        for (band, hash) in band_hashes(sketch, &cfg).into_iter().enumerate() {
+            if let Some(h) = hash {
+                self.buckets[band].entry(h).or_default().push(id);
+            }
+        }
+        self.instances += 1;
+    }
+
+    /// The sorted, deduplicated ids whose signature shares at least one
+    /// band with `sketch` — including the probe's own id if it was
+    /// inserted. An all-empty signature (a sketch too sparse to fill any
+    /// band) has no candidates.
+    pub fn candidates_of(&self, sketch: &BottomKSample) -> Vec<u64> {
+        let cfg = *self.config();
+        let mut out: Vec<u64> = band_hashes(sketch, &cfg)
+            .into_iter()
+            .enumerate()
+            .filter_map(|(band, hash)| hash.map(|h| (band, h)))
+            .filter_map(|(band, h)| self.buckets[band].get(&h))
+            .flatten()
+            .copied()
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Every unordered candidate pair `(a, b)` with `a < b`, sorted
+    /// lexicographically and deduplicated across bands: the input to the
+    /// join's verification stage.
+    pub fn candidate_pairs(&self) -> Vec<(u64, u64)> {
+        let mut pairs = BTreeSet::new();
+        for band in &self.buckets {
+            for ids in band.values() {
+                for (i, &a) in ids.iter().enumerate() {
+                    for &b in &ids[i + 1..] {
+                        if a != b {
+                            pairs.insert((a.min(b), a.max(b)));
+                        }
+                    }
+                }
+            }
+        }
+        pairs.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monotone_coord::bottomk::{BottomK, RankMethod};
+    use monotone_coord::instance::Instance;
+    use monotone_coord::seed::SeedHasher;
+
+    fn sketch(k: usize, salt: u64, keys: impl IntoIterator<Item = u64>) -> BottomKSample {
+        let inst = Instance::from_pairs(keys.into_iter().map(|key| (key, 1.0 + (key % 3) as f64)));
+        BottomK::new(k, RankMethod::Priority, SeedHasher::new(salt)).sample_instance(&inst)
+    }
+
+    #[test]
+    fn threshold_is_the_s_curve_midpoint() {
+        assert!((BandConfig::new(16, 2, 0).threshold() - 0.25).abs() < 1e-12);
+        assert!((BandConfig::new(8, 1, 0).threshold() - 0.125).abs() < 1e-12);
+        assert!((BandConfig::new(1, 3, 0).threshold() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one band")]
+    fn zero_bands_panics() {
+        BandConfig::new(0, 2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one row")]
+    fn zero_rows_panics() {
+        BandConfig::new(4, 0, 0);
+    }
+
+    #[test]
+    fn identical_sketches_collide_on_every_indexable_band() {
+        let cfg = BandConfig::new(8, 2, 3);
+        let a = sketch(64, 9, 0..50);
+        let b = sketch(64, 9, 0..50);
+        assert_eq!(band_hashes(&a, &cfg), band_hashes(&b, &cfg));
+        let mut index = BandIndex::new(cfg);
+        index.insert(10, &a);
+        index.insert(20, &b);
+        assert_eq!(index.candidate_pairs(), vec![(10, 20)]);
+        assert_eq!(index.candidates_of(&a), vec![10, 20]);
+    }
+
+    #[test]
+    fn disjoint_sketches_never_collide() {
+        // Disjoint key sets can share a fully-populated band only by a
+        // 64-bit hash collision; empty-empty slots are skipped, so
+        // sparse disjoint instances cannot meet in an "empty" bucket.
+        let cfg = BandConfig::new(16, 2, 3);
+        let mut index = BandIndex::new(cfg);
+        for id in 0..40u64 {
+            index.insert(id, &sketch(32, 9, id * 10_000..id * 10_000 + 60));
+        }
+        assert_eq!(index.len(), 40);
+        assert_eq!(index.candidate_pairs(), vec![]);
+    }
+
+    #[test]
+    fn empty_slot_bands_are_skipped_not_indexed() {
+        // One retained key fills exactly one slot; with rows = 2 every
+        // band has an empty slot, so nothing is indexable.
+        let cfg = BandConfig::new(8, 2, 3);
+        let one = sketch(8, 9, [5u64]);
+        assert!(band_hashes(&one, &cfg).iter().all(Option::is_none));
+        let mut index = BandIndex::new(cfg);
+        index.insert(1, &one);
+        index.insert(2, &one);
+        assert_eq!(index.len(), 2);
+        assert_eq!(index.candidate_pairs(), vec![]);
+        assert_eq!(index.candidates_of(&one), vec![]);
+
+        // With rows = 1 the single filled slot is a full band: the two
+        // identical singletons become candidates.
+        let cfg1 = BandConfig::new(16, 1, 3);
+        let mut index1 = BandIndex::new(cfg1);
+        index1.insert(1, &one);
+        index1.insert(2, &one);
+        assert_eq!(index1.candidate_pairs(), vec![(1, 2)]);
+    }
+
+    #[test]
+    fn insertion_order_does_not_change_candidates() {
+        let cfg = BandConfig::new(12, 2, 5);
+        let sketches: Vec<(u64, BottomKSample)> = (0..30u64)
+            .map(|id| (id, sketch(24, 9, id * 20..id * 20 + 40)))
+            .collect();
+        let mut fwd = BandIndex::new(cfg);
+        let mut rev = BandIndex::new(cfg);
+        for (id, s) in &sketches {
+            fwd.insert(*id, s);
+        }
+        for (id, s) in sketches.iter().rev() {
+            rev.insert(*id, s);
+        }
+        assert_eq!(fwd.candidate_pairs(), rev.candidate_pairs());
+        assert_eq!(
+            fwd.candidates_of(&sketches[3].1),
+            rev.candidates_of(&sketches[3].1)
+        );
+    }
+
+    #[test]
+    fn candidate_pairs_are_sorted_unique_and_ordered_within() {
+        let cfg = BandConfig::new(8, 1, 5);
+        let mut index = BandIndex::new(cfg);
+        let shared = sketch(32, 9, 0..40);
+        for id in [9u64, 3, 7, 1] {
+            index.insert(id, &shared);
+        }
+        let pairs = index.candidate_pairs();
+        assert!(pairs.windows(2).all(|w| w[0] < w[1]), "sorted: {pairs:?}");
+        assert!(pairs.iter().all(|&(a, b)| a < b));
+        assert_eq!(pairs.len(), 6); // C(4, 2), deduplicated across bands
+    }
+}

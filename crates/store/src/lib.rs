@@ -49,6 +49,8 @@
 //! # Ok::<(), monotone_core::Error>(())
 //! ```
 
+pub mod banding;
+
 use std::collections::HashMap;
 use std::sync::Mutex;
 
@@ -236,6 +238,23 @@ impl SketchStore {
             retained_truth: pair.truth,
             sampled_items: pair.sampled_items,
         })
+    }
+
+    /// Builds a [`banding::BandIndex`] over every resident sketch — the
+    /// candidate stage of an all-pairs similarity join. Each instance's
+    /// current sample is snapshotted and indexed under `cfg`; the result
+    /// is identical for every shard count and ingest order (the index's
+    /// determinism guarantee), so it can feed byte-reproducible
+    /// pipelines directly.
+    pub fn band_index(&self, cfg: &banding::BandConfig) -> banding::BandIndex {
+        let mut index = banding::BandIndex::new(*cfg);
+        for shard in &self.shards {
+            let shard = shard.lock().expect("unpoisoned shard");
+            for (&id, stream) in shard.iter() {
+                index.insert(id, &stream.sample());
+            }
+        }
+        index
     }
 
     /// [`query_group`](SketchStore::query_group) over many groups, in
