@@ -5,11 +5,15 @@
 # Usage:
 #   ci/gate.sh <baseline.json> <measured.json> <field> --ratio R [--lane-field F]
 #   ci/gate.sh <baseline.json> <measured.json> <field> --slack D [--lane-field F]
+#   ci/gate.sh <baseline.json> <measured.json> <field> --ratio-max R [--lane-field F]
 #
 #   --ratio R       floor = R * baseline      (perf floors, e.g. 0.8: the
 #                   measured value may lose at most 20% to runner noise)
 #   --slack D       floor = baseline - D      (accuracy floors, e.g. a
 #                   recall gate at baseline - 0.02)
+#   --ratio-max R   ceiling = R * baseline    (resource ceilings, e.g. a
+#                   peak-memory bound at 1.0: the measured value may not
+#                   exceed the baseline — larger is the regression)
 #   --lane-field F  skip (exit 0) when the baseline and the measured
 #                   record disagree on this string field: the runner
 #                   executes different machine code and the ratio would
@@ -21,7 +25,7 @@
 set -euo pipefail
 
 usage() {
-  echo "usage: $0 <baseline.json> <measured.json> <field> (--ratio R | --slack D) [--lane-field F]" >&2
+  echo "usage: $0 <baseline.json> <measured.json> <field> (--ratio R | --slack D | --ratio-max R) [--lane-field F]" >&2
   exit 2
 }
 
@@ -68,6 +72,15 @@ fi
 case $mode in
   --ratio) floor=$(awk -v b="$base" -v m="$margin" 'BEGIN { printf "%.6g", m * b }') ;;
   --slack) floor=$(awk -v b="$base" -v m="$margin" 'BEGIN { printf "%.6g", b - m }') ;;
+  --ratio-max)
+    ceiling=$(awk -v b="$base" -v m="$margin" 'BEGIN { printf "%.6g", m * b }')
+    echo "$field: baseline $base, measured $new, ceiling $ceiling ($mode $margin)"
+    awk -v n="$new" -v c="$ceiling" 'BEGIN { exit !(n <= c) }' || {
+      echo "FAIL: measured $field $new above ceiling $ceiling (baseline $base, $mode $margin)"
+      exit 1
+    }
+    exit 0
+    ;;
   *) usage ;;
 esac
 

@@ -1,24 +1,39 @@
-//! E18 — all-pairs similarity join over coordinated sketches.
+//! E18 — all-pairs similarity join over coordinated sketches, at 10⁶
+//! instances.
 //!
 //! The paper's coordinated samples exist so that *any* pair of instances
 //! can be compared after the fact; this scenario runs the production
 //! shape of that promise — *find all similar pairs among N instances* —
-//! as a two-stage pipeline sharing one prepared pool per sweep unit:
+//! as a pipeline sharing one prepared pool per sweep unit:
 //!
-//! 1. **Candidate generation** (sub-quadratic): ingest the pool into a
-//!    [`SketchStore`] (one bottom-k sketch per instance, shared salt) and
-//!    build a banded LSH index over the resident sketches
-//!    ([`SketchStore::band_index`]). Band signatures derive from the
-//!    shared-seed coordinated ranks, so identical items hash identically
-//!    across instances with no extra data passes; candidate pairs are
-//!    the bucket collisions.
-//! 2. **Verification** (exact-sample): re-estimate every candidate
-//!    through the engine's pair path with the distinct-count (union)
-//!    kernel and accept pairs whose support Jaccard
-//!    `(|A| + |B| − U)/U` clears the similarity threshold.
+//! 1. **Parallel blocked index build** (sub-quadratic candidates):
+//!    ingest the pool into a [`SketchStore`] (one bottom-k sketch per
+//!    instance, shared salt) and build a banded LSH index over the
+//!    resident sketches with [`SketchStore::band_index_with`] —
+//!    snapshot-under-lock / hash-outside-lock, fanned over the engine's
+//!    worker pool in contiguous blocks, per-worker partial indexes
+//!    merged deterministically (output bit-identical at every worker
+//!    count). Band signatures derive from the shared-seed coordinated
+//!    ranks, so identical items hash identically across instances with
+//!    no extra data passes.
+//! 2. **Streaming extraction + bucket-batched verification** (O(block)
+//!    memory): candidate pairs are never materialized as one global
+//!    set. [`BandIndex::for_each_candidate_block`] streams them in
+//!    fixed-size sorted blocks, and each block is re-estimated through
+//!    the engine's pair path with the distinct-count (union) kernel;
+//!    pairs whose support Jaccard `(|A| + |B| − U)/U` clears the
+//!    similarity threshold are accepted. Peak resident candidate state
+//!    is one block — the knob that lets N = 10⁶ (≈ 5·10¹¹ potential
+//!    pairs) run in bounded memory.
+//! 3. **Live incremental maintenance** (the service path): a fresh
+//!    live-enabled store ([`SketchStore::with_live_index`]) ingests a
+//!    capped prefix of the pool, re-registering each instance's band
+//!    signature on every retained-set change; the leg records the
+//!    sustained observation rate with maintenance on, and checks the
+//!    live index equals a from-scratch rebuild.
 //!
 //! The pool is [`workload::planted_pair_pool`] — `distinct_group_pool`
-//! generalized to pool scale, N swept across the 10⁴–10⁵ decade with a
+//! generalized to pool scale, N swept across 10⁴–10⁶ with a
 //! near-duplicate pair planted every ten instances (J ≈ 0.82) amid
 //! half-overlapping neighbors (J = ⅓, below threshold: realistic
 //! candidates the verifier must reject). Recall is measured against the
@@ -26,9 +41,12 @@
 //!
 //! The CSV carries only the deterministic join outcome (byte-identical
 //! at every shard × worker geometry). The measured rates —
-//! `candidate_pairs_per_sec`, `verify_pairs_per_sec` — and the minimum
-//! recall ride `BENCH_allpairs.json` via [`FinishOut::bench_fields`],
-//! where CI gates them against the committed baseline.
+//! `candidate_pairs_per_sec`, `verify_pairs_per_sec`,
+//! `build_instances_per_sec`, `updates_per_sec`, the
+//! `peak_candidate_block` ceiling, and the `build_speedup_4w` /
+//! `build_parallelism` lane pair — and the minimum recall ride
+//! `BENCH_allpairs.json` via [`FinishOut::bench_fields`], where CI
+//! gates them against the committed baseline.
 
 use std::collections::BTreeSet;
 use std::ops::Range;
@@ -39,14 +57,14 @@ use monotone_core::Result;
 use monotone_engine::{
     workload, CsvSpec, Engine, EngineQuery, FinishOut, PairJob, Scenario, UnitOut,
 };
-use monotone_store::banding::BandConfig;
+use monotone_store::banding::{BandConfig, BandIndex};
 use monotone_store::SketchStore;
 
 use crate::{fnum, table::Table};
 
-/// Pool sizes swept, one unit each (the 10⁴–10⁵ decade of the
-/// generator's 10⁴–10⁶ range; the construction is N-oblivious).
-const NS: [u64; 4] = [10_000, 20_000, 50_000, 100_000];
+/// Pool sizes swept, one unit each: the full 10⁴–10⁶ range of the
+/// generator.
+const NS: [u64; 7] = [10_000, 20_000, 50_000, 100_000, 200_000, 500_000, 1_000_000];
 /// Items per instance.
 const ITEMS: u64 = 48;
 /// Retained sketch entries per instance.
@@ -66,8 +84,17 @@ const VERIFY_SCALE: f64 = 0.25;
 const SLICE: u64 = 256;
 /// Base salt; each unit offsets it for an independent randomization.
 const SALT: u64 = 0x5eed_0018;
+/// Candidate pairs per streamed verification block: the peak resident
+/// candidate state, whatever N is.
+const BLOCK: usize = 8_192;
+/// The live-maintenance leg ingests at most this many instances (its
+/// rate is per-observation; capping keeps the 10⁶ units affordable).
+const LIVE_CAP: u64 = 100_000;
+/// The unit whose build is additionally timed at 1 vs 4 workers for the
+/// `build_speedup_4w` record.
+const SPEEDUP_N: u64 = 100_000;
 
-/// Per-unit prepared state shared by both stages.
+/// Per-unit prepared state shared by all stages.
 struct Prepared {
     pool: Vec<Instance>,
     salt: u64,
@@ -80,74 +107,121 @@ fn prepare(unit: usize) -> Prepared {
     }
 }
 
-/// Stage 1: sketch the pool, band the resident sketches, extract the
-/// sorted candidate pairs. Returns the candidates and the banding
-/// seconds (index build + pair extraction, the stage's priced work).
-fn stage_candidates(p: &Prepared) -> (Vec<(u64, u64)>, f64) {
+fn band_config(p: &Prepared) -> BandConfig {
+    BandConfig::new(BANDS, ROWS, p.salt)
+}
+
+/// Stage 1: sketch the pool (untimed — priced by the `service`
+/// scenario), then the timed parallel blocked index build over the
+/// resident sketches.
+fn stage_build(p: &Prepared, engine: &Engine) -> (BandIndex, f64) {
     let store = SketchStore::new(K, p.salt);
     for (id, inst) in p.pool.iter().enumerate() {
         store.ingest_all(id as u64, inst.iter());
     }
-    let cfg = BandConfig::new(BANDS, ROWS, p.salt);
+    let cfg = band_config(p);
     let start = Instant::now();
-    let index = store.band_index(&cfg);
-    let candidates = index.candidate_pairs();
-    (candidates, start.elapsed().as_secs_f64())
+    let index = store.band_index_with(&cfg, engine);
+    (index, start.elapsed().as_secs_f64())
 }
 
-/// Verification outcome of one unit.
+/// Outcome of the streamed extract-and-verify pass over one unit.
+#[derive(Default)]
 struct Verified {
+    /// Total candidate pairs streamed.
+    candidates: usize,
+    /// Largest single block handed to verification (the memory peak).
+    peak_block: usize,
     /// Candidates whose *estimated* Jaccard clears the threshold.
     accepted: usize,
     /// Candidates whose *exact* Jaccard clears it (from the engine's
     /// exact union truth — the reference the estimates are judged by).
     exact: usize,
-    /// Fraction of candidates where the two verdicts agree.
-    agreement: f64,
+    /// Candidates where the two verdicts agree.
+    agree: usize,
+    /// Candidate pairs with both endpoints inside the recall slice.
+    slice_pairs: Vec<(u64, u64)>,
+    /// Seconds spent inside engine verification.
+    verify_secs: f64,
+    /// Seconds spent walking the index into blocks (total − verify).
+    extract_secs: f64,
 }
 
-/// Stage 2: estimate every candidate's union through the engine's
-/// distinct-count kernel and threshold the implied support Jaccard.
+impl Verified {
+    fn agreement(&self) -> f64 {
+        if self.candidates == 0 {
+            1.0
+        } else {
+            self.agree as f64 / self.candidates as f64
+        }
+    }
+}
+
+/// Stage 2: stream the index's candidate pairs in [`BLOCK`]-sized
+/// sorted blocks and verify each block through the engine's
+/// distinct-count kernel, thresholding the implied support Jaccard.
 /// Every pool instance holds exactly `ITEMS` items, so
 /// `J = (2·ITEMS − U)/U` both for the estimate and for the exact truth.
-fn stage_verify(
-    p: &Prepared,
-    candidates: &[(u64, u64)],
-    engine: &Engine,
-) -> Result<(Verified, f64)> {
-    let jobs: Vec<PairJob<'_>> = candidates
-        .iter()
-        .map(|&(a, b)| PairJob::new(&p.pool[a as usize], &p.pool[b as usize], p.salt))
-        .collect();
+/// No global candidate set is ever materialized.
+fn stage_verify_streamed(p: &Prepared, index: &BandIndex, engine: &Engine) -> Result<Verified> {
     let query = EngineQuery::distinct(VERIFY_SCALE);
-    let start = Instant::now();
-    let batch = engine.run(&jobs, &query)?;
-    let secs = start.elapsed().as_secs_f64();
-
     let jaccard = |union: f64| (2.0 * ITEMS as f64 - union) / union;
-    let mut accepted = 0;
-    let mut exact = 0;
-    let mut agree = 0;
-    for pair in &batch.pairs {
-        let est_similar = jaccard(pair.estimates[0]) >= SIM_J;
-        let exact_similar = jaccard(pair.truth) >= SIM_J;
-        accepted += usize::from(est_similar);
-        exact += usize::from(exact_similar);
-        agree += usize::from(est_similar == exact_similar);
+    let mut v = Verified::default();
+    let mut err: Option<monotone_core::Error> = None;
+    let start = Instant::now();
+    index.for_each_candidate_block(BLOCK, |block| {
+        if err.is_some() {
+            return;
+        }
+        v.candidates += block.len();
+        v.peak_block = v.peak_block.max(block.len());
+        v.slice_pairs
+            .extend(block.iter().filter(|&&(_, b)| b < SLICE).copied());
+        let jobs: Vec<PairJob<'_>> = block
+            .iter()
+            .map(|&(a, b)| PairJob::new(&p.pool[a as usize], &p.pool[b as usize], p.salt))
+            .collect();
+        let verify_start = Instant::now();
+        match engine.run(&jobs, &query) {
+            Err(e) => err = Some(e),
+            Ok(batch) => {
+                for pair in &batch.pairs {
+                    let est_similar = jaccard(pair.estimates[0]) >= SIM_J;
+                    let exact_similar = jaccard(pair.truth) >= SIM_J;
+                    v.accepted += usize::from(est_similar);
+                    v.exact += usize::from(exact_similar);
+                    v.agree += usize::from(est_similar == exact_similar);
+                }
+            }
+        }
+        v.verify_secs += verify_start.elapsed().as_secs_f64();
+    });
+    if let Some(e) = err {
+        return Err(e);
     }
-    let agreement = if batch.pairs.is_empty() {
-        1.0
-    } else {
-        agree as f64 / batch.pairs.len() as f64
-    };
-    Ok((
-        Verified {
-            accepted,
-            exact,
-            agreement,
-        },
-        secs,
-    ))
+    v.extract_secs = (start.elapsed().as_secs_f64() - v.verify_secs).max(0.0);
+    Ok(v)
+}
+
+/// Stage 3: the live-maintenance leg. A fresh live-enabled store
+/// ingests the pool's first `min(n, LIVE_CAP)` instances — every
+/// retained-set change re-registers that instance's band signature in
+/// place — then the live index is checked against a from-scratch
+/// rebuild. Returns `(observations, secs, live_ok)`.
+fn stage_live(p: &Prepared) -> (u64, f64, bool) {
+    let live_n = (p.pool.len() as u64).min(LIVE_CAP) as usize;
+    let cfg = band_config(p);
+    let store = SketchStore::with_live_index(K, p.salt, 16, cfg);
+    let start = Instant::now();
+    for (id, inst) in p.pool[..live_n].iter().enumerate() {
+        store.ingest_all(id as u64, inst.iter());
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let live = store.live_index().expect("live enabled");
+    let rebuilt = store.band_index(&cfg);
+    let live_ok =
+        live.len() == rebuilt.len() && live.candidate_pairs() == rebuilt.candidate_pairs();
+    (live_n as u64 * ITEMS, secs, live_ok)
 }
 
 /// The brute-force exact join over the pool's first [`SLICE`] instances:
@@ -217,26 +291,48 @@ impl Scenario for AllPairs {
             .map(|unit| {
                 let n = NS[unit];
                 let prepared = prepare(unit);
-                let (candidates, cand_secs) = stage_candidates(&prepared);
-                let (verified, verify_secs) = stage_verify(&prepared, &candidates, engine)?;
+                let (index, build_secs) = stage_build(&prepared, engine);
+                let verified = stage_verify_streamed(&prepared, &index, engine)?;
+                let (live_updates, live_secs, live_ok) = stage_live(&prepared);
 
-                // Recall against the brute-force slice join.
+                // The 1-vs-4-worker build comparison, on one fixed unit.
+                let (build1_secs, build4_secs) = if n == SPEEDUP_N {
+                    let cfg = band_config(&prepared);
+                    let store = SketchStore::new(K, prepared.salt);
+                    for (id, inst) in prepared.pool.iter().enumerate() {
+                        store.ingest_all(id as u64, inst.iter());
+                    }
+                    let t1 = Instant::now();
+                    let i1 = store.band_index_with(&cfg, &Engine::with_threads(1));
+                    let s1 = t1.elapsed().as_secs_f64();
+                    let t4 = Instant::now();
+                    let i4 = store.band_index_with(&cfg, &Engine::with_threads(4));
+                    let s4 = t4.elapsed().as_secs_f64();
+                    assert_eq!(i1.len(), i4.len(), "worker count must not change the index");
+                    (s1, s4)
+                } else {
+                    (0.0, 0.0)
+                };
+
+                // Recall against the brute-force slice join, off the
+                // streamed slice-local candidates (both endpoints are
+                // below SLICE, so the slice subset is complete).
                 let similar = exact_slice_join(&prepared.pool);
-                let cand_set: BTreeSet<(u64, u64)> = candidates.iter().copied().collect();
+                let cand_set: BTreeSet<(u64, u64)> = verified.slice_pairs.iter().copied().collect();
                 let found = similar.iter().filter(|p| cand_set.contains(p)).count();
                 let recall = found as f64 / similar.len() as f64;
-                let frac = candidates.len() as f64 / (n as f64 * (n as f64 - 1.0) / 2.0);
+                let frac = verified.candidates as f64 / (n as f64 * (n as f64 - 1.0) / 2.0);
 
                 let mut out = UnitOut::default();
                 out.row(
                     0,
                     vec![
                         format!("{n}"),
-                        format!("{}", candidates.len()),
+                        format!("{}", verified.candidates),
                         format!("{frac}"),
                         format!("{}", verified.accepted),
                         format!("{}", verified.exact),
-                        format!("{}", verified.agreement),
+                        format!("{}", verified.agreement()),
                         format!("{}", similar.len()),
                         format!("{found}"),
                         format!("{recall}"),
@@ -246,23 +342,31 @@ impl Scenario for AllPairs {
                     0,
                     vec![
                         format!("{n}"),
-                        format!("{}", candidates.len()),
+                        format!("{}", verified.candidates),
                         fnum(frac),
                         format!("{}", verified.accepted),
                         format!("{}", verified.exact),
-                        fnum(verified.agreement),
+                        fnum(verified.agreement()),
                         format!("{found}/{}", similar.len()),
                         fnum(recall),
                     ],
                 );
                 // Metrics layout consumed by finish: the deterministic
                 // join shape, then the measured stage legs.
-                out.metric(recall)
-                    .metric(verified.agreement)
-                    .metric(frac)
-                    .metric(candidates.len() as f64)
-                    .metric(cand_secs)
-                    .metric(verify_secs);
+                out.metric(recall) // 0
+                    .metric(verified.agreement()) // 1
+                    .metric(frac) // 2
+                    .metric(verified.candidates as f64) // 3
+                    .metric(n as f64) // 4
+                    .metric(build_secs) // 5
+                    .metric(verified.extract_secs) // 6
+                    .metric(verified.verify_secs) // 7
+                    .metric(verified.peak_block as f64) // 8
+                    .metric(live_updates as f64) // 9
+                    .metric(live_secs) // 10
+                    .metric(if live_ok { 1.0 } else { 0.0 }) // 11
+                    .metric(build1_secs) // 12
+                    .metric(build4_secs); // 13
                 Ok(out)
             })
             .collect()
@@ -293,7 +397,8 @@ impl Scenario for AllPairs {
 
         // Deterministic paper-shape checks: the slice recall floor the
         // acceptance criteria pin, near-perfect verifier agreement with
-        // the exact join, and sub-quadratic candidate volume at scale.
+        // the exact join, sub-quadratic candidate volume at scale, and
+        // the live index never diverging from a rebuild.
         let recall_min = outs
             .iter()
             .map(|o| o.metrics[0])
@@ -301,23 +406,52 @@ impl Scenario for AllPairs {
         let recall_ok = recall_min >= 0.9;
         let agree_ok = outs.iter().all(|o| o.metrics[1] >= 0.98);
         let subquad_ok = outs.iter().all(|o| o.metrics[2] < 1e-3);
+        let live_ok = outs.iter().all(|o| o.metrics[11] == 1.0);
 
         // Measured stage rates for the timing record.
         let cands: f64 = outs.iter().map(|o| o.metrics[3]).sum();
-        let cand_secs: f64 = outs.iter().map(|o| o.metrics[4]).sum();
-        let verify_secs: f64 = outs.iter().map(|o| o.metrics[5]).sum();
-        let cand_rate = cands / cand_secs.max(1e-9);
+        let instances: f64 = outs.iter().map(|o| o.metrics[4]).sum();
+        let build_secs: f64 = outs.iter().map(|o| o.metrics[5]).sum();
+        let extract_secs: f64 = outs.iter().map(|o| o.metrics[6]).sum();
+        let verify_secs: f64 = outs.iter().map(|o| o.metrics[7]).sum();
+        let peak_block: f64 = outs.iter().map(|o| o.metrics[8]).fold(0.0, f64::max);
+        let live_updates: f64 = outs.iter().map(|o| o.metrics[9]).sum();
+        let live_secs: f64 = outs.iter().map(|o| o.metrics[10]).sum();
+        let build1_secs: f64 = outs.iter().map(|o| o.metrics[12]).sum();
+        let build4_secs: f64 = outs.iter().map(|o| o.metrics[13]).sum();
+
+        let cand_rate = cands / (build_secs + extract_secs).max(1e-9);
         let verify_rate = cands / verify_secs.max(1e-9);
+        let build_rate = instances / build_secs.max(1e-9);
+        let update_rate = live_updates / live_secs.max(1e-9);
+        let speedup_4w = build1_secs / build4_secs.max(1e-9);
+        let parallelism = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1) as f64;
 
         FinishOut::new(
             vec![
                 t.render(),
                 format!(
-                    "\ncandidate generation: {:.2}M pairs/s; verification: {:.2}M pairs/s \
-                     ({} candidates over the sweep)",
+                    "\nbuild: {:.2}M instances/s ({} workers); extraction+verify streamed in \
+                     ≤{}-pair blocks (peak {}); candidates {:.2}M pairs/s, verification \
+                     {:.2}M pairs/s ({} candidates over the sweep)",
+                    build_rate / 1e6,
+                    parallelism,
+                    BLOCK,
+                    peak_block as u64,
                     cand_rate / 1e6,
                     verify_rate / 1e6,
                     cands as u64,
+                ),
+                format!(
+                    "live maintenance: {:.2}M observations/s over {} observations, \
+                     live ≡ rebuild at every unit ({live_ok}); 4-worker build speedup \
+                     {:.2}x at n = {SPEEDUP_N} (runner parallelism {})",
+                    update_rate / 1e6,
+                    live_updates as u64,
+                    speedup_4w,
+                    parallelism,
                 ),
                 format!(
                     "paper-shape checks: slice recall ≥ 0.9 at every n (min {}: {recall_ok}), \
@@ -326,10 +460,15 @@ impl Scenario for AllPairs {
                     fnum(recall_min),
                 ),
             ],
-            recall_ok && agree_ok && subquad_ok,
+            recall_ok && agree_ok && subquad_ok && live_ok,
         )
         .with_bench_field("candidate_pairs_per_sec", cand_rate)
         .with_bench_field("verify_pairs_per_sec", verify_rate)
         .with_bench_field("recall", recall_min)
+        .with_bench_field("build_instances_per_sec", build_rate)
+        .with_bench_field("peak_candidate_block", peak_block)
+        .with_bench_field("updates_per_sec", update_rate)
+        .with_bench_field("build_speedup_4w", speedup_4w)
+        .with_bench_field("build_parallelism", parallelism)
     }
 }

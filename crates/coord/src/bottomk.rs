@@ -282,13 +282,22 @@ impl BottomKStream {
     /// otherwise. Inactive observations (`w <= 0`, non-finite `w`) and
     /// infinite ranks (exponential ranks at a hash seed of exactly `1.0`)
     /// never enter the heap.
-    pub fn insert(&mut self, key: u64, w: f64) {
+    ///
+    /// Returns whether the retained state changed — `true` exactly when
+    /// the observation entered the heap (so a subsequent
+    /// [`sample`](BottomKStream::sample) snapshot differs from the one
+    /// before the insert), `false` when it was rejected. In a warm
+    /// stream almost every observation ranks above the resident
+    /// `(k+1)`-th and is rejected in `O(1)`, which is what lets callers
+    /// maintaining derived state (a live band index, say) pay the
+    /// re-derivation cost only on the `O(k log n)` accepted inserts.
+    pub fn insert(&mut self, key: u64, w: f64) -> bool {
         if !(w > 0.0 && w.is_finite()) {
-            return;
+            return false;
         }
         let rank = self.method.rank_unchecked(self.seeder.seed(key), w);
         if !rank.is_finite() {
-            return;
+            return false;
         }
         let entry = RankedEntry {
             rank,
@@ -297,9 +306,13 @@ impl BottomKStream {
         };
         if self.heap.len() <= self.k {
             self.heap.push(entry);
+            true
         } else if entry < *self.heap.peek().expect("non-empty heap") {
             self.heap.pop();
             self.heap.push(entry);
+            true
+        } else {
+            false
         }
     }
 
@@ -841,6 +854,38 @@ mod tests {
                 "k={k}"
             );
         }
+    }
+
+    #[test]
+    fn insert_reports_exactly_the_retained_state_changes() {
+        // The live-index maintenance contract: insert returns true iff
+        // the heap content changed, i.e. iff sample() snapshots taken
+        // before and after the insert differ.
+        let sampler = BottomK::new(3, RankMethod::Priority, SeedHasher::new(11));
+        let mut stream = sampler.stream();
+        // Inactive observations never change anything.
+        assert!(!stream.insert(1, 0.0));
+        assert!(!stream.insert(2, f64::NAN));
+        // Filling the k+1 slots always changes state.
+        let mut accepted = Vec::new();
+        for key in 0..200u64 {
+            let before = stream.sample();
+            let changed = stream.insert(key, 1.0 + (key % 5) as f64);
+            let after = stream.sample();
+            assert_eq!(changed, before != after, "key {key}");
+            if changed {
+                accepted.push(key);
+            }
+        }
+        // The first k+1 active observations are always accepted, later
+        // ones only when they beat the resident (k+1)-th rank: rare.
+        assert!(accepted.len() >= 4);
+        assert!(accepted.len() < 40, "almost all warm inserts are rejected");
+        // An infinite exponential rank is rejected without state change.
+        let seeder = SeedHasher::new(77);
+        let mut exp = BottomK::new(2, RankMethod::Exponential, seeder).stream();
+        assert!(!exp.insert(seeder.key_for_raw(u64::MAX), 2.0));
+        assert!(exp.is_empty());
     }
 
     #[test]

@@ -32,7 +32,30 @@
 //! [`BandIndex`] is deterministic by construction — buckets are ordered
 //! maps and every query output is sorted — so candidate sets are
 //! byte-identical regardless of insertion order, store shard count, or
-//! worker geometry.
+//! worker geometry. The index also keeps each inserted instance's
+//! registered `(band, hash)` signature resident, which is what makes it
+//! **live**: re-inserting an id first unregisters its old signature
+//! (only the bands whose hash actually changed are touched — `O(bands)`
+//! per update), so an index owned by an ingesting store stays equal to a
+//! from-scratch rebuild at every point in time.
+//!
+//! # Cost model
+//!
+//! Building is `O(k + bands)` hashing per instance (one rank-ordered
+//! walk over the sketch; [`band_hashes_into`] reuses caller scratch so
+//! the build hot loop allocates nothing per instance). Pair extraction
+//! is `Σ |bucket|²` over buckets — the LSH contract is that buckets stay
+//! small because dissimilar instances rarely share a band. Feeding the
+//! index signatures that collide en masse (e.g. one duplicated instance
+//! a thousand times) degrades gracefully toward the quadratic worst
+//! case, it does not fail. Crucially, extraction **streams**:
+//! [`BandIndex::for_each_candidate_block`] walks instances in ascending
+//! id order, sort-merging each instance's bucket memberships into a
+//! per-id run of deduplicated partners, and hands the caller fixed-size
+//! blocks of globally sorted pairs — peak memory is `O(block + largest
+//! per-id candidate set)`, never `O(total pairs)`.
+//! [`BandIndex::candidate_pairs`] is the collect-everything convenience
+//! wrapper over the same walk.
 //!
 //! # Example
 //!
@@ -53,11 +76,20 @@
 //! assert!(pairs.contains(&(0, 1)), "near-duplicates must collide");
 //! assert!(pairs.iter().all(|&(a, b)| a < b && b != 2), "disjoint stays out");
 //!
+//! // The same pairs, streamed in fixed-size sorted blocks (the memory-
+//! // bounded path the 10⁶-instance join verification consumes).
+//! let mut streamed = Vec::new();
+//! index.for_each_candidate_block(2, |block| streamed.extend_from_slice(block));
+//! assert_eq!(streamed, pairs);
+//!
 //! // Per-instance probe: which resident instances could be similar?
 //! let cands = index.candidates_of(&store.sketch(0)?);
 //! assert!(cands.contains(&1));
 //! // Identical signatures collide on every band, including the probe's own id.
 //! assert!(cands.contains(&0));
+//! // Inserted ids can be probed without their sketch, off the cached
+//! // signature — the live-index query path.
+//! assert_eq!(index.candidates_of_id(0), Some(cands));
 //!
 //! // Band hashes are derived from the sketch alone and are `None` for
 //! // bands with an empty slot.
@@ -65,7 +97,7 @@
 //! # Ok::<(), monotone_core::Error>(())
 //! ```
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 use monotone_coord::bottomk::BottomKSample;
 use monotone_coord::seed::splitmix64;
@@ -146,6 +178,37 @@ impl BandConfig {
 const SLOT_GAMMA: u64 = 0xb5ad_4ece_da1c_e2a9;
 const BAND_GAMMA: u64 = 0x2545_f491_4f6c_dd1d;
 
+/// [`band_hashes`] into caller-provided buffers: `slots` is the slot
+/// scratch (resized/cleared internally), `out` receives the per-band
+/// hashes. Build hot loops call this with two reused buffers so hashing
+/// a sketch allocates nothing; [`band_hashes`] is the allocating
+/// convenience wrapper.
+pub fn band_hashes_into(
+    sketch: &BottomKSample,
+    cfg: &BandConfig,
+    slots: &mut Vec<Option<u64>>,
+    out: &mut Vec<Option<u64>>,
+) {
+    slots.clear();
+    slots.resize(cfg.slots(), None);
+    // `iter()` yields retained entries in ascending rank order, so the
+    // first key to claim a slot is the slot's min-rank key.
+    for (key, _w) in sketch.iter() {
+        let s = cfg.slot(key);
+        if slots[s].is_none() {
+            slots[s] = Some(key);
+        }
+    }
+    out.clear();
+    out.extend((0..cfg.bands).map(|b| {
+        let mut h = splitmix64(cfg.salt ^ BAND_GAMMA);
+        for slot in &slots[b * cfg.rows..(b + 1) * cfg.rows] {
+            h = splitmix64(h ^ splitmix64((*slot)? ^ SLOT_GAMMA));
+        }
+        Some(h)
+    }));
+}
+
 /// The per-band signature hashes of one sketch: entry `b` is the hash of
 /// band `b`'s `rows` slot values, or `None` when any of those slots
 /// received no retained key (the band is non-indexable for this sketch).
@@ -155,24 +218,10 @@ const BAND_GAMMA: u64 = 0x2545_f491_4f6c_dd1d;
 /// so two coordinated sketches agree on a slot exactly when the
 /// least-rank item of that key region is retained by both.
 pub fn band_hashes(sketch: &BottomKSample, cfg: &BandConfig) -> Vec<Option<u64>> {
-    let mut slots: Vec<Option<u64>> = vec![None; cfg.slots()];
-    // `iter()` yields retained entries in ascending rank order, so the
-    // first key to claim a slot is the slot's min-rank key.
-    for (key, _w) in sketch.iter() {
-        let s = cfg.slot(key);
-        if slots[s].is_none() {
-            slots[s] = Some(key);
-        }
-    }
-    (0..cfg.bands)
-        .map(|b| {
-            let mut h = splitmix64(cfg.salt ^ BAND_GAMMA);
-            for slot in &slots[b * cfg.rows..(b + 1) * cfg.rows] {
-                h = splitmix64(h ^ splitmix64((*slot)? ^ SLOT_GAMMA));
-            }
-            Some(h)
-        })
-        .collect()
+    let mut slots = Vec::new();
+    let mut out = Vec::new();
+    band_hashes_into(sketch, cfg, &mut slots, &mut out);
+    out
 }
 
 /// An inverted index from band hashes to instance ids: the candidate
@@ -180,21 +229,30 @@ pub fn band_hashes(sketch: &BottomKSample, cfg: &BandConfig) -> Vec<Option<u64>>
 ///
 /// Two inserted instances are *candidates* when at least one band hash
 /// matches. The index is deterministic: buckets are ordered maps and
-/// every output is sorted, so [`BandIndex::candidate_pairs`] and
+/// every output is sorted, so [`BandIndex::candidate_pairs`],
+/// [`BandIndex::for_each_candidate_block`], and
 /// [`BandIndex::candidates_of`] are byte-identical for any insertion
 /// order (and hence any store shard count or ingest thread schedule).
 ///
-/// Cost note: pair extraction is `Σ |bucket|²` over buckets — the LSH
-/// contract is that buckets stay small because dissimilar instances
-/// rarely share a band. Feeding the index signatures that collide en
-/// masse (e.g. one duplicated instance a thousand times) degrades
-/// gracefully toward the quadratic worst case, it does not fail.
+/// Each id's registered `(band, hash)` signature stays resident, so the
+/// index supports **incremental maintenance**: [`BandIndex::insert`] is
+/// remove-then-insert (re-registering an id touches only the bands
+/// whose hash changed), [`BandIndex::remove`] unregisters an id
+/// entirely, and [`BandIndex::candidates_of_id`] answers probes for
+/// resident ids off the cache in `O(bands)` bucket lookups. See the
+/// [module docs](self) for the extraction cost model.
 #[derive(Debug, Clone, Default)]
 pub struct BandIndex {
     cfg: Option<BandConfig>,
     /// One ordered bucket map per band: band hash → inserted ids.
     buckets: Vec<BTreeMap<u64, Vec<u64>>>,
-    instances: usize,
+    /// id → the `(band, hash)` pairs it is registered under, ascending
+    /// by band: the indexable part of its signature. Ordered so
+    /// [`BandIndex::for_each_candidate_block`] walks ids ascending.
+    signatures: BTreeMap<u64, Box<[(u32, u64)]>>,
+    /// Reused hashing scratch (never observable through the API).
+    slot_scratch: Vec<Option<u64>>,
+    band_scratch: Vec<Option<u64>>,
 }
 
 impl BandIndex {
@@ -203,7 +261,9 @@ impl BandIndex {
         BandIndex {
             cfg: Some(cfg),
             buckets: vec![BTreeMap::new(); cfg.bands()],
-            instances: 0,
+            signatures: BTreeMap::new(),
+            slot_scratch: Vec::new(),
+            band_scratch: Vec::new(),
         }
     }
 
@@ -216,28 +276,150 @@ impl BandIndex {
         self.cfg.as_ref().expect("BandIndex::new sets the config")
     }
 
-    /// Number of inserted instances.
+    /// Number of distinct inserted instance ids (re-inserting an id does
+    /// not inflate this).
     pub fn len(&self) -> usize {
-        self.instances
+        self.signatures.len()
     }
 
     /// True while nothing has been inserted.
     pub fn is_empty(&self) -> bool {
-        self.instances == 0
+        self.signatures.is_empty()
+    }
+
+    /// The distinct inserted ids, ascending.
+    pub fn ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.signatures.keys().copied()
+    }
+
+    /// The `(band, hash)` pairs `id` is registered under (ascending by
+    /// band), or `None` if the id was never inserted. An inserted id
+    /// whose sketch filled no band has an empty (but present) signature.
+    pub fn signature(&self, id: u64) -> Option<&[(u32, u64)]> {
+        self.signatures.get(&id).map(|sig| &**sig)
     }
 
     /// Indexes `id` under every indexable band of `sketch`'s signature.
-    /// Each instance id should be inserted once; re-inserting an id
-    /// simply re-registers it (candidates are deduplicated on the way
-    /// out, so the index stays consistent, just larger).
+    ///
+    /// Remove-then-insert: if `id` is already present its old signature
+    /// is unregistered first, and only the bands whose hash actually
+    /// changed are touched — re-inserting an unchanged sketch is a no-op
+    /// and [`len`](BandIndex::len) counts distinct ids, never inserts.
+    /// This is the live-maintenance primitive: an index updated on every
+    /// sketch change stays identical to a from-scratch rebuild.
     pub fn insert(&mut self, id: u64, sketch: &BottomKSample) {
         let cfg = *self.config();
-        for (band, hash) in band_hashes(sketch, &cfg).into_iter().enumerate() {
-            if let Some(h) = hash {
-                self.buckets[band].entry(h).or_default().push(id);
+        // Move the scratch out so hashing can borrow it while `self`
+        // stays mutable for registration below.
+        let mut slots = std::mem::take(&mut self.slot_scratch);
+        let mut bands = std::mem::take(&mut self.band_scratch);
+        band_hashes_into(sketch, &cfg, &mut slots, &mut bands);
+        let new: Box<[(u32, u64)]> = bands
+            .iter()
+            .enumerate()
+            .filter_map(|(band, hash)| hash.map(|h| (band as u32, h)))
+            .collect();
+        self.slot_scratch = slots;
+        self.band_scratch = bands;
+
+        let old = self.signatures.remove(&id).unwrap_or_default();
+        // Band-ascending merge of the old and new signatures: unregister
+        // stale hashes, register fresh ones, skip unchanged bands.
+        let (mut i, mut j) = (0, 0);
+        while i < old.len() || j < new.len() {
+            match (old.get(i), new.get(j)) {
+                (Some(&(ob, oh)), Some(&(nb, _))) if ob < nb => {
+                    self.unregister(ob, oh, id);
+                    i += 1;
+                }
+                (Some(&(ob, oh)), Some(&(nb, nh))) if ob == nb => {
+                    if oh != nh {
+                        self.unregister(ob, oh, id);
+                        self.register(nb, nh, id);
+                    }
+                    i += 1;
+                    j += 1;
+                }
+                (_, Some(&(nb, nh))) => {
+                    self.register(nb, nh, id);
+                    j += 1;
+                }
+                (Some(&(ob, oh)), None) => {
+                    self.unregister(ob, oh, id);
+                    i += 1;
+                }
+                (None, None) => unreachable!("loop condition"),
             }
         }
-        self.instances += 1;
+        self.signatures.insert(id, new);
+    }
+
+    /// Unregisters `id` entirely; returns whether it was present.
+    pub fn remove(&mut self, id: u64) -> bool {
+        match self.signatures.remove(&id) {
+            None => false,
+            Some(sig) => {
+                for &(band, hash) in sig.iter() {
+                    self.unregister(band, hash, id);
+                }
+                true
+            }
+        }
+    }
+
+    fn register(&mut self, band: u32, hash: u64, id: u64) {
+        self.buckets[band as usize]
+            .entry(hash)
+            .or_default()
+            .push(id);
+    }
+
+    fn unregister(&mut self, band: u32, hash: u64, id: u64) {
+        let bucket = &mut self.buckets[band as usize];
+        let ids = bucket
+            .get_mut(&hash)
+            .expect("registered signature hash has a bucket");
+        let pos = ids
+            .iter()
+            .position(|&x| x == id)
+            .expect("registered id is in its bucket");
+        ids.remove(pos);
+        if ids.is_empty() {
+            bucket.remove(&hash);
+        }
+    }
+
+    /// Merges per-worker partial indexes (the parallel blocked build)
+    /// into one, in order. The result is interchangeable with inserting
+    /// every instance into a single index: buckets and signatures are
+    /// the unions, and all sorted query outputs are bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a part was built under a different `BandConfig`, or if
+    /// two parts contain the same instance id (parts must partition the
+    /// instances).
+    pub fn merged(cfg: BandConfig, parts: Vec<BandIndex>) -> BandIndex {
+        let mut out = BandIndex::new(cfg);
+        for part in parts {
+            assert_eq!(
+                part.cfg,
+                Some(cfg),
+                "merged parts must share one band config"
+            );
+            for (band, bucket) in part.buckets.into_iter().enumerate() {
+                for (hash, ids) in bucket {
+                    out.buckets[band].entry(hash).or_default().extend(ids);
+                }
+            }
+            for (id, sig) in part.signatures {
+                assert!(
+                    out.signatures.insert(id, sig).is_none(),
+                    "merged parts must hold disjoint ids (id {id} duplicated)"
+                );
+            }
+        }
+        out
     }
 
     /// The sorted, deduplicated ids whose signature shares at least one
@@ -259,23 +441,78 @@ impl BandIndex {
         out
     }
 
-    /// Every unordered candidate pair `(a, b)` with `a < b`, sorted
-    /// lexicographically and deduplicated across bands: the input to the
-    /// join's verification stage.
-    pub fn candidate_pairs(&self) -> Vec<(u64, u64)> {
-        let mut pairs = BTreeSet::new();
-        for band in &self.buckets {
-            for ids in band.values() {
-                for (i, &a) in ids.iter().enumerate() {
-                    for &b in &ids[i + 1..] {
-                        if a != b {
-                            pairs.insert((a.min(b), a.max(b)));
-                        }
-                    }
+    /// [`candidates_of`](BandIndex::candidates_of) for an id already in
+    /// the index, answered off its cached signature — no sketch needed,
+    /// `O(bands)` bucket lookups: the live "who is similar to X right
+    /// now" query. Returns `None` for an id never inserted. The probe's
+    /// own id is always among its candidates (it shares every band with
+    /// itself) unless its signature is all-empty.
+    pub fn candidates_of_id(&self, id: u64) -> Option<Vec<u64>> {
+        let sig = self.signatures.get(&id)?;
+        let mut out: Vec<u64> = sig
+            .iter()
+            .filter_map(|&(band, h)| self.buckets[band as usize].get(&h))
+            .flatten()
+            .copied()
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        Some(out)
+    }
+
+    /// Streams every unordered candidate pair `(a, b)` with `a < b` —
+    /// globally sorted lexicographically and deduplicated across bands —
+    /// to `f` in blocks of at least `block` pairs (the final block may
+    /// be smaller; a block can overshoot by one instance's partner run).
+    /// Concatenating the blocks yields exactly
+    /// [`candidate_pairs`](BandIndex::candidate_pairs), but peak memory
+    /// is `O(block + largest per-id candidate set)` instead of
+    /// `O(total pairs)` — the verification stage of a 10⁶-instance join
+    /// consumes the stream without ever materializing the pair set.
+    ///
+    /// The walk is id-major: for each inserted id `a` in ascending
+    /// order, the members of `a`'s buckets above `a` are collected,
+    /// sorted, and deduplicated into `a`'s partner run. Every colliding
+    /// pair is seen from both sides, so emitting only the `b > a` side
+    /// yields each pair exactly once, already in global order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block == 0`.
+    pub fn for_each_candidate_block<F: FnMut(&[(u64, u64)])>(&self, block: usize, mut f: F) {
+        assert!(block > 0, "blocked extraction needs a positive block size");
+        let mut buf: Vec<(u64, u64)> = Vec::with_capacity(block.min(1 << 16));
+        let mut partners: Vec<u64> = Vec::new();
+        for (&a, sig) in &self.signatures {
+            partners.clear();
+            for &(band, h) in sig.iter() {
+                if let Some(ids) = self.buckets[band as usize].get(&h) {
+                    partners.extend(ids.iter().copied().filter(|&b| b > a));
                 }
             }
+            partners.sort_unstable();
+            partners.dedup();
+            buf.extend(partners.iter().map(|&b| (a, b)));
+            if buf.len() >= block {
+                f(&buf);
+                buf.clear();
+            }
         }
-        pairs.into_iter().collect()
+        if !buf.is_empty() {
+            f(&buf);
+        }
+    }
+
+    /// Every unordered candidate pair `(a, b)` with `a < b`, sorted
+    /// lexicographically and deduplicated across bands: the input to the
+    /// join's verification stage, materialized. Scale-sensitive callers
+    /// should prefer the streaming
+    /// [`for_each_candidate_block`](BandIndex::for_each_candidate_block)
+    /// this is a collect-all wrapper over.
+    pub fn candidate_pairs(&self) -> Vec<(u64, u64)> {
+        let mut pairs = Vec::new();
+        self.for_each_candidate_block(usize::MAX, |block| pairs.extend_from_slice(block));
+        pairs
     }
 }
 
@@ -321,6 +558,21 @@ mod tests {
         index.insert(20, &b);
         assert_eq!(index.candidate_pairs(), vec![(10, 20)]);
         assert_eq!(index.candidates_of(&a), vec![10, 20]);
+        assert_eq!(index.candidates_of_id(10), Some(vec![10, 20]));
+        assert_eq!(index.candidates_of_id(99), None);
+    }
+
+    #[test]
+    fn band_hashes_into_reuses_scratch_and_matches_the_wrapper() {
+        let cfg = BandConfig::new(12, 2, 5);
+        let mut slots = Vec::new();
+        let mut out = Vec::new();
+        for n in [3u64, 20, 50, 0] {
+            let s = sketch(16, 9, 0..n);
+            band_hashes_into(&s, &cfg, &mut slots, &mut out);
+            assert_eq!(out, band_hashes(&s, &cfg), "n={n}");
+            assert_eq!(slots.len(), cfg.slots());
+        }
     }
 
     #[test]
@@ -348,8 +600,10 @@ mod tests {
         index.insert(1, &one);
         index.insert(2, &one);
         assert_eq!(index.len(), 2);
+        assert_eq!(index.signature(1), Some(&[][..]));
         assert_eq!(index.candidate_pairs(), vec![]);
         assert_eq!(index.candidates_of(&one), vec![]);
+        assert_eq!(index.candidates_of_id(1), Some(vec![]));
 
         // With rows = 1 the single filled slot is a full band: the two
         // identical singletons become candidates.
@@ -358,6 +612,61 @@ mod tests {
         index1.insert(1, &one);
         index1.insert(2, &one);
         assert_eq!(index1.candidate_pairs(), vec![(1, 2)]);
+    }
+
+    /// Regression: re-inserting an existing id used to increment the
+    /// instance count (so `len()` over-counted) and leave the id
+    /// registered twice in its buckets. Insert is now remove-then-insert.
+    #[test]
+    fn reinserting_an_id_neither_overcounts_nor_leaks_old_hashes() {
+        let cfg = BandConfig::new(8, 2, 3);
+        let old = sketch(64, 9, 0..50);
+        let new = sketch(64, 9, 10_000..10_050);
+        let probe = sketch(64, 9, 0..50);
+
+        let mut index = BandIndex::new(cfg);
+        index.insert(1, &old);
+        index.insert(1, &old); // identical re-insert: a no-op
+        assert_eq!(index.len(), 1);
+        index.insert(2, &probe);
+        assert_eq!(index.len(), 2);
+        assert_eq!(index.candidate_pairs(), vec![(1, 2)]);
+
+        // Re-registering id 1 under a disjoint sketch must unregister
+        // every old band hash: the old probe no longer finds it.
+        index.insert(1, &new);
+        assert_eq!(index.len(), 2);
+        assert_eq!(index.candidate_pairs(), vec![]);
+        assert_eq!(index.candidates_of(&probe), vec![2]);
+        assert_eq!(index.candidates_of(&new), vec![1]);
+
+        // And the result is identical to a fresh index built with the
+        // final sketches only.
+        let mut fresh = BandIndex::new(cfg);
+        fresh.insert(1, &new);
+        fresh.insert(2, &probe);
+        assert_eq!(index.candidate_pairs(), fresh.candidate_pairs());
+        assert_eq!(index.signature(1), fresh.signature(1));
+        assert_eq!(index.signature(2), fresh.signature(2));
+    }
+
+    #[test]
+    fn remove_unregisters_everything() {
+        let cfg = BandConfig::new(8, 2, 3);
+        let shared = sketch(64, 9, 0..50);
+        let mut index = BandIndex::new(cfg);
+        index.insert(1, &shared);
+        index.insert(2, &shared);
+        assert!(index.remove(1));
+        assert!(!index.remove(1), "second remove finds nothing");
+        assert_eq!(index.len(), 1);
+        assert_eq!(index.candidate_pairs(), vec![]);
+        assert_eq!(index.candidates_of(&shared), vec![2]);
+        assert_eq!(index.candidates_of_id(1), None);
+        // Removing the last id leaves a truly empty index.
+        assert!(index.remove(2));
+        assert!(index.is_empty());
+        assert_eq!(index.candidates_of(&shared), vec![]);
     }
 
     #[test]
@@ -393,5 +702,80 @@ mod tests {
         assert!(pairs.windows(2).all(|w| w[0] < w[1]), "sorted: {pairs:?}");
         assert!(pairs.iter().all(|&(a, b)| a < b));
         assert_eq!(pairs.len(), 6); // C(4, 2), deduplicated across bands
+    }
+
+    #[test]
+    fn blocked_extraction_concatenates_to_candidate_pairs_at_any_block_size() {
+        let cfg = BandConfig::new(12, 2, 5);
+        let mut index = BandIndex::new(cfg);
+        for id in 0..30u64 {
+            index.insert(id, &sketch(24, 9, id * 20..id * 20 + 40));
+        }
+        let reference = index.candidate_pairs();
+        assert!(!reference.is_empty(), "workload must produce candidates");
+        for block in [1usize, 2, 3, 7, reference.len(), reference.len() + 10] {
+            let mut streamed = Vec::new();
+            let mut blocks = 0usize;
+            index.for_each_candidate_block(block, |b| {
+                assert!(!b.is_empty());
+                assert!(b.windows(2).all(|w| w[0] < w[1]), "block sorted");
+                streamed.extend_from_slice(b);
+                blocks += 1;
+            });
+            assert_eq!(streamed, reference, "block={block}");
+            if block == 1 {
+                assert!(blocks > 1, "small blocks must actually stream");
+            }
+        }
+        // An empty index streams nothing.
+        let empty = BandIndex::new(cfg);
+        empty.for_each_candidate_block(4, |_| panic!("no blocks expected"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive block size")]
+    fn zero_block_size_panics() {
+        BandIndex::new(BandConfig::new(4, 1, 0)).for_each_candidate_block(0, |_| {});
+    }
+
+    #[test]
+    fn merged_partials_equal_a_single_sequential_index() {
+        let cfg = BandConfig::new(12, 2, 5);
+        let sketches: Vec<(u64, BottomKSample)> = (0..24u64)
+            .map(|id| (id, sketch(24, 9, id * 20..id * 20 + 40)))
+            .collect();
+        let mut reference = BandIndex::new(cfg);
+        for (id, s) in &sketches {
+            reference.insert(*id, s);
+        }
+        for parts_n in [1usize, 2, 3, 5] {
+            let mut parts: Vec<BandIndex> = (0..parts_n).map(|_| BandIndex::new(cfg)).collect();
+            for (i, (id, s)) in sketches.iter().enumerate() {
+                parts[i % parts_n].insert(*id, s);
+            }
+            let merged = BandIndex::merged(cfg, parts);
+            assert_eq!(merged.len(), reference.len());
+            assert_eq!(merged.candidate_pairs(), reference.candidate_pairs());
+            for (id, s) in &sketches {
+                assert_eq!(merged.candidates_of(s), reference.candidates_of(s));
+                assert_eq!(merged.signature(*id), reference.signature(*id));
+                assert_eq!(
+                    merged.candidates_of_id(*id),
+                    reference.candidates_of_id(*id)
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint ids")]
+    fn merged_rejects_duplicate_ids() {
+        let cfg = BandConfig::new(4, 1, 0);
+        let s = sketch(8, 9, 0..10);
+        let mut a = BandIndex::new(cfg);
+        let mut b = BandIndex::new(cfg);
+        a.insert(1, &s);
+        b.insert(1, &s);
+        BandIndex::merged(cfg, vec![a, b]);
     }
 }

@@ -19,6 +19,7 @@
 use monotone_coord::bottomk::{BottomK, BottomKSample, RankMethod};
 use monotone_coord::instance::Instance;
 use monotone_coord::seed::SeedHasher;
+use monotone_engine::Engine;
 use monotone_store::banding::{band_hashes, BandConfig, BandIndex};
 use monotone_store::SketchStore;
 use proptest::prelude::*;
@@ -146,5 +147,74 @@ proptest! {
                 band_hashes(&sharded.sketch(id as u64).unwrap(), &cfg)
             );
         }
+    }
+
+    /// The parallel blocked build is bit-identical to the sequential
+    /// index at 1, 2, and 4 workers: worker count is a pure wall-clock
+    /// lever, invisible in buckets, signatures, and every query output.
+    #[test]
+    fn parallel_blocked_build_is_bit_identical_at_1_2_4_workers(
+        mutations in proptest::collection::vec(
+            proptest::collection::vec(0u64..60, 0..40), 2..10),
+        salt in any::<u64>(),
+        band_salt in any::<u64>(),
+        shards in 1usize..6,
+    ) {
+        let pool = mutated_pool(60, &mutations);
+        let cfg = BandConfig::new(16, 2, band_salt);
+        let store = SketchStore::with_shards(24, salt, shards);
+        for (id, inst) in pool.iter().enumerate() {
+            store.ingest_all(id as u64, inst.iter());
+        }
+        let sequential = store.band_index(&cfg);
+        for workers in [1usize, 2, 4] {
+            let parallel = store.band_index_with(&cfg, &Engine::with_threads(workers));
+            prop_assert_eq!(parallel.len(), sequential.len(), "w={}", workers);
+            prop_assert_eq!(
+                parallel.candidate_pairs(),
+                sequential.candidate_pairs(),
+                "w={}", workers
+            );
+            for (id, _) in pool.iter().enumerate() {
+                prop_assert_eq!(
+                    parallel.signature(id as u64),
+                    sequential.signature(id as u64),
+                    "w={} id={}", workers, id
+                );
+                prop_assert_eq!(
+                    parallel.candidates_of_id(id as u64),
+                    sequential.candidates_of_id(id as u64),
+                    "w={} id={}", workers, id
+                );
+            }
+        }
+    }
+
+    /// Streamed candidate blocks concatenate to exactly the sorted
+    /// `candidate_pairs` output at every block size — the O(block)
+    /// extraction path loses and reorders nothing.
+    #[test]
+    fn streamed_blocks_concatenate_to_candidate_pairs(
+        mutations in proptest::collection::vec(
+            proptest::collection::vec(0u64..60, 0..25), 2..10),
+        salt in any::<u64>(),
+        band_salt in any::<u64>(),
+        block in 1usize..64,
+    ) {
+        let pool = mutated_pool(60, &mutations);
+        let cfg = BandConfig::new(24, 2, band_salt);
+        let mut index = BandIndex::new(cfg);
+        for (id, inst) in pool.iter().enumerate() {
+            index.insert(id as u64, &exact_sketch(inst, salt));
+        }
+        let reference = index.candidate_pairs();
+        let mut streamed = Vec::new();
+        let mut empty_blocks = 0usize;
+        index.for_each_candidate_block(block, |b| {
+            empty_blocks += usize::from(b.is_empty());
+            streamed.extend_from_slice(b);
+        });
+        prop_assert_eq!(empty_blocks, 0, "empty block emitted");
+        prop_assert_eq!(streamed, reference);
     }
 }
