@@ -20,8 +20,8 @@ use monotone_bench::results_dir;
 use monotone_bench::scenarios;
 use monotone_engine::{Engine, Runner};
 
-const USAGE: &str =
-    "usage: exp_runner [--list] [--all] [--shards N] [--workers N] [--out DIR] <scenario>...";
+const USAGE: &str = "usage: exp_runner [--list] [--all] [--shards N] [--workers N] [--procs N] \
+     [--out DIR] <scenario>...";
 
 fn main() {
     let mut names: Vec<String> = Vec::new();
@@ -38,6 +38,12 @@ fn main() {
             "--all" => all = true,
             "--shards" => shards = Some(parse_count(args.next(), "--shards")),
             "--workers" => workers = Some(parse_count(args.next(), "--workers")),
+            "--procs" => {
+                // Scenario distributed legs read the count from the
+                // environment (they spawn their own worker processes).
+                let procs = parse_count(args.next(), "--procs");
+                std::env::set_var(monotone_bench::DIST_PROCS_ENV, procs.to_string());
+            }
             "--out" => {
                 out_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| {
                     eprintln!("--out needs a directory\n{USAGE}");

@@ -16,6 +16,24 @@ use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
+/// Environment variable the distributed scenario legs read their
+/// process-shard count from (set by `exp_runner --procs N`). The legs
+/// spawn that many `shard_worker` child processes; every CSV artifact
+/// stays byte-identical whatever the count (the determinism matrix
+/// diffs runs at 1, 2, and 4).
+pub const DIST_PROCS_ENV: &str = "MONOTONE_DIST_PROCS";
+
+/// Process-shard count for the distributed scenario legs:
+/// [`DIST_PROCS_ENV`], defaulting to 1 (a single worker process — the
+/// distribution path still runs, over one child).
+pub fn distributed_procs() -> usize {
+    std::env::var(DIST_PROCS_ENV)
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
+}
+
 /// Directory into which experiment binaries drop their CSV series.
 pub fn results_dir() -> PathBuf {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR"))

@@ -47,6 +47,18 @@
 //! `build_parallelism` lane pair — and the minimum recall ride
 //! `BENCH_allpairs.json` via [`FinishOut::bench_fields`], where CI
 //! gates them against the committed baseline.
+//!
+//! A **distributed leg** rides the first unit (n = 10⁴): the same
+//! live-enabled store stood up over
+//! [`SketchStore::with_process_shards`] — `distributed_procs()` child
+//! `shard_worker` processes — re-ingests the pool over the pipe
+//! transport, builds the merged band index from worker-side partials,
+//! and answers a panel of gathered `live_candidates_of` probes, all
+//! asserted bit-identical to the in-process store. Its CSV
+//! (`e18_allpairs_dist.csv`) is byte-identical at every process count;
+//! the measured distributed build rate and gather latency percentiles
+//! ride `BENCH_allpairs.json` (`dist_build_instances_per_sec`,
+//! `live_gather_p50_us`/`p99_us`), where CI gates them.
 
 use std::collections::BTreeSet;
 use std::ops::Range;
@@ -93,6 +105,11 @@ const LIVE_CAP: u64 = 100_000;
 /// The unit whose build is additionally timed at 1 vs 4 workers for the
 /// `build_speedup_4w` record.
 const SPEEDUP_N: u64 = 100_000;
+/// The unit (by pool size) that carries the distributed leg.
+const DIST_N: u64 = 10_000;
+/// Gathered `live_candidates_of` probes answered by the distributed
+/// store and checked against the in-process index.
+const DIST_PROBES: usize = 200;
 
 /// Per-unit prepared state shared by all stages.
 struct Prepared {
@@ -114,15 +131,15 @@ fn band_config(p: &Prepared) -> BandConfig {
 /// Stage 1: sketch the pool (untimed — priced by the `service`
 /// scenario), then the timed parallel blocked index build over the
 /// resident sketches.
-fn stage_build(p: &Prepared, engine: &Engine) -> (BandIndex, f64) {
+fn stage_build(p: &Prepared, engine: &Engine) -> Result<(BandIndex, f64)> {
     let store = SketchStore::new(K, p.salt);
     for (id, inst) in p.pool.iter().enumerate() {
-        store.ingest_all(id as u64, inst.iter());
+        store.ingest_all(id as u64, inst.iter())?;
     }
     let cfg = band_config(p);
     let start = Instant::now();
-    let index = store.band_index_with(&cfg, engine);
-    (index, start.elapsed().as_secs_f64())
+    let index = store.band_index_with(&cfg, engine)?;
+    Ok((index, start.elapsed().as_secs_f64()))
 }
 
 /// Outcome of the streamed extract-and-verify pass over one unit.
@@ -208,20 +225,88 @@ fn stage_verify_streamed(p: &Prepared, index: &BandIndex, engine: &Engine) -> Re
 /// retained-set change re-registers that instance's band signature in
 /// place — then the live index is checked against a from-scratch
 /// rebuild. Returns `(observations, secs, live_ok)`.
-fn stage_live(p: &Prepared) -> (u64, f64, bool) {
+fn stage_live(p: &Prepared) -> Result<(u64, f64, bool)> {
     let live_n = (p.pool.len() as u64).min(LIVE_CAP) as usize;
     let cfg = band_config(p);
     let store = SketchStore::with_live_index(K, p.salt, 16, cfg);
     let start = Instant::now();
     for (id, inst) in p.pool[..live_n].iter().enumerate() {
-        store.ingest_all(id as u64, inst.iter());
+        store.ingest_all(id as u64, inst.iter())?;
     }
     let secs = start.elapsed().as_secs_f64();
-    let live = store.live_index().expect("live enabled");
-    let rebuilt = store.band_index(&cfg);
+    let live = store.live_index()?.expect("live enabled");
+    let rebuilt = store.band_index(&cfg)?;
     let live_ok =
         live.len() == rebuilt.len() && live.candidate_pairs() == rebuilt.candidate_pairs();
-    (live_n as u64 * ITEMS, secs, live_ok)
+    Ok((live_n as u64 * ITEMS, secs, live_ok))
+}
+
+/// Outcome of the distributed leg.
+struct DistOut {
+    /// Instances ingested through the pipe transport.
+    instances: f64,
+    /// Wall seconds of the distributed (worker-side partials + merge)
+    /// band build.
+    build_secs: f64,
+    /// Gathered live-probe latency percentiles (µs).
+    p50_us: f64,
+    p99_us: f64,
+    /// Distributed index and every gathered probe were bit-identical to
+    /// the in-process store's.
+    matches_local: bool,
+    /// Deterministic CSV row for `e18_allpairs_dist.csv`.
+    row: Vec<String>,
+}
+
+/// Stage 4 (first unit only): the distributed leg. The pool goes
+/// through a live-enabled process-sharded store; the merged band build
+/// (each worker hashes its residents and ships a partial) and a panel
+/// of gathered `live_candidates_of` probes are checked bit-identical
+/// against an in-process store fed the same stream.
+fn stage_dist(p: &Prepared, engine: &Engine) -> Result<DistOut> {
+    let procs = crate::distributed_procs();
+    let cfg = band_config(p);
+    let mut remote = SketchStore::with_process_shards(K, p.salt, procs)?;
+    remote.enable_live_index(cfg)?;
+    let mut local = SketchStore::new(K, p.salt);
+    local.enable_live_index(cfg)?;
+    for (id, inst) in p.pool.iter().enumerate() {
+        remote.ingest_all(id as u64, inst.iter())?;
+        local.ingest_all(id as u64, inst.iter())?;
+    }
+
+    let build_start = Instant::now();
+    let dist_index = remote.band_index_with(&cfg, engine)?;
+    let build_secs = build_start.elapsed().as_secs_f64();
+    let reference = local.band_index(&cfg)?;
+    let mut matches_local = dist_index.len() == reference.len()
+        && dist_index.candidate_pairs() == reference.candidate_pairs();
+
+    let n = p.pool.len() as u64;
+    let mut latencies_us = Vec::with_capacity(DIST_PROBES);
+    for j in 0..DIST_PROBES {
+        let id = (j as u64 * 131) % n;
+        let probe_start = Instant::now();
+        let gathered = remote.live_candidates_of(id)?;
+        latencies_us.push(probe_start.elapsed().as_secs_f64() * 1e6);
+        matches_local &= gathered == local.live_candidates_of(id)?;
+    }
+    latencies_us.sort_by(f64::total_cmp);
+    let pct = |p: f64| latencies_us[((latencies_us.len() - 1) as f64 * p).round() as usize];
+
+    Ok(DistOut {
+        instances: n as f64,
+        build_secs,
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+        matches_local,
+        row: vec![
+            format!("{n}"),
+            format!("{}", dist_index.candidate_pairs().len()),
+            format!("{DIST_PROBES}"),
+            format!("{}", u8::from(matches_local)),
+        ],
+    })
 }
 
 /// The brute-force exact join over the pool's first [`SLICE`] instances:
@@ -266,20 +351,26 @@ impl Scenario for AllPairs {
     }
 
     fn artifacts(&self) -> Vec<CsvSpec> {
-        vec![CsvSpec::new(
-            "e18_allpairs.csv",
-            &[
-                "n",
-                "candidate_pairs",
-                "candidate_frac",
-                "verified_similar",
-                "exact_similar",
-                "verify_agreement",
-                "slice_similar",
-                "slice_found",
-                "recall",
-            ],
-        )]
+        vec![
+            CsvSpec::new(
+                "e18_allpairs.csv",
+                &[
+                    "n",
+                    "candidate_pairs",
+                    "candidate_frac",
+                    "verified_similar",
+                    "exact_similar",
+                    "verify_agreement",
+                    "slice_similar",
+                    "slice_found",
+                    "recall",
+                ],
+            ),
+            CsvSpec::new(
+                "e18_allpairs_dist.csv",
+                &["n", "candidate_pairs", "gathered_probes", "matches_local"],
+            ),
+        ]
     }
 
     fn units(&self) -> usize {
@@ -291,22 +382,22 @@ impl Scenario for AllPairs {
             .map(|unit| {
                 let n = NS[unit];
                 let prepared = prepare(unit);
-                let (index, build_secs) = stage_build(&prepared, engine);
+                let (index, build_secs) = stage_build(&prepared, engine)?;
                 let verified = stage_verify_streamed(&prepared, &index, engine)?;
-                let (live_updates, live_secs, live_ok) = stage_live(&prepared);
+                let (live_updates, live_secs, live_ok) = stage_live(&prepared)?;
 
                 // The 1-vs-4-worker build comparison, on one fixed unit.
                 let (build1_secs, build4_secs) = if n == SPEEDUP_N {
                     let cfg = band_config(&prepared);
                     let store = SketchStore::new(K, prepared.salt);
                     for (id, inst) in prepared.pool.iter().enumerate() {
-                        store.ingest_all(id as u64, inst.iter());
+                        store.ingest_all(id as u64, inst.iter())?;
                     }
                     let t1 = Instant::now();
-                    let i1 = store.band_index_with(&cfg, &Engine::with_threads(1));
+                    let i1 = store.band_index_with(&cfg, &Engine::with_threads(1))?;
                     let s1 = t1.elapsed().as_secs_f64();
                     let t4 = Instant::now();
-                    let i4 = store.band_index_with(&cfg, &Engine::with_threads(4));
+                    let i4 = store.band_index_with(&cfg, &Engine::with_threads(4))?;
                     let s4 = t4.elapsed().as_secs_f64();
                     assert_eq!(i1.len(), i4.len(), "worker count must not change the index");
                     (s1, s4)
@@ -351,6 +442,17 @@ impl Scenario for AllPairs {
                         fnum(recall),
                     ],
                 );
+                // The distributed leg rides exactly one unit of the
+                // sweep; other units contribute neutral metrics.
+                let dist = if n == DIST_N {
+                    Some(stage_dist(&prepared, engine)?)
+                } else {
+                    None
+                };
+                if let Some(d) = &dist {
+                    out.row(1, d.row.clone());
+                }
+
                 // Metrics layout consumed by finish: the deterministic
                 // join shape, then the measured stage legs.
                 out.metric(recall) // 0
@@ -366,7 +468,15 @@ impl Scenario for AllPairs {
                     .metric(live_secs) // 10
                     .metric(if live_ok { 1.0 } else { 0.0 }) // 11
                     .metric(build1_secs) // 12
-                    .metric(build4_secs); // 13
+                    .metric(build4_secs) // 13
+                    .metric(dist.as_ref().map_or(0.0, |d| d.instances)) // 14
+                    .metric(dist.as_ref().map_or(0.0, |d| d.build_secs)) // 15
+                    .metric(dist.as_ref().map_or(0.0, |d| d.p50_us)) // 16
+                    .metric(dist.as_ref().map_or(0.0, |d| d.p99_us)) // 17
+                    .metric(
+                        dist.as_ref()
+                            .map_or(1.0, |d| f64::from(u8::from(d.matches_local))),
+                    ); // 18
                 Ok(out)
             })
             .collect()
@@ -419,6 +529,13 @@ impl Scenario for AllPairs {
         let live_secs: f64 = outs.iter().map(|o| o.metrics[10]).sum();
         let build1_secs: f64 = outs.iter().map(|o| o.metrics[12]).sum();
         let build4_secs: f64 = outs.iter().map(|o| o.metrics[13]).sum();
+        // Distributed leg (one unit; neutral elsewhere).
+        let dist_instances: f64 = outs.iter().map(|o| o.metrics[14]).sum();
+        let dist_build_secs: f64 = outs.iter().map(|o| o.metrics[15]).sum();
+        let gather_p50 = outs.iter().map(|o| o.metrics[16]).fold(0.0, f64::max);
+        let gather_p99 = outs.iter().map(|o| o.metrics[17]).fold(0.0, f64::max);
+        let dist_ok = outs.iter().all(|o| o.metrics[18] == 1.0);
+        let dist_build_rate = dist_instances / dist_build_secs.max(1e-9);
 
         let cand_rate = cands / (build_secs + extract_secs).max(1e-9);
         let verify_rate = cands / verify_secs.max(1e-9);
@@ -454,13 +571,21 @@ impl Scenario for AllPairs {
                     parallelism,
                 ),
                 format!(
+                    "distributed leg (n = {DIST_N}, {} process shards): merged band build \
+                     {:.2}M instances/s from worker-side partials; gathered live probes \
+                     p50 {gather_p50:.1}µs, p99 {gather_p99:.1}µs; index and probes \
+                     bit-identical to the in-process store ({dist_ok})",
+                    crate::distributed_procs(),
+                    dist_build_rate / 1e6,
+                ),
+                format!(
                     "paper-shape checks: slice recall ≥ 0.9 at every n (min {}: {recall_ok}), \
                      verifier agrees with the exact join ≥ 98% ({agree_ok}), \
                      candidates stay under 0.1% of all pairs ({subquad_ok})",
                     fnum(recall_min),
                 ),
             ],
-            recall_ok && agree_ok && subquad_ok && live_ok,
+            recall_ok && agree_ok && subquad_ok && live_ok && dist_ok,
         )
         .with_bench_field("candidate_pairs_per_sec", cand_rate)
         .with_bench_field("verify_pairs_per_sec", verify_rate)
@@ -470,5 +595,9 @@ impl Scenario for AllPairs {
         .with_bench_field("updates_per_sec", update_rate)
         .with_bench_field("build_speedup_4w", speedup_4w)
         .with_bench_field("build_parallelism", parallelism)
+        .with_bench_field("dist_build_instances_per_sec", dist_build_rate)
+        .with_bench_field("live_gather_p50_us", gather_p50)
+        .with_bench_field("live_gather_p99_us", gather_p99)
+        .with_bench_field("dist_matches_local", f64::from(u8::from(dist_ok)))
     }
 }

@@ -18,6 +18,17 @@
 //! resident store — ride the timing record (`BENCH_service.json`) via
 //! [`FinishOut::bench_fields`], the same perf-trajectory convention as
 //! `BENCH_engine.json`.
+//!
+//! A **distributed leg** rides the k = 32 unit: the same service stood
+//! up over [`SketchStore::with_process_shards`] — `distributed_procs()`
+//! spawned `shard_worker` child processes — re-ingests a smaller
+//! resident set over the pipe transport and answers a gathered query
+//! panel, asserting every estimate is bit-identical to an in-process
+//! reference store. Its CSV (`e17_service_dist.csv`) is therefore
+//! byte-identical at every process count; the measured remote ingest
+//! rate and gathered-query latency percentiles ride
+//! `BENCH_service.json` (`remote_ingest_items_per_sec`,
+//! `gather_query_p50_us`/`p99_us`), where CI gates them.
 
 use std::ops::Range;
 use std::time::Instant;
@@ -43,6 +54,13 @@ const SALT: u64 = 0x5eed_0017;
 const QUERIES: usize = 200;
 /// Partner distances of the 2-groups, cycled across the panel.
 const DISTANCES: [u64; 4] = [1, 2, 3, 5];
+/// The unit whose k carries the distributed leg.
+const DIST_K: usize = 32;
+/// Resident instances of the distributed leg (smaller than the main
+/// sweep: every item crosses a process boundary).
+const DIST_INSTANCES: u64 = 20_000;
+/// Gathered queries answered against the process-sharded store.
+const DIST_QUERIES: usize = 64;
 
 /// The support window of instance `id`: keys `[id·S, id·S + ITEMS)`,
 /// weight `1 + (key mod 3)`.
@@ -69,6 +87,79 @@ fn panel() -> Vec<(u64, u64)> {
         .collect()
 }
 
+/// Outcome of the distributed leg.
+struct DistLeg {
+    /// Items ingested through the pipe transport.
+    items: f64,
+    /// Wall seconds of that remote ingest.
+    ingest_secs: f64,
+    /// Gathered-query latency percentiles (µs).
+    p50_us: f64,
+    p99_us: f64,
+    /// Every remote estimate was bit-identical to the local reference.
+    matches_local: bool,
+    /// Deterministic CSV row for `e17_service_dist.csv`.
+    row: Vec<String>,
+}
+
+/// The distributed leg: stand the same service up over
+/// `distributed_procs()` child-process shards, ingest
+/// [`DIST_INSTANCES`] instances over the pipe, answer a gathered query
+/// panel, and verify every estimate against an in-process reference
+/// store built from the same stream. Estimates are required to be
+/// bit-identical — the transport must be invisible — which is what
+/// keeps the dist CSV byte-identical at every process count.
+fn dist_leg(engine: &Engine, query: &EngineQuery) -> Result<DistLeg> {
+    let procs = crate::distributed_procs();
+    let remote = SketchStore::with_process_shards(DIST_K, SALT, procs)?;
+    let local = SketchStore::new(DIST_K, SALT);
+
+    let ingest_start = Instant::now();
+    for id in 0..DIST_INSTANCES {
+        remote.ingest_all(id, window(id))?;
+    }
+    let ingest_secs = ingest_start.elapsed().as_secs_f64();
+    for id in 0..DIST_INSTANCES {
+        local.ingest_all(id, window(id))?;
+    }
+
+    let mut latencies_us = Vec::with_capacity(DIST_QUERIES);
+    let mut matches_local = true;
+    let mut sum_truth = 0.0;
+    let mut sum_est = 0.0;
+    for j in 0..DIST_QUERIES {
+        let d = DISTANCES[j % DISTANCES.len()];
+        let a = (j as u64 * 487) % (DIST_INSTANCES - DISTANCES[DISTANCES.len() - 1] - 1);
+        let group = [a, a + d];
+        let q_start = Instant::now();
+        let est = remote.query_group(engine, query, &group)?;
+        latencies_us.push(q_start.elapsed().as_secs_f64() * 1e6);
+        let reference = local.query_group(engine, query, &group)?;
+        matches_local &= est == reference;
+        sum_truth += union_truth(d);
+        sum_est += est.estimates[0];
+    }
+    latencies_us.sort_by(f64::total_cmp);
+    let pct = |p: f64| latencies_us[((latencies_us.len() - 1) as f64 * p).round() as usize];
+    let n = DIST_QUERIES as f64;
+
+    Ok(DistLeg {
+        items: (DIST_INSTANCES * ITEMS) as f64,
+        ingest_secs,
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+        matches_local,
+        row: vec![
+            format!("{DIST_K}"),
+            format!("{DIST_INSTANCES}"),
+            format!("{DIST_QUERIES}"),
+            format!("{}", sum_truth / n),
+            format!("{}", sum_est / n),
+            format!("{}", u8::from(matches_local)),
+        ],
+    })
+}
+
 pub struct Service;
 
 impl Scenario for Service {
@@ -81,18 +172,31 @@ impl Scenario for Service {
     }
 
     fn artifacts(&self) -> Vec<CsvSpec> {
-        vec![CsvSpec::new(
-            "e17_service.csv",
-            &[
-                "k",
-                "resident_instances",
-                "queries",
-                "mean_truth",
-                "mean_estimate",
-                "mean_rel_error",
-                "nrmse",
-            ],
-        )]
+        vec![
+            CsvSpec::new(
+                "e17_service.csv",
+                &[
+                    "k",
+                    "resident_instances",
+                    "queries",
+                    "mean_truth",
+                    "mean_estimate",
+                    "mean_rel_error",
+                    "nrmse",
+                ],
+            ),
+            CsvSpec::new(
+                "e17_service_dist.csv",
+                &[
+                    "k",
+                    "resident_instances",
+                    "gathered_queries",
+                    "mean_truth",
+                    "mean_estimate",
+                    "matches_local",
+                ],
+            ),
+        ]
     }
 
     fn units(&self) -> usize {
@@ -113,7 +217,7 @@ impl Scenario for Service {
 
                 let ingest_start = Instant::now();
                 for id in 0..INSTANCES {
-                    store.ingest_all(id, window(id));
+                    store.ingest_all(id, window(id))?;
                 }
                 let ingest_secs = ingest_start.elapsed().as_secs_f64();
 
@@ -162,13 +266,33 @@ impl Scenario for Service {
                         fnum(nrmse),
                     ],
                 );
+                // The distributed leg rides exactly one unit of the
+                // sweep; other units contribute neutral metrics.
+                let dist = if k == DIST_K {
+                    Some(dist_leg(&engine, &query)?)
+                } else {
+                    None
+                };
+                if let Some(d) = &dist {
+                    out.row(1, d.row.clone());
+                }
+
                 // Metrics layout consumed by finish: the deterministic
-                // error pair, the measured ingest leg, then the raw
-                // per-query latencies.
-                out.metric(mean_rel)
-                    .metric(nrmse)
-                    .metric((INSTANCES * ITEMS) as f64)
-                    .metric(ingest_secs);
+                // error pair, the measured ingest leg, the distributed
+                // leg (zeros off its unit), then the raw per-query
+                // latencies.
+                out.metric(mean_rel) // 0
+                    .metric(nrmse) // 1
+                    .metric((INSTANCES * ITEMS) as f64) // 2
+                    .metric(ingest_secs) // 3
+                    .metric(dist.as_ref().map_or(0.0, |d| d.items)) // 4
+                    .metric(dist.as_ref().map_or(0.0, |d| d.ingest_secs)) // 5
+                    .metric(dist.as_ref().map_or(0.0, |d| d.p50_us)) // 6
+                    .metric(dist.as_ref().map_or(0.0, |d| d.p99_us)) // 7
+                    .metric(
+                        dist.as_ref()
+                            .map_or(1.0, |d| f64::from(u8::from(d.matches_local))),
+                    ); // 8
                 for lat in latencies_us {
                     out.metric(lat);
                 }
@@ -207,9 +331,17 @@ impl Scenario for Service {
         let items: f64 = outs.iter().map(|o| o.metrics[2]).sum();
         let secs: f64 = outs.iter().map(|o| o.metrics[3]).sum();
         let ingest_rate = items / secs.max(1e-9);
+        // The distributed leg rides one unit; off-unit metrics are
+        // neutral (zeros, matches = 1), so sums and maxes pick it out.
+        let dist_items: f64 = outs.iter().map(|o| o.metrics[4]).sum();
+        let dist_secs: f64 = outs.iter().map(|o| o.metrics[5]).sum();
+        let remote_rate = dist_items / dist_secs.max(1e-9);
+        let gather_p50 = outs.iter().map(|o| o.metrics[6]).fold(0.0, f64::max);
+        let gather_p99 = outs.iter().map(|o| o.metrics[7]).fold(0.0, f64::max);
+        let dist_ok = outs.iter().all(|o| o.metrics[8] == 1.0);
         let mut lats: Vec<f64> = outs
             .iter()
-            .flat_map(|o| o.metrics[4..].iter().copied())
+            .flat_map(|o| o.metrics[9..].iter().copied())
             .collect();
         lats.sort_by(f64::total_cmp);
         let pct = |p: f64| -> f64 {
@@ -230,17 +362,29 @@ impl Scenario for Service {
                     lats.len(),
                 ),
                 format!(
+                    "distributed leg (k = {DIST_K}, {} process shards): remote ingest \
+                     {:.2}M items/s over {DIST_INSTANCES} instances; gathered queries \
+                     p50 {gather_p50:.1}µs, p99 {gather_p99:.1}µs; every estimate \
+                     bit-identical to the in-process reference ({dist_ok})",
+                    crate::distributed_procs(),
+                    remote_rate / 1e6,
+                ),
+                format!(
                     "paper-shape checks: errors finite at every k ({finite}), \
                      nrmse shrinks from k={} to k={} ({converges})",
                     KS[0],
                     KS[KS.len() - 1],
                 ),
             ],
-            finite && converges,
+            finite && converges && dist_ok,
         )
         .with_bench_field("resident_instances", (KS.len() as u64 * INSTANCES) as f64)
         .with_bench_field("ingest_items_per_sec", ingest_rate)
         .with_bench_field("query_p50_us", p50)
         .with_bench_field("query_p99_us", p99)
+        .with_bench_field("remote_ingest_items_per_sec", remote_rate)
+        .with_bench_field("gather_query_p50_us", gather_p50)
+        .with_bench_field("gather_query_p99_us", gather_p99)
+        .with_bench_field("remote_matches_local", f64::from(u8::from(dist_ok)))
     }
 }

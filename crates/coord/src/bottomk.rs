@@ -23,6 +23,7 @@ use monotone_core::scheme::{EntryState, LinearThreshold, Outcome, ThresholdFn, T
 
 use crate::instance::Instance;
 use crate::seed::SeedHasher;
+use crate::wire::{Dec, Enc};
 
 /// The rank transform of a bottom-k scheme.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -75,6 +76,10 @@ impl RankMethod {
         }
     }
 }
+
+/// Version byte leading every [`BottomKSample`] wire payload. Bump on any
+/// layout change; decoders reject versions they do not know.
+const WIRE_VERSION: u8 = 1;
 
 /// A bottom-k sample of one instance: the `k` lowest-rank items plus the
 /// rank threshold needed for conditioned estimation.
@@ -200,6 +205,100 @@ impl BottomKSample {
         let mut out: Vec<(u64, f64)> = self.entries.iter().map(|&(_, k, w)| (k, w)).collect();
         out.sort_unstable_by_key(|&(k, _)| k);
         out
+    }
+
+    /// Appends this sample's stable, versioned wire form to `out` — the
+    /// snapshot format a remote shard ships to the store router. Floats
+    /// travel as raw IEEE-754 bits, so [`decode`](BottomKSample::decode)
+    /// reproduces the sample **bit for bit** (ranks, thresholds, and
+    /// weights included), which is what keeps a process-sharded store's
+    /// estimates byte-identical to an in-process one.
+    pub fn encode_into(&self, out: &mut Enc) {
+        out.put_u8(WIRE_VERSION);
+        out.put_u8(match self.method {
+            RankMethod::Priority => 0,
+            RankMethod::Exponential => 1,
+            RankMethod::Uniform => 2,
+        });
+        out.put_len(self.k);
+        match self.next_rank {
+            Some(r) => {
+                out.put_u8(1);
+                out.put_f64(r);
+            }
+            None => out.put_u8(0),
+        }
+        out.put_len(self.entries.len());
+        for &(rank, key, weight) in &self.entries {
+            out.put_f64(rank);
+            out.put_u64(key);
+            out.put_f64(weight);
+        }
+    }
+
+    /// Decodes one sample from `dec`, validating the version byte, the
+    /// rank-method tag, and the `(rank, key)`-ascending entry order the
+    /// sampler guarantees — corruption surfaces as a typed error, never
+    /// as a structurally invalid sample.
+    ///
+    /// # Errors
+    ///
+    /// [`monotone_core::Error::Encoding`] on truncation, an unknown
+    /// version or tag, or out-of-order entries.
+    pub fn decode(dec: &mut Dec<'_>) -> monotone_core::Result<BottomKSample> {
+        let version = dec.take_u8()?;
+        if version != WIRE_VERSION {
+            return Err(monotone_core::Error::Encoding(format!(
+                "unknown BottomKSample wire version {version}"
+            )));
+        }
+        let method = match dec.take_u8()? {
+            0 => RankMethod::Priority,
+            1 => RankMethod::Exponential,
+            2 => RankMethod::Uniform,
+            t => {
+                return Err(monotone_core::Error::Encoding(format!(
+                    "unknown rank-method tag {t}"
+                )))
+            }
+        };
+        let k = dec.take_len()?;
+        let next_rank = match dec.take_u8()? {
+            0 => None,
+            1 => Some(dec.take_f64()?),
+            t => {
+                return Err(monotone_core::Error::Encoding(format!(
+                    "bad next-rank flag {t}"
+                )))
+            }
+        };
+        let n = dec.take_len()?;
+        if n > k {
+            return Err(monotone_core::Error::Encoding(format!(
+                "sample claims {n} entries for k = {k}"
+            )));
+        }
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let rank = dec.take_f64()?;
+            let key = dec.take_u64()?;
+            let weight = dec.take_f64()?;
+            if let Some(&(pr, pk, _)) = entries.last() {
+                let ord = rank.total_cmp(&pr).then(key.cmp(&pk));
+                if ord != std::cmp::Ordering::Greater {
+                    return Err(monotone_core::Error::Encoding(
+                        "sample entries out of (rank, key) order".to_owned(),
+                    ));
+                }
+            }
+            entries.push((rank, key, weight));
+        }
+        Ok(BottomKSample {
+            k,
+            method,
+            entries,
+            next_rank,
+        })
     }
 }
 
@@ -944,6 +1043,64 @@ mod tests {
         assert!(by_key.windows(2).all(|w| w[0].0 < w[1].0));
         for &(k, w) in &by_key {
             assert_eq!(s.get(k), Some(w));
+        }
+    }
+
+    #[test]
+    fn wire_round_trip_is_bit_identical() {
+        for method in [
+            RankMethod::Priority,
+            RankMethod::Exponential,
+            RankMethod::Uniform,
+        ] {
+            for n in [0u64, 3, 50, 200] {
+                let inst = test_instance(n);
+                let sampler = BottomK::new(10, method, SeedHasher::new(n + 1));
+                let s = sampler.sample_instance(&inst);
+                let mut enc = Enc::new();
+                s.encode_into(&mut enc);
+                let bytes = enc.into_bytes();
+                let mut dec = Dec::new(&bytes);
+                let back = BottomKSample::decode(&mut dec).unwrap();
+                dec.finish().unwrap();
+                // PartialEq on f64 fields is bit-blind for -0.0 vs 0.0, so
+                // also compare the re-encoded bytes.
+                assert_eq!(back, s, "{method:?} n={n}");
+                let mut re = Enc::new();
+                back.encode_into(&mut re);
+                assert_eq!(re.into_bytes(), bytes, "{method:?} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn wire_decode_rejects_corruption() {
+        let s = BottomK::new(4, RankMethod::Priority, SeedHasher::new(9))
+            .sample_instance(&test_instance(30));
+        let mut enc = Enc::new();
+        s.encode_into(&mut enc);
+        let good = enc.into_bytes();
+
+        // Unknown version byte.
+        let mut bad = good.clone();
+        bad[0] = 0xff;
+        assert!(matches!(
+            BottomKSample::decode(&mut Dec::new(&bad)),
+            Err(monotone_core::Error::Encoding(_))
+        ));
+        // Unknown method tag.
+        let mut bad = good.clone();
+        bad[1] = 9;
+        assert!(matches!(
+            BottomKSample::decode(&mut Dec::new(&bad)),
+            Err(monotone_core::Error::Encoding(_))
+        ));
+        // Truncation anywhere must error, never panic.
+        for cut in 0..good.len() {
+            assert!(
+                BottomKSample::decode(&mut Dec::new(&good[..cut])).is_err(),
+                "truncation at {cut} slipped through"
+            );
         }
     }
 

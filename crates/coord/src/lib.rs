@@ -58,3 +58,4 @@ pub mod pps;
 pub mod query;
 pub mod seed;
 pub mod source;
+pub mod wire;

@@ -71,6 +71,20 @@ pub enum Error {
         /// Number of sketches in the group.
         got: usize,
     },
+    /// A sketch-store shard backend could not serve an operation — its
+    /// worker process died, its pipe closed, or it answered with a
+    /// malformed frame. Surfaced as a typed error (never a hang) so a
+    /// router can fail fast, retry, or resample the shard.
+    ShardUnavailable {
+        /// Ordinal of the shard inside its store.
+        shard: usize,
+        /// Human-readable cause (I/O error, protocol violation, ...).
+        reason: String,
+    },
+    /// A versioned wire payload (sketch snapshot, band-index partial)
+    /// failed to decode: truncated buffer, unknown version, or an
+    /// out-of-range tag.
+    Encoding(String),
 }
 
 impl fmt::Display for Error {
@@ -112,6 +126,10 @@ impl fmt::Display for Error {
                      the group holds {got} sketches"
                 )
             }
+            Error::ShardUnavailable { shard, reason } => {
+                write!(f, "store shard {shard} is unavailable: {reason}")
+            }
+            Error::Encoding(msg) => write!(f, "wire encoding error: {msg}"),
         }
     }
 }
@@ -187,6 +205,11 @@ mod tests {
                 expected: 3,
                 got: 2,
             },
+            Error::ShardUnavailable {
+                shard: 1,
+                reason: "broken pipe".to_owned(),
+            },
+            Error::Encoding("truncated frame".to_owned()),
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());
@@ -204,5 +227,20 @@ mod tests {
         }
         .to_string();
         assert!(e.contains('4') && e.contains('1'));
+    }
+
+    #[test]
+    fn shard_errors_name_the_shard_and_cause() {
+        // A distributed store reports which shard failed and why, so an
+        // operator can map the ordinal back to a worker process.
+        let e = Error::ShardUnavailable {
+            shard: 3,
+            reason: "worker exited".to_owned(),
+        }
+        .to_string();
+        assert!(e.contains('3') && e.contains("worker exited"));
+        assert!(Error::Encoding("bad version".to_owned())
+            .to_string()
+            .contains("bad version"));
     }
 }

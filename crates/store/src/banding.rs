@@ -65,13 +65,13 @@
 //!
 //! let store = SketchStore::new(64, 42);
 //! for key in 0..40u64 {
-//!     store.ingest(0, key, 1.0); // instance 0: keys 0..40
-//!     store.ingest(1, key + 2, 1.0); // near-duplicate of 0
-//!     store.ingest(2, key + 10_000, 1.0); // disjoint
+//!     store.ingest(0, key, 1.0)?; // instance 0: keys 0..40
+//!     store.ingest(1, key + 2, 1.0)?; // near-duplicate of 0
+//!     store.ingest(2, key + 10_000, 1.0)?; // disjoint
 //! }
 //!
 //! let cfg = BandConfig::new(8, 2, 7);
-//! let index = store.band_index(&cfg);
+//! let index = store.band_index(&cfg)?;
 //! let pairs = index.candidate_pairs();
 //! assert!(pairs.contains(&(0, 1)), "near-duplicates must collide");
 //! assert!(pairs.iter().all(|&(a, b)| a < b && b != 2), "disjoint stays out");
@@ -448,16 +448,30 @@ impl BandIndex {
     /// own id is always among its candidates (it shares every band with
     /// itself) unless its signature is all-empty.
     pub fn candidates_of_id(&self, id: u64) -> Option<Vec<u64>> {
-        let sig = self.signatures.get(&id)?;
+        self.signatures
+            .get(&id)
+            .map(|sig| self.candidates_of_signature(sig))
+    }
+
+    /// The sorted, deduplicated inserted ids registered under at least
+    /// one of `sig`'s `(band, hash)` pairs — the probe primitive behind
+    /// both [`candidates_of_id`](BandIndex::candidates_of_id) and a
+    /// *distributed* gather: a router holding an instance's signature
+    /// can probe every shard's partial index with it and union the
+    /// sorted results, which equals probing one global index because
+    /// shard partials partition the ids. Bands outside this index's
+    /// config contribute nothing (a probe from a mismatched config
+    /// finds no buckets, it does not panic).
+    pub fn candidates_of_signature(&self, sig: &[(u32, u64)]) -> Vec<u64> {
         let mut out: Vec<u64> = sig
             .iter()
-            .filter_map(|&(band, h)| self.buckets[band as usize].get(&h))
+            .filter_map(|&(band, h)| self.buckets.get(band as usize)?.get(&h))
             .flatten()
             .copied()
             .collect();
         out.sort_unstable();
         out.dedup();
-        Some(out)
+        out
     }
 
     /// Streams every unordered candidate pair `(a, b)` with `a < b` —
@@ -514,7 +528,97 @@ impl BandIndex {
         self.for_each_candidate_block(usize::MAX, |block| pairs.extend_from_slice(block));
         pairs
     }
+
+    /// Appends this index's stable, versioned wire form to `out` — how a
+    /// remote shard ships a build partial to the router. Only the config
+    /// and the per-id signatures travel; the bucket maps are derived
+    /// state and are rebuilt on decode, so sender and receiver cannot
+    /// disagree about bucket contents.
+    pub fn encode_into(&self, out: &mut monotone_coord::wire::Enc) {
+        let cfg = self.config();
+        out.put_u8(WIRE_VERSION);
+        out.put_len(cfg.bands());
+        out.put_len(cfg.rows());
+        out.put_u64(cfg.salt());
+        out.put_len(self.signatures.len());
+        for (id, sig) in &self.signatures {
+            out.put_u64(*id);
+            out.put_len(sig.len());
+            for &(band, hash) in sig.iter() {
+                out.put_u32(band);
+                out.put_u64(hash);
+            }
+        }
+    }
+
+    /// Decodes one index from `dec`, re-registering every id under its
+    /// signature. The result is interchangeable with the encoded index:
+    /// signatures are bit-identical and every sorted query output
+    /// matches.
+    ///
+    /// # Errors
+    ///
+    /// [`monotone_core::Error::Encoding`] on truncation, an unknown
+    /// version, or a signature violating the index invariants (bands out
+    /// of range or not strictly ascending).
+    pub fn decode(dec: &mut monotone_coord::wire::Dec<'_>) -> monotone_core::Result<BandIndex> {
+        use monotone_core::Error;
+
+        let version = dec.take_u8()?;
+        if version != WIRE_VERSION {
+            return Err(Error::Encoding(format!(
+                "unknown BandIndex wire version {version}"
+            )));
+        }
+        let bands = dec.take_len()?;
+        let rows = dec.take_len()?;
+        let salt = dec.take_u64()?;
+        if bands == 0 || rows == 0 {
+            return Err(Error::Encoding(format!(
+                "degenerate band config {bands}x{rows}"
+            )));
+        }
+        let mut index = BandIndex::new(BandConfig::new(bands, rows, salt));
+        let n = dec.take_len()?;
+        for _ in 0..n {
+            let id = dec.take_u64()?;
+            let sig_len = dec.take_len()?;
+            if sig_len > bands {
+                return Err(Error::Encoding(format!(
+                    "signature of {sig_len} bands exceeds the {bands}-band config"
+                )));
+            }
+            let mut sig = Vec::with_capacity(sig_len);
+            for _ in 0..sig_len {
+                let band = dec.take_u32()?;
+                let hash = dec.take_u64()?;
+                if band as usize >= bands {
+                    return Err(Error::Encoding(format!("band {band} out of range")));
+                }
+                if let Some(&(prev, _)) = sig.last() {
+                    if band <= prev {
+                        return Err(Error::Encoding(
+                            "signature bands not strictly ascending".to_owned(),
+                        ));
+                    }
+                }
+                sig.push((band, hash));
+            }
+            let sig: Box<[(u32, u64)]> = sig.into();
+            for &(band, hash) in sig.iter() {
+                index.register(band, hash, id);
+            }
+            if index.signatures.insert(id, sig).is_some() {
+                return Err(Error::Encoding(format!("id {id} encoded twice")));
+            }
+        }
+        Ok(index)
+    }
 }
+
+/// Version byte leading every [`BandIndex`] wire payload. Bump on any
+/// layout change; decoders reject versions they do not know.
+const WIRE_VERSION: u8 = 1;
 
 #[cfg(test)]
 mod tests {
@@ -764,6 +868,112 @@ mod tests {
                     reference.candidates_of_id(*id)
                 );
             }
+        }
+    }
+
+    #[test]
+    fn candidates_of_signature_matches_candidates_of_id() {
+        let cfg = BandConfig::new(12, 2, 5);
+        let mut index = BandIndex::new(cfg);
+        for id in 0..30u64 {
+            index.insert(id, &sketch(24, 9, id * 20..id * 20 + 40));
+        }
+        for id in 0..30u64 {
+            let sig = index.signature(id).unwrap().to_vec();
+            assert_eq!(
+                index.candidates_of_signature(&sig),
+                index.candidates_of_id(id).unwrap(),
+                "id={id}"
+            );
+        }
+        // A foreign signature probes gracefully: out-of-range bands and
+        // unknown hashes find nothing.
+        assert_eq!(index.candidates_of_signature(&[(999, 1), (0, 2)]), vec![]);
+        assert_eq!(index.candidates_of_signature(&[]), vec![]);
+    }
+
+    #[test]
+    fn gathered_shard_probes_equal_one_global_index() {
+        // The distributed live-join identity: partition ids across
+        // "shards", probe each partial with one id's signature, union —
+        // must equal probing the single global index.
+        let cfg = BandConfig::new(12, 2, 5);
+        let sketches: Vec<(u64, BottomKSample)> = (0..40u64)
+            .map(|id| (id, sketch(24, 9, id * 15..id * 15 + 40)))
+            .collect();
+        let mut global = BandIndex::new(cfg);
+        let mut parts: Vec<BandIndex> = (0..3).map(|_| BandIndex::new(cfg)).collect();
+        for (id, s) in &sketches {
+            global.insert(*id, s);
+            parts[(*id % 3) as usize].insert(*id, s);
+        }
+        for (id, _) in &sketches {
+            let sig = global.signature(*id).unwrap().to_vec();
+            let mut gathered: Vec<u64> = parts
+                .iter()
+                .flat_map(|p| p.candidates_of_signature(&sig))
+                .collect();
+            gathered.sort_unstable();
+            gathered.dedup();
+            assert_eq!(gathered, global.candidates_of_id(*id).unwrap(), "id={id}");
+        }
+    }
+
+    #[test]
+    fn wire_round_trip_preserves_signatures_and_candidates() {
+        use monotone_coord::wire::{Dec, Enc};
+
+        let cfg = BandConfig::new(12, 2, 5);
+        let mut index = BandIndex::new(cfg);
+        for id in 0..30u64 {
+            index.insert(id, &sketch(24, 9, id * 20..id * 20 + 40));
+        }
+        // Include an empty-signature id, the sparse-instance edge.
+        index.insert(999, &sketch(8, 9, [5u64]));
+
+        let mut enc = Enc::new();
+        index.encode_into(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Dec::new(&bytes);
+        let back = BandIndex::decode(&mut dec).unwrap();
+        dec.finish().unwrap();
+
+        assert_eq!(back.config(), index.config());
+        assert_eq!(back.len(), index.len());
+        assert_eq!(back.candidate_pairs(), index.candidate_pairs());
+        for id in index.ids() {
+            assert_eq!(back.signature(id), index.signature(id), "id={id}");
+            assert_eq!(
+                back.candidates_of_id(id),
+                index.candidates_of_id(id),
+                "id={id}"
+            );
+        }
+        // Re-encoding the decoded index is byte-identical.
+        let mut re = Enc::new();
+        back.encode_into(&mut re);
+        assert_eq!(re.into_bytes(), bytes);
+    }
+
+    #[test]
+    fn wire_decode_rejects_corruption() {
+        use monotone_coord::wire::{Dec, Enc};
+
+        let cfg = BandConfig::new(4, 1, 3);
+        let mut index = BandIndex::new(cfg);
+        index.insert(1, &sketch(16, 9, 0..30));
+        let mut enc = Enc::new();
+        index.encode_into(&mut enc);
+        let good = enc.into_bytes();
+
+        let mut bad = good.clone();
+        bad[0] = 0xee; // version
+        assert!(BandIndex::decode(&mut Dec::new(&bad)).is_err());
+        for cut in 0..good.len() {
+            assert!(
+                BandIndex::decode(&mut Dec::new(&good[..cut])).is_err(),
+                "truncation at {cut} slipped through"
+            );
         }
     }
 

@@ -1,0 +1,14 @@
+//! Child-process shard worker for the distributed
+//! [`SketchStore`](monotone_store::SketchStore): serves the framed
+//! [`ShardBackend`](monotone_store::shard::ShardBackend) protocol over
+//! stdin/stdout until the parent closes the pipe or sends shutdown.
+//!
+//! Spawned by `SketchStore::with_process_shards` /
+//! `ProcessShard::spawn`; not intended for interactive use.
+
+fn main() {
+    if let Err(e) = monotone_store::remote::serve_stdio() {
+        eprintln!("shard_worker: {e}");
+        std::process::exit(1);
+    }
+}

@@ -108,8 +108,8 @@ fn rg1_error_shrinks_as_k_grows() {
                 let pa = &pool[(r % 8) as usize];
                 let pb = &pool[((r * 7 + 1) % 8) as usize];
                 let store = SketchStore::new(k, r);
-                store.ingest_all(0, pa.iter());
-                store.ingest_all(1, pb.iter());
+                store.ingest_all(0, pa.iter()).unwrap();
+                store.ingest_all(1, pb.iter()).unwrap();
                 let est = store.query_group(&engine, &query, &[0, 1]).unwrap();
                 // Exact truth over the pair's union, from the exact path.
                 let group = [pa.clone(), pb.clone()];

@@ -114,17 +114,17 @@ proptest! {
         // Reference: a single-shard store, ingested in id order.
         let reference = SketchStore::with_shards(k, salt, 1);
         for (id, inst) in pool.iter().enumerate() {
-            reference.ingest_all(id as u64, inst.iter());
+            reference.ingest_all(id as u64, inst.iter()).unwrap();
         }
-        let ref_index = reference.band_index(&cfg);
+        let ref_index = reference.band_index(&cfg).unwrap();
         let ref_pairs = ref_index.candidate_pairs();
 
         // Same pool through an n-shard store, ingested in reverse.
         let sharded = SketchStore::with_shards(k, salt, shards);
         for (id, inst) in pool.iter().enumerate().rev() {
-            sharded.ingest_all(id as u64, inst.iter());
+            sharded.ingest_all(id as u64, inst.iter()).unwrap();
         }
-        let sharded_index = sharded.band_index(&cfg);
+        let sharded_index = sharded.band_index(&cfg).unwrap();
         prop_assert_eq!(&sharded_index.candidate_pairs(), &ref_pairs);
 
         // And a hand-built index inserting sketches in reverse order.
@@ -164,11 +164,11 @@ proptest! {
         let cfg = BandConfig::new(16, 2, band_salt);
         let store = SketchStore::with_shards(24, salt, shards);
         for (id, inst) in pool.iter().enumerate() {
-            store.ingest_all(id as u64, inst.iter());
+            store.ingest_all(id as u64, inst.iter()).unwrap();
         }
-        let sequential = store.band_index(&cfg);
+        let sequential = store.band_index(&cfg).unwrap();
         for workers in [1usize, 2, 4] {
-            let parallel = store.band_index_with(&cfg, &Engine::with_threads(workers));
+            let parallel = store.band_index_with(&cfg, &Engine::with_threads(workers)).unwrap();
             prop_assert_eq!(parallel.len(), sequential.len(), "w={}", workers);
             prop_assert_eq!(
                 parallel.candidate_pairs(),

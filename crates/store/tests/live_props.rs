@@ -6,10 +6,30 @@
 //!
 //! Pinned-seed proptest (the repo convention): the rng seed is fixed so
 //! the explored interleavings are a byte-stable regression pin.
+//!
+//! A second leg replays every interleaving against a store whose shards
+//! are **spawned worker processes** ([`ProcessShard`]) and requires the
+//! gathered live answers to be bit-identical to the in-process store's
+//! — the distribution transport must be invisible to the live contract.
+
+use std::sync::Arc;
 
 use monotone_store::banding::{BandConfig, BandIndex};
-use monotone_store::SketchStore;
+use monotone_store::{ProcessShard, ShardBackend, SketchStore};
 use proptest::prelude::*;
+
+/// A store over `procs` child-process shards running this build's
+/// `shard_worker` binary.
+fn process_store(k: usize, salt: u64, procs: usize) -> SketchStore {
+    let backends: Vec<Arc<dyn ShardBackend>> = (0..procs)
+        .map(|ordinal| {
+            let command = std::process::Command::new(env!("CARGO_BIN_EXE_shard_worker"));
+            Arc::new(ProcessShard::spawn(command, ordinal, k, salt).expect("spawn shard worker"))
+                as Arc<dyn ShardBackend>
+        })
+        .collect();
+    SketchStore::with_backends(k, salt, backends)
+}
 
 /// One randomized store operation.
 #[derive(Debug, Clone)]
@@ -86,22 +106,22 @@ proptest! {
             [ops.len() / 3, 2 * ops.len() / 3, ops.len()].to_vec();
         for (step, op) in ops.iter().enumerate() {
             match op {
-                Op::One(instance, key, w) => store.ingest(*instance, *key, *w),
+                Op::One(instance, key, w) => store.ingest(*instance, *key, *w).unwrap(),
                 Op::Batch(instance, items) => {
-                    store.ingest_all(*instance, items.iter().copied())
+                    store.ingest_all(*instance, items.iter().copied()).unwrap()
                 }
                 Op::Evict(instance) => {
-                    store.evict(*instance);
+                    store.evict(*instance).unwrap();
                 }
             }
             if checkpoints.contains(&(step + 1)) {
-                let live = store.live_index().expect("live enabled");
-                let rebuilt = store.band_index(&cfg);
+                let live = store.live_index().unwrap().expect("live enabled");
+                let rebuilt = store.band_index(&cfg).unwrap();
                 assert_index_eq(&live, &rebuilt)?;
             }
         }
-        let live = store.live_index().expect("live enabled");
-        let rebuilt = store.band_index(&cfg);
+        let live = store.live_index().unwrap().expect("live enabled");
+        let rebuilt = store.band_index(&cfg).unwrap();
         assert_index_eq(&live, &rebuilt)?;
 
         // The live query path agrees with the snapshot too.
@@ -109,6 +129,55 @@ proptest! {
             prop_assert_eq!(
                 store.live_candidates_of(id).expect("resident id"),
                 rebuilt.candidates_of_id(id).expect("resident id")
+            );
+        }
+    }
+
+    /// The same interleavings through child-process shards: the live
+    /// index a distributed store maintains — and every gathered
+    /// `live_candidates_of` answer — is bit-identical to the in-process
+    /// store's. Shorter op sequences than the local leg (each case
+    /// spawns real worker processes) but the same pinned seed, so the
+    /// explored interleavings are a stable regression pin.
+    #[test]
+    fn process_shard_live_index_is_bit_identical_to_local(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+        salt in any::<u64>(),
+        band_salt in any::<u64>(),
+        procs in 1usize..4,
+        k in 4usize..24,
+    ) {
+        let cfg = BandConfig::new(12, 2, band_salt);
+        let mut local = SketchStore::with_shards(k, salt, procs);
+        local.enable_live_index(cfg).unwrap();
+        let mut remote = process_store(k, salt, procs);
+        remote.enable_live_index(cfg).unwrap();
+        for op in &ops {
+            match op {
+                Op::One(instance, key, w) => {
+                    local.ingest(*instance, *key, *w).unwrap();
+                    remote.ingest(*instance, *key, *w).unwrap();
+                }
+                Op::Batch(instance, items) => {
+                    local.ingest_all(*instance, items.iter().copied()).unwrap();
+                    remote.ingest_all(*instance, items.iter().copied()).unwrap();
+                }
+                Op::Evict(instance) => {
+                    prop_assert_eq!(
+                        local.evict(*instance).unwrap(),
+                        remote.evict(*instance).unwrap()
+                    );
+                }
+            }
+        }
+        let local_live = local.live_index().unwrap().expect("live enabled");
+        let remote_live = remote.live_index().unwrap().expect("live enabled");
+        assert_index_eq(&remote_live, &local_live)?;
+        for id in local_live.ids() {
+            prop_assert_eq!(
+                remote.live_candidates_of(id).expect("resident id"),
+                local.live_candidates_of(id).expect("resident id"),
+                "id={}", id
             );
         }
     }
